@@ -1,0 +1,46 @@
+// Command vampos-bench regenerates the tables and figures of the
+// paper's evaluation (§VII) and prints them as text tables.
+//
+// Usage:
+//
+//	vampos-bench [-exp all|fig5|table3|fig6|fig7|table4|table5|fig8] [-scale default|paper]
+//
+// The default scale keeps the whole suite within tens of seconds of wall
+// time; -scale paper uses the paper's workload parameters (1,000,000
+// Redis SETs, 100 siege clients, …) and takes correspondingly longer.
+// Absolute times come from the calibrated virtual-time cost model; the
+// reproduced claims are the shapes: orderings, ratios, and who wins
+// where (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vampos/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, "+strings.Join(bench.ExperimentNames(), ", "))
+	scaleName := flag.String("scale", "default", "workload scale: default or paper")
+	flag.Parse()
+
+	var scale bench.Scale
+	switch *scaleName {
+	case "default":
+		scale = bench.DefaultScale()
+	case "paper":
+		scale = bench.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "vampos-bench: unknown scale %q (want default or paper)\n", *scaleName)
+		os.Exit(2)
+	}
+
+	suite := &bench.Suite{Scale: scale}
+	if err := suite.Run(*exp, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "vampos-bench: %v\n", err)
+		os.Exit(1)
+	}
+}

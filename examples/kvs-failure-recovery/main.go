@@ -1,0 +1,149 @@
+// KVS failure recovery: the paper's §VII-E case study. A warm in-memory
+// key-value store serves GETs; a fail-stop fault is injected into the
+// 9PFS component. VampOS reboots only 9PFS and restores its fid table,
+// so the store keeps its keys and its latency; the full-reboot baseline
+// loses everything and pays the AOF reload.
+//
+//	go run ./examples/kvs-failure-recovery
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"vampos"
+	"vampos/internal/apps/redis"
+	"vampos/internal/sched"
+)
+
+const warmKeys = 3000
+
+func main() {
+	for _, variant := range []string{"vampos", "full-reboot"} {
+		if err := run(variant); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func run(variant string) error {
+	cfg := vampos.Config{Core: vampos.DaSConfig(), FS: true, Net: true, Sysinfo: true}
+	cfg.Core.MaxVirtualTime = time.Hour
+	inst, err := vampos.New(cfg)
+	if err != nil {
+		return err
+	}
+	return inst.Run(func(s *vampos.Sys) {
+		defer s.Stop()
+		kv := redis.New()
+		if err := s.StartApp(kv); err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < warmKeys; i++ {
+			kv.Execute(s, fmt.Sprintf("SET key%05d %s", i, strings.Repeat("v", 16)))
+		}
+
+		// A network client keeps measuring GET latency.
+		peer := s.NewPeer()
+		type sample struct {
+			at  time.Duration
+			lat time.Duration
+			ok  bool
+		}
+		var samples []sample
+		stop := false
+		probeDone := false
+		start := s.Elapsed()
+		s.GoHost("probe", func(th *sched.Thread) {
+			defer func() { probeDone = true }()
+			conn, err := peer.Dial(th, redis.DefaultPort, 2*time.Second)
+			if err != nil {
+				return
+			}
+			clk := inst.Runtime().Clock()
+			for !stop {
+				t0 := clk.Elapsed()
+				err := getOnce(th, conn)
+				lat := clk.Elapsed() - t0
+				samples = append(samples, sample{at: s.Elapsed() - start, lat: lat, ok: err == nil})
+				if err != nil {
+					conn.Close(th)
+					for !stop {
+						conn, err = peer.Dial(th, redis.DefaultPort, 2*time.Second)
+						if err == nil {
+							break
+						}
+						th.Sleep(20 * time.Millisecond)
+					}
+				}
+				th.Sleep(50 * time.Millisecond)
+			}
+			conn.Close(th)
+		})
+
+		s.Sleep(500 * time.Millisecond)
+		injectAt := s.Elapsed() - start
+		switch variant {
+		case "vampos":
+			if err := inst.Runtime().ArmFault("9pfs", "uk_9pfs_write", vampos.FaultCrash); err != nil {
+				log.Fatal(err)
+			}
+			kv.Execute(s, "SET trigger x") // the write path fires the fault
+		case "full-reboot":
+			if err := s.FullReboot(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		s.Sleep(1500 * time.Millisecond)
+		stop = true
+		for !probeDone {
+			s.Sleep(10 * time.Millisecond)
+		}
+
+		// Report the timeline around the injection.
+		fmt.Printf("\n[%s] GET latency timeline (fault at t=%v):\n", variant, injectAt.Round(time.Millisecond))
+		var worst time.Duration
+		lost := 0
+		for _, sm := range samples {
+			if sm.at < injectAt-200*time.Millisecond || sm.at > injectAt+900*time.Millisecond {
+				continue
+			}
+			status := sm.lat.Round(time.Microsecond).String()
+			if !sm.ok {
+				status = "LOST"
+				lost++
+			}
+			if sm.lat > worst {
+				worst = sm.lat
+			}
+			fmt.Printf("  t=%8v  %s\n", sm.at.Round(time.Millisecond), status)
+		}
+		fmt.Printf("[%s] worst latency %v, lost probes %d, keys now %d\n",
+			variant, worst.Round(time.Microsecond), lost, kv.Keys())
+	})
+}
+
+func getOnce(th *sched.Thread, conn interface {
+	Send(*sched.Thread, []byte) error
+	RecvLine(*sched.Thread, time.Duration) ([]byte, error)
+	RecvExactly(*sched.Thread, int, time.Duration) ([]byte, error)
+}) error {
+	if err := conn.Send(th, []byte("GET key00042\n")); err != nil {
+		return err
+	}
+	head, err := conn.RecvLine(th, 3*time.Second)
+	if err != nil {
+		return err
+	}
+	h := strings.TrimRight(string(head), "\n")
+	if h == "$-1" {
+		return nil
+	}
+	if !strings.HasPrefix(h, "$") {
+		return fmt.Errorf("bad reply %q", h)
+	}
+	_, err = conn.RecvExactly(th, 16+1, 3*time.Second)
+	return err
+}

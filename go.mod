@@ -1,0 +1,3 @@
+module vampos
+
+go 1.22

@@ -1,0 +1,84 @@
+// Package echo implements the paper's Echo application: a TCP server
+// that returns every received byte (§VI). Its component profile is
+// PROCESS, USER, NETDEV, TIMER, VFS, LWIP and VIRTIO — no file system.
+package echo
+
+import (
+	"strconv"
+
+	"vampos/internal/unikernel"
+)
+
+// DefaultPort is the port Echo listens on.
+const DefaultPort = 7
+
+// App is the Echo application.
+type App struct {
+	// Port overrides DefaultPort when non-zero.
+	Port int
+
+	// Stats
+	Connections uint64
+	BytesEchoed uint64
+}
+
+// New creates the Echo application.
+func New() *App { return &App{} }
+
+// Name implements unikernel.App.
+func (a *App) Name() string { return "echo" }
+
+// Profile returns the instance profile for Echo (paper §VI: seven
+// components, no 9PFS, no SYSINFO).
+func (a *App) Profile(coreCfg unikernel.Config) unikernel.Config {
+	coreCfg.FS = false
+	coreCfg.Net = true
+	coreCfg.Sysinfo = false
+	return coreCfg
+}
+
+// Main implements unikernel.App: bind, listen, and serve echo
+// connections until the instance stops.
+func (a *App) Main(s *unikernel.Sys) error {
+	port := a.Port
+	if port == 0 {
+		port = DefaultPort
+	}
+	lfd, err := s.Socket()
+	if err != nil {
+		return err
+	}
+	if err := s.Bind(lfd, port); err != nil {
+		return err
+	}
+	if err := s.Listen(lfd, 64); err != nil {
+		return err
+	}
+	s.Go("echo/acceptor", func(as *unikernel.Sys) {
+		for {
+			cfd, err := as.Accept(lfd)
+			if err != nil {
+				return
+			}
+			a.Connections++
+			as.Go("echo/conn"+strconv.Itoa(cfd), func(cs *unikernel.Sys) {
+				a.serve(cs, cfd)
+			})
+		}
+	})
+	return nil
+}
+
+func (a *App) serve(s *unikernel.Sys, fd int) {
+	defer func() { _ = s.Close(fd) }()
+	for {
+		data, eof, err := s.Recv(fd, 4096)
+		if err != nil || eof {
+			return
+		}
+		if _, err := s.Send(fd, data); err != nil {
+			return
+		}
+		a.BytesEchoed += uint64(len(data))
+	}
+}

@@ -1,0 +1,197 @@
+// Package nginx implements the paper's Nginx application: a static-file
+// HTTP/1.1 server with keep-alive connections, serving its document root
+// from the 9PFS-backed file system (§VI: nine components). The workload
+// of Fig. 7 — 40 connections fetching a 180-byte html file — and the
+// siege rejuvenation scenario of Table V run against it.
+package nginx
+
+import (
+	"strconv"
+	"strings"
+
+	"vampos/internal/unikernel"
+)
+
+// DefaultPort is the HTTP port.
+const DefaultPort = 80
+
+// DocRoot is the served directory on the guest file system.
+const DocRoot = "/www"
+
+// App is the Nginx application.
+type App struct {
+	// Port overrides DefaultPort when non-zero.
+	Port int
+	// Workers is how many acceptor threads run (the paper's workload
+	// uses 25 threads).
+	Workers int
+
+	// Stats
+	Requests    uint64
+	Errors      uint64
+	Connections uint64
+}
+
+// New creates the application with one worker.
+func New() *App { return &App{Workers: 1} }
+
+// Name implements unikernel.App.
+func (a *App) Name() string { return "nginx" }
+
+// Profile returns the full nine-component instance profile.
+func (a *App) Profile(cfg unikernel.Config) unikernel.Config {
+	cfg.FS = true
+	cfg.Net = true
+	cfg.Sysinfo = true
+	return cfg
+}
+
+// Main implements unikernel.App.
+func (a *App) Main(s *unikernel.Sys) error {
+	port := a.Port
+	if port == 0 {
+		port = DefaultPort
+	}
+	lfd, err := s.Socket()
+	if err != nil {
+		return err
+	}
+	if err := s.Bind(lfd, port); err != nil {
+		return err
+	}
+	if err := s.Listen(lfd, 256); err != nil {
+		return err
+	}
+	workers := a.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		name := "nginx/worker" + strconv.Itoa(w)
+		s.Go(name, func(ws *unikernel.Sys) {
+			for {
+				cfd, err := ws.Accept(lfd)
+				if err != nil {
+					return
+				}
+				a.Connections++
+				ws.Go(name+"/conn"+strconv.Itoa(cfd), func(cs *unikernel.Sys) {
+					a.serveConn(cs, cfd)
+				})
+			}
+		})
+	}
+	return nil
+}
+
+// serveConn handles one keep-alive connection.
+func (a *App) serveConn(s *unikernel.Sys, fd int) {
+	defer func() { _ = s.Close(fd) }()
+	var buf []byte
+	for {
+		// Accumulate until a full request head is present.
+		end := findHeaderEnd(buf)
+		for end < 0 {
+			data, eof, err := s.Recv(fd, 4096)
+			if err != nil || eof {
+				return
+			}
+			buf = append(buf, data...)
+			end = findHeaderEnd(buf)
+		}
+		head := string(buf[:end])
+		buf = buf[end+4:]
+		keepAlive, ok := a.serveRequest(s, fd, head)
+		if !ok || !keepAlive {
+			return
+		}
+	}
+}
+
+func findHeaderEnd(p []byte) int {
+	for i := 0; i+3 < len(p); i++ {
+		if p[i] == '\r' && p[i+1] == '\n' && p[i+2] == '\r' && p[i+3] == '\n' {
+			return i
+		}
+	}
+	return -1
+}
+
+// serveRequest answers one parsed request head; reports keep-alive and
+// transport health.
+func (a *App) serveRequest(s *unikernel.Sys, fd int, head string) (keepAlive, ok bool) {
+	lines := strings.Split(head, "\r\n")
+	if len(lines) == 0 {
+		return false, false
+	}
+	fields := strings.Fields(lines[0])
+	if len(fields) != 3 {
+		a.Errors++
+		return false, a.respond(s, fd, 400, "Bad Request", []byte("bad request\n"), false)
+	}
+	method, target, proto := fields[0], fields[1], fields[2]
+	keepAlive = proto == "HTTP/1.1"
+	for _, h := range lines[1:] {
+		hl := strings.ToLower(h)
+		if strings.HasPrefix(hl, "connection:") {
+			v := strings.TrimSpace(hl[len("connection:"):])
+			keepAlive = v != "close"
+		}
+	}
+	if method != "GET" && method != "HEAD" {
+		a.Errors++
+		return keepAlive, a.respond(s, fd, 405, "Method Not Allowed", []byte("only GET\n"), keepAlive)
+	}
+	if i := strings.IndexByte(target, '?'); i >= 0 {
+		target = target[:i]
+	}
+	if target == "/" {
+		target = "/index.html"
+	}
+	if strings.Contains(target, "..") {
+		a.Errors++
+		return keepAlive, a.respond(s, fd, 403, "Forbidden", []byte("forbidden\n"), keepAlive)
+	}
+	path := DocRoot + target
+	ffd, err := s.Open(path, unikernel.ORdonly)
+	if err != nil {
+		a.Errors++
+		return keepAlive, a.respond(s, fd, 404, "Not Found", []byte("not found\n"), keepAlive)
+	}
+	var body []byte
+	for {
+		data, eof, err := s.ReadNB(ffd, 1<<16)
+		if err != nil {
+			_ = s.Close(ffd)
+			a.Errors++
+			return keepAlive, a.respond(s, fd, 500, "Internal Server Error", []byte("io error\n"), false)
+		}
+		body = append(body, data...)
+		if eof || len(data) == 0 {
+			break
+		}
+	}
+	_ = s.Close(ffd)
+	if method == "HEAD" {
+		body = nil
+	}
+	a.Requests++
+	return keepAlive, a.respond(s, fd, 200, "OK", body, keepAlive)
+}
+
+func (a *App) respond(s *unikernel.Sys, fd, code int, status string, body []byte, keepAlive bool) bool {
+	conn := "close"
+	if keepAlive {
+		conn = "keep-alive"
+	}
+	head := "HTTP/1.1 " + strconv.Itoa(code) + " " + status + "\r\n" +
+		"Server: vampos-nginx\r\n" +
+		"Content-Length: " + strconv.Itoa(len(body)) + "\r\n" +
+		"Connection: " + conn + "\r\n\r\n"
+	if _, err := s.Writev(fd, []byte(head), body); err != nil {
+		return false
+	}
+	return true
+}
+
+var _ unikernel.App = (*App)(nil)

@@ -1,0 +1,226 @@
+package nginx
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"vampos/internal/core"
+	"vampos/internal/host"
+	"vampos/internal/sched"
+	"vampos/internal/unikernel"
+)
+
+func withNginx(t *testing.T, coreCfg core.Config, fn func(s *unikernel.Sys, a *App)) {
+	t.Helper()
+	coreCfg.MaxVirtualTime = time.Hour
+	app := New()
+	inst, err := unikernel.New(app.Profile(unikernel.Config{Core: coreCfg}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Document root is provisioned host-side, like a QEMU share.
+	if err := inst.Host().FS().WriteFile("/www/index.html", []byte(strings.Repeat("<html>vamp</html>\n", 10))); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Host().FS().WriteFile("/www/page.html", []byte("the page\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Run(func(s *unikernel.Sys) {
+		if err := s.StartApp(app); err != nil {
+			t.Errorf("start: %v", err)
+			s.Stop()
+			return
+		}
+		fn(s, app)
+		s.Stop()
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// httpGet performs one request on an existing connection and returns
+// (statusLine, body).
+func httpGet(t *testing.T, th *sched.Thread, conn *host.PeerConn, target string, keepAlive bool) (string, []byte) {
+	t.Helper()
+	connHdr := "keep-alive"
+	if !keepAlive {
+		connHdr = "close"
+	}
+	req := "GET " + target + " HTTP/1.1\r\nHost: guest\r\nConnection: " + connHdr + "\r\n\r\n"
+	if err := conn.Send(th, []byte(req)); err != nil {
+		t.Fatalf("send request: %v", err)
+	}
+	status, err := conn.RecvLine(th, 2*time.Second)
+	if err != nil {
+		t.Fatalf("status line: %v", err)
+	}
+	clen := -1
+	for {
+		line, err := conn.RecvLine(th, 2*time.Second)
+		if err != nil {
+			t.Fatalf("header: %v", err)
+		}
+		hl := strings.TrimRight(string(line), "\r\n")
+		if hl == "" {
+			break
+		}
+		if strings.HasPrefix(strings.ToLower(hl), "content-length:") {
+			clen, err = strconv.Atoi(strings.TrimSpace(hl[len("content-length:"):]))
+			if err != nil {
+				t.Fatalf("bad content-length %q", hl)
+			}
+		}
+	}
+	if clen < 0 {
+		t.Fatal("no Content-Length header")
+	}
+	body, err := conn.RecvExactly(th, clen, 2*time.Second)
+	if err != nil {
+		t.Fatalf("body: %v", err)
+	}
+	return strings.TrimRight(string(status), "\r\n"), body
+}
+
+func TestServeStaticFile(t *testing.T) {
+	withNginx(t, core.DaSConfig(), func(s *unikernel.Sys, a *App) {
+		th := s.Ctx().Thread()
+		conn, err := s.NewPeer().Dial(th, DefaultPort, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		status, body := httpGet(t, th, conn, "/page.html", true)
+		if status != "HTTP/1.1 200 OK" {
+			t.Fatalf("status = %q", status)
+		}
+		if string(body) != "the page\n" {
+			t.Fatalf("body = %q", body)
+		}
+		conn.Close(th)
+	})
+}
+
+func TestKeepAliveServesManyRequests(t *testing.T) {
+	withNginx(t, core.DaSConfig(), func(s *unikernel.Sys, a *App) {
+		th := s.Ctx().Thread()
+		conn, err := s.NewPeer().Dial(th, DefaultPort, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			status, _ := httpGet(t, th, conn, "/", true)
+			if status != "HTTP/1.1 200 OK" {
+				t.Fatalf("request %d: %q", i, status)
+			}
+		}
+		conn.Close(th)
+		if a.Requests != 20 {
+			t.Fatalf("Requests = %d, want 20", a.Requests)
+		}
+	})
+}
+
+func TestHTTPErrors(t *testing.T) {
+	withNginx(t, core.DaSConfig(), func(s *unikernel.Sys, a *App) {
+		th := s.Ctx().Thread()
+		conn, err := s.NewPeer().Dial(th, DefaultPort, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		status, _ := httpGet(t, th, conn, "/missing.html", true)
+		if !strings.Contains(status, "404") {
+			t.Fatalf("missing file: %q", status)
+		}
+		status, _ = httpGet(t, th, conn, "/../etc/passwd", true)
+		if !strings.Contains(status, "403") {
+			t.Fatalf("traversal: %q", status)
+		}
+		conn.Close(th)
+	})
+}
+
+func TestRollingRejuvenationLosesNoRequests(t *testing.T) {
+	// The Table V scenario: siege-style clients during component-by-
+	// component rejuvenation — success ratio must be 100 %.
+	withNginx(t, core.DaSConfig(), func(s *unikernel.Sys, a *App) {
+		var ok, fail int
+		clients := 4
+		done := 0
+		for cNum := 0; cNum < clients; cNum++ {
+			peer := s.NewPeer()
+			s.GoHost("siege"+strconv.Itoa(cNum), func(th *sched.Thread) {
+				defer func() { done++ }()
+				conn, err := peer.Dial(th, DefaultPort, 2*time.Second)
+				if err != nil {
+					fail++
+					return
+				}
+				for i := 0; i < 25; i++ {
+					req := "GET / HTTP/1.1\r\nHost: g\r\n\r\n"
+					if err := conn.Send(th, []byte(req)); err != nil {
+						fail++
+						continue
+					}
+					if _, err := conn.RecvLine(th, 2*time.Second); err != nil {
+						fail++
+						continue
+					}
+					// Drain rest of response: headers + body.
+					for {
+						line, err := conn.RecvLine(th, 2*time.Second)
+						if err != nil {
+							fail++
+							break
+						}
+						if strings.TrimRight(string(line), "\r\n") == "" {
+							break
+						}
+					}
+					if _, err := conn.RecvExactly(th, 180, 2*time.Second); err != nil {
+						fail++
+						continue
+					}
+					ok++
+				}
+				conn.Close(th)
+			})
+		}
+		targets := []string{"vfs", "9pfs", "lwip", "netdev", "process", "sysinfo", "user", "timer"}
+		for i := 0; done < clients; i++ {
+			if err := s.Reboot(targets[i%len(targets)]); err != nil {
+				t.Fatalf("rejuvenate %s: %v", targets[i%len(targets)], err)
+			}
+			s.Sleep(300 * time.Microsecond)
+		}
+		if fail != 0 {
+			t.Fatalf("lost %d requests (served %d) across rejuvenation, want 0", fail, ok)
+		}
+		if ok != clients*25 {
+			t.Fatalf("served %d, want %d", ok, clients*25)
+		}
+	})
+}
+
+func TestWorksInAllConfigurations(t *testing.T) {
+	for name, cc := range map[string]core.Config{
+		"vanilla": core.VanillaConfig(),
+		"fsm":     core.FSmConfig(),
+		"netm":    core.NETmConfig(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			withNginx(t, cc, func(s *unikernel.Sys, a *App) {
+				th := s.Ctx().Thread()
+				conn, err := s.NewPeer().Dial(th, DefaultPort, time.Second)
+				if err != nil {
+					t.Fatal(err)
+				}
+				status, _ := httpGet(t, th, conn, "/", false)
+				if status != "HTTP/1.1 200 OK" {
+					t.Fatalf("status = %q", status)
+				}
+				conn.Close(th)
+			})
+		})
+	}
+}

@@ -1,0 +1,314 @@
+// Package redis implements the paper's Redis application: an in-memory
+// key-value server speaking a line-oriented RESP-like protocol, with an
+// optional synchronous AOF (append-only file) persisted through
+// VFS→9PFS→virtio-9p, exactly the configuration §VII-C benchmarks ("we
+// turn on the AOF backup feature … it preserves volatile KVs into
+// storage synchronously via fsync()").
+//
+// Values live in the application arena (guest memory pages), so the
+// Fig. 7b memory-utilization numbers reflect real resident pages.
+package redis
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"vampos/internal/mem"
+	"vampos/internal/unikernel"
+)
+
+// DefaultPort is the Redis port.
+const DefaultPort = 6379
+
+// AOFPath is where the append-only file lives on the export.
+const AOFPath = "/data/appendonly.aof"
+
+// valueRef locates a value in the application arena.
+type valueRef struct {
+	addr mem.Addr
+	size int
+}
+
+// App is the Redis application.
+type App struct {
+	// Port overrides DefaultPort when non-zero.
+	Port int
+	// AOF enables the synchronous append-only file.
+	AOF bool
+	// FsyncEvery controls AOF fsync frequency: 1 = every write (the
+	// paper's synchronous configuration), N > 1 batches.
+	FsyncEvery int
+	// ReplayCost charges virtual time per AOF entry replayed at startup,
+	// modelling the hash-table rebuild a real Redis pays when reloading
+	// its AOF after a full reboot (the multi-second outage of Fig. 8).
+	ReplayCost time.Duration
+
+	store  map[string]valueRef
+	aofFD  int
+	writes int
+
+	// Stats
+	Sets, Gets, Dels uint64
+	AOFReplayed      int
+}
+
+// New creates a Redis application with AOF enabled.
+func New() *App {
+	return &App{AOF: true, FsyncEvery: 1, ReplayCost: 20 * time.Microsecond}
+}
+
+// Name implements unikernel.App.
+func (a *App) Name() string { return "redis" }
+
+// Profile returns the instance profile for Redis (paper §VI: nine
+// components, everything linked).
+func (a *App) Profile(cfg unikernel.Config) unikernel.Config {
+	cfg.FS = true
+	cfg.Net = true
+	cfg.Sysinfo = true
+	return cfg
+}
+
+// Keys returns the number of stored keys.
+func (a *App) Keys() int { return len(a.store) }
+
+// Main implements unikernel.App: reload the AOF if present, then serve.
+func (a *App) Main(s *unikernel.Sys) error {
+	a.store = make(map[string]valueRef)
+	a.aofFD = -1
+	a.writes = 0
+	a.AOFReplayed = 0
+	if a.FsyncEvery == 0 {
+		a.FsyncEvery = 1
+	}
+	if a.AOF {
+		if _, _, err := s.Stat("/data"); err != nil {
+			if err := s.Mkdir("/data"); err != nil {
+				return fmt.Errorf("redis: mkdir /data: %w", err)
+			}
+		}
+		if err := a.loadAOF(s); err != nil {
+			return err
+		}
+		fd, err := s.Open(AOFPath, unikernel.OCreate|unikernel.OWronly|unikernel.OAppend)
+		if err != nil {
+			return fmt.Errorf("redis: open aof: %w", err)
+		}
+		a.aofFD = fd
+	}
+	port := a.Port
+	if port == 0 {
+		port = DefaultPort
+	}
+	lfd, err := s.Socket()
+	if err != nil {
+		return err
+	}
+	if err := s.Bind(lfd, port); err != nil {
+		return err
+	}
+	if err := s.Listen(lfd, 128); err != nil {
+		return err
+	}
+	s.Go("redis/acceptor", func(as *unikernel.Sys) {
+		for {
+			cfd, err := as.Accept(lfd)
+			if err != nil {
+				return
+			}
+			as.Go("redis/conn"+strconv.Itoa(cfd), func(cs *unikernel.Sys) {
+				a.serve(cs, cfd)
+			})
+		}
+	})
+	return nil
+}
+
+// loadAOF replays the append-only file: the expensive restore a full
+// reboot pays and a VampOS component reboot avoids (Fig. 8).
+func (a *App) loadAOF(s *unikernel.Sys) error {
+	fd, err := s.Open(AOFPath, unikernel.ORdonly)
+	if err != nil {
+		return nil // no AOF yet
+	}
+	defer func() { _ = s.Close(fd) }()
+	var pending []byte
+	for {
+		data, eof, err := s.ReadNB(fd, 1<<16)
+		if err != nil {
+			return err
+		}
+		pending = append(pending, data...)
+		if eof {
+			break
+		}
+	}
+	for _, line := range strings.Split(string(pending), "\n") {
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, " ", 3)
+		switch parts[0] {
+		case "SET":
+			if len(parts) == 3 {
+				a.setValue(s, parts[1], []byte(parts[2]))
+				a.AOFReplayed++
+			}
+		case "DEL":
+			if len(parts) >= 2 {
+				a.delValue(s, parts[1])
+				a.AOFReplayed++
+			}
+		}
+		if a.ReplayCost > 0 && a.AOFReplayed%64 == 0 {
+			s.Sleep(64 * a.ReplayCost)
+		}
+	}
+	return nil
+}
+
+// setValue stores a value in the application arena.
+func (a *App) setValue(s *unikernel.Sys, key string, val []byte) {
+	if old, ok := a.store[key]; ok {
+		_ = s.Ctx().Heap().Free(old.addr)
+	}
+	size := len(val)
+	if size == 0 {
+		size = 1
+	}
+	addr, err := s.Ctx().Heap().Alloc(int64(size))
+	if err != nil {
+		// Arena full: fall back to dropping the oldest semantics would
+		// be an eviction policy; the model simply refuses.
+		return
+	}
+	if err := s.Ctx().Mem().Write(addr, val); err != nil {
+		_ = s.Ctx().Heap().Free(addr)
+		return
+	}
+	a.store[key] = valueRef{addr: addr, size: len(val)}
+}
+
+func (a *App) getValue(s *unikernel.Sys, key string) ([]byte, bool) {
+	ref, ok := a.store[key]
+	if !ok {
+		return nil, false
+	}
+	val, err := s.Ctx().Mem().ReadBytes(ref.addr, ref.size)
+	if err != nil {
+		return nil, false
+	}
+	return val, true
+}
+
+func (a *App) delValue(s *unikernel.Sys, key string) bool {
+	ref, ok := a.store[key]
+	if !ok {
+		return false
+	}
+	_ = s.Ctx().Heap().Free(ref.addr)
+	delete(a.store, key)
+	return true
+}
+
+// appendAOF persists one mutation synchronously.
+func (a *App) appendAOF(s *unikernel.Sys, line string) error {
+	if a.aofFD < 0 {
+		return nil
+	}
+	if _, err := s.Write(a.aofFD, []byte(line)); err != nil {
+		return err
+	}
+	a.writes++
+	if a.writes%a.FsyncEvery == 0 {
+		return s.Fsync(a.aofFD)
+	}
+	return nil
+}
+
+func (a *App) serve(s *unikernel.Sys, fd int) {
+	defer func() { _ = s.Close(fd) }()
+	var buf []byte
+	for {
+		data, eof, err := s.Recv(fd, 4096)
+		if err != nil || eof {
+			return
+		}
+		buf = append(buf, data...)
+		for {
+			nl := indexByte(buf, '\n')
+			if nl < 0 {
+				break
+			}
+			line := strings.TrimRight(string(buf[:nl]), "\r")
+			buf = buf[nl+1:]
+			resp := a.Execute(s, line)
+			if _, err := s.Send(fd, []byte(resp)); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func indexByte(p []byte, b byte) int {
+	for i, v := range p {
+		if v == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// Execute runs one command line and returns the protocol response. It is
+// exported so workloads can also drive the store in-process.
+func (a *App) Execute(s *unikernel.Sys, line string) string {
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) == 0 || parts[0] == "" {
+		return "-ERR empty command\n"
+	}
+	switch strings.ToUpper(parts[0]) {
+	case "PING":
+		return "+PONG\n"
+	case "SET":
+		if len(parts) != 3 {
+			return "-ERR wrong number of arguments for 'set'\n"
+		}
+		a.setValue(s, parts[1], []byte(parts[2]))
+		a.Sets++
+		if err := a.appendAOF(s, "SET "+parts[1]+" "+parts[2]+"\n"); err != nil {
+			return "-ERR aof: " + err.Error() + "\n"
+		}
+		return "+OK\n"
+	case "GET":
+		if len(parts) < 2 {
+			return "-ERR wrong number of arguments for 'get'\n"
+		}
+		a.Gets++
+		val, ok := a.getValue(s, parts[1])
+		if !ok {
+			return "$-1\n"
+		}
+		return "$" + strconv.Itoa(len(val)) + "\n" + string(val) + "\n"
+	case "DEL":
+		if len(parts) < 2 {
+			return "-ERR wrong number of arguments for 'del'\n"
+		}
+		n := 0
+		if a.delValue(s, parts[1]) {
+			n = 1
+			a.Dels++
+			if err := a.appendAOF(s, "DEL "+parts[1]+"\n"); err != nil {
+				return "-ERR aof: " + err.Error() + "\n"
+			}
+		}
+		return ":" + strconv.Itoa(n) + "\n"
+	case "DBSIZE":
+		return ":" + strconv.Itoa(len(a.store)) + "\n"
+	default:
+		return "-ERR unknown command '" + parts[0] + "'\n"
+	}
+}
+
+var _ unikernel.App = (*App)(nil)

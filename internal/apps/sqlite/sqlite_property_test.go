@@ -1,0 +1,131 @@
+package sqlite
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"vampos/internal/core"
+	"vampos/internal/unikernel"
+)
+
+// TestRandomWorkloadMatchesOracle drives random INSERT/DELETE/SELECT
+// sequences against both the database and an in-memory oracle, with
+// component reboots and a full reboot sprinkled in; the visible rows
+// must always match.
+func TestRandomWorkloadMatchesOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		return runOracleTrial(t, seed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runOracleTrial(t *testing.T, seed int64) bool {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	db := New()
+	cfg := db.Profile(unikernel.Config{Core: core.DaSConfig()})
+	cfg.Core.MaxVirtualTime = time.Hour
+	inst, err := unikernel.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := true
+	err = inst.Run(func(s *unikernel.Sys) {
+		defer s.Stop()
+		if err := s.StartApp(db); err != nil {
+			t.Error(err)
+			ok = false
+			return
+		}
+		db.MustExec(s, "CREATE TABLE o (k, v)")
+		// oracle: multiset of (k,v) rows
+		type row struct{ k, v string }
+		var oracle []row
+		check := func() bool {
+			res, err := db.Exec(s, "SELECT COUNT(*) FROM o")
+			if err != nil {
+				t.Errorf("count: %v", err)
+				return false
+			}
+			if res.Count != len(oracle) {
+				t.Errorf("seed %d: count = %d, oracle %d", seed, res.Count, len(oracle))
+				return false
+			}
+			// Spot-check one key's matching rows.
+			if len(oracle) > 0 {
+				probe := oracle[rng.Intn(len(oracle))].k
+				want := 0
+				for _, r := range oracle {
+					if r.k == probe {
+						want++
+					}
+				}
+				res, err := db.Exec(s, "SELECT * FROM o WHERE k = '"+probe+"'")
+				if err != nil {
+					t.Errorf("select: %v", err)
+					return false
+				}
+				if len(res.Rows) != want {
+					t.Errorf("seed %d: key %s rows = %d, oracle %d", seed, probe, len(res.Rows), want)
+					return false
+				}
+			}
+			return true
+		}
+		for step := 0; step < 60; step++ {
+			switch op := rng.Intn(10); {
+			case op < 6: // insert
+				k := "k" + strconv.Itoa(rng.Intn(8))
+				v := "v" + strconv.Itoa(rng.Intn(100))
+				db.MustExec(s, fmt.Sprintf("INSERT INTO o VALUES ('%s', '%s')", k, v))
+				oracle = append(oracle, row{k, v})
+			case op < 8: // delete by key
+				k := "k" + strconv.Itoa(rng.Intn(8))
+				res := db.MustExec(s, "DELETE FROM o WHERE k = '"+k+"'")
+				kept := oracle[:0]
+				removed := 0
+				for _, r := range oracle {
+					if r.k == k {
+						removed++
+						continue
+					}
+					kept = append(kept, r)
+				}
+				oracle = kept
+				if res.Count != removed {
+					t.Errorf("seed %d: delete %s removed %d, oracle %d", seed, k, res.Count, removed)
+					ok = false
+					return
+				}
+			case op == 8: // component reboot
+				target := []string{"vfs", "9pfs", "process"}[rng.Intn(3)]
+				if err := s.Reboot(target); err != nil {
+					t.Errorf("reboot %s: %v", target, err)
+					ok = false
+					return
+				}
+			default: // full reboot: durable state must reload identically
+				if err := s.FullReboot(); err != nil {
+					t.Errorf("full reboot: %v", err)
+					ok = false
+					return
+				}
+			}
+			if !check() {
+				ok = false
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Error(err)
+		return false
+	}
+	return ok
+}

@@ -1,0 +1,176 @@
+package sqlite
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"vampos/internal/core"
+	"vampos/internal/unikernel"
+)
+
+// withDB boots an instance, starts the database, and runs fn.
+func withDB(t *testing.T, coreCfg core.Config, fn func(s *unikernel.Sys, db *App)) {
+	t.Helper()
+	coreCfg.MaxVirtualTime = time.Hour
+	db := New()
+	inst, err := unikernel.New(db.Profile(unikernel.Config{Core: coreCfg}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Run(func(s *unikernel.Sys) {
+		if err := s.StartApp(db); err != nil {
+			t.Errorf("start app: %v", err)
+			s.Stop()
+			return
+		}
+		fn(s, db)
+		s.Stop()
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	withDB(t, core.DaSConfig(), func(s *unikernel.Sys, db *App) {
+		db.MustExec(s, "CREATE TABLE kv (k TEXT, v TEXT)")
+		db.MustExec(s, "INSERT INTO kv VALUES ('alpha', '1')")
+		db.MustExec(s, "INSERT INTO kv VALUES ('beta', '2')")
+		db.MustExec(s, "INSERT INTO kv VALUES ('alpha', '3')")
+
+		res := db.MustExec(s, "SELECT * FROM kv WHERE k = 'alpha'")
+		if len(res.Rows) != 2 {
+			t.Fatalf("SELECT alpha = %d rows, want 2", len(res.Rows))
+		}
+		res = db.MustExec(s, "SELECT COUNT(*) FROM kv")
+		if res.Count != 3 {
+			t.Fatalf("COUNT = %d, want 3", res.Count)
+		}
+		res = db.MustExec(s, "SELECT * FROM kv")
+		if len(res.Rows) != 3 || res.Cols[0] != "k" || res.Cols[1] != "v" {
+			t.Fatalf("SELECT * = %+v", res)
+		}
+	})
+}
+
+func TestDeleteAndDrop(t *testing.T) {
+	withDB(t, core.DaSConfig(), func(s *unikernel.Sys, db *App) {
+		db.MustExec(s, "CREATE TABLE t (a, b)")
+		for i := 0; i < 5; i++ {
+			db.MustExec(s, "INSERT INTO t VALUES ('x"+strconv.Itoa(i%2)+"', 'y')")
+		}
+		res := db.MustExec(s, "DELETE FROM t WHERE a = 'x0'")
+		if res.Count != 3 {
+			t.Fatalf("deleted %d, want 3", res.Count)
+		}
+		if db.MustExec(s, "SELECT COUNT(*) FROM t").Count != 2 {
+			t.Fatal("wrong survivor count")
+		}
+		db.MustExec(s, "DROP TABLE t")
+		if _, err := db.Exec(s, "SELECT * FROM t"); err == nil {
+			t.Fatal("query after drop succeeded")
+		}
+	})
+}
+
+func TestQuotedStringsAndEscapes(t *testing.T) {
+	withDB(t, core.DaSConfig(), func(s *unikernel.Sys, db *App) {
+		db.MustExec(s, "CREATE TABLE q (v)")
+		db.MustExec(s, "INSERT INTO q VALUES ('it''s quoted, with (parens) = fun')")
+		res := db.MustExec(s, "SELECT * FROM q")
+		if res.Rows[0][0] != "it's quoted, with (parens) = fun" {
+			t.Fatalf("stored %q", res.Rows[0][0])
+		}
+	})
+}
+
+func TestSQLErrors(t *testing.T) {
+	withDB(t, core.DaSConfig(), func(s *unikernel.Sys, db *App) {
+		cases := []string{
+			"",
+			"GRANT ALL",
+			"CREATE kv (a)",
+			"CREATE TABLE bad",
+			"INSERT INTO missing VALUES ('x')",
+			"SELECT * FROM missing",
+			"SELECT a FROM missing",
+			"DELETE FROM missing",
+			"INSERT INTO kv VALUES ('unterminated",
+		}
+		db.MustExec(s, "CREATE TABLE kv (a, b)")
+		cases = append(cases,
+			"INSERT INTO kv VALUES ('only-one')",
+			"SELECT * FROM kv WHERE nope = 'x'",
+			"SELECT * FROM kv WHERE a",
+			"CREATE TABLE kv (dup)",
+		)
+		for _, sql := range cases {
+			if _, err := db.Exec(s, sql); err == nil {
+				t.Errorf("%q: expected error", sql)
+			}
+		}
+	})
+}
+
+func TestPersistenceAcrossFullReboot(t *testing.T) {
+	withDB(t, core.DaSConfig(), func(s *unikernel.Sys, db *App) {
+		db.MustExec(s, "CREATE TABLE kv (k, v)")
+		for i := 0; i < 20; i++ {
+			db.MustExec(s, "INSERT INTO kv VALUES ('k"+strconv.Itoa(i)+"', 'v')")
+		}
+		if err := s.FullReboot(); err != nil {
+			t.Fatalf("full reboot: %v", err)
+		}
+		// Main re-ran and reloaded tables from the durable export.
+		res := db.MustExec(s, "SELECT COUNT(*) FROM kv")
+		if res.Count != 20 {
+			t.Fatalf("rows after full reboot = %d, want 20", res.Count)
+		}
+		// And the table stays writable.
+		db.MustExec(s, "INSERT INTO kv VALUES ('post', 'reboot')")
+		if db.MustExec(s, "SELECT COUNT(*) FROM kv").Count != 21 {
+			t.Fatal("insert after reboot lost")
+		}
+	})
+}
+
+func TestInsertsSurviveComponentReboots(t *testing.T) {
+	withDB(t, core.DaSConfig(), func(s *unikernel.Sys, db *App) {
+		db.MustExec(s, "CREATE TABLE kv (k, v)")
+		for i := 0; i < 10; i++ {
+			db.MustExec(s, "INSERT INTO kv VALUES ('a"+strconv.Itoa(i)+"', 'v')")
+			if i == 4 {
+				if err := s.Reboot("vfs"); err != nil {
+					t.Fatalf("reboot vfs: %v", err)
+				}
+			}
+			if i == 7 {
+				if err := s.Reboot("9pfs"); err != nil {
+					t.Fatalf("reboot 9pfs: %v", err)
+				}
+			}
+		}
+		if got := db.MustExec(s, "SELECT COUNT(*) FROM kv").Count; got != 10 {
+			t.Fatalf("rows = %d after component reboots, want 10", got)
+		}
+		// The on-disk image is intact too.
+		raw, err := s.HostFS().ReadFile("/db/kv.tbl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := strings.Count(string(raw), "\n"); n != 11 { // schema + 10 rows
+			t.Fatalf("table file has %d records, want 11", n)
+		}
+	})
+}
+
+func TestVanillaConfigWorksToo(t *testing.T) {
+	withDB(t, core.VanillaConfig(), func(s *unikernel.Sys, db *App) {
+		db.MustExec(s, "CREATE TABLE t (a)")
+		db.MustExec(s, "INSERT INTO t VALUES ('1')")
+		if db.MustExec(s, "SELECT COUNT(*) FROM t").Count != 1 {
+			t.Fatal("vanilla insert lost")
+		}
+	})
+}

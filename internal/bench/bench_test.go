@@ -1,0 +1,266 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyScale keeps each experiment under a couple of seconds while still
+// exhibiting every shape the assertions check.
+func tinyScale() Scale {
+	s := DefaultScale()
+	s.SyscallTrials = 12
+	s.RebootTrials = 3
+	s.RebootWarmGETs = 40
+	s.SQLiteInserts = 150
+	s.NginxRequests = 160
+	s.NginxConns = 4
+	s.RedisSets = 150
+	s.EchoMessages = 150
+	s.SiegeClients = 4
+	s.SiegeRequests = 12
+	s.RejuvInterval = time.Second
+	s.Fig8WarmKeys = 500
+	s.Fig8Duration = 12 * time.Second
+	s.Fig8GETRate = 60
+	s.Fig8InjectAt = 4 * time.Second
+	return s
+}
+
+func TestFig5ShapeInvariants(t *testing.T) {
+	res, err := RunFig5(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range Fig5Syscalls {
+		van := res.Virtual[sc][Vanilla].Mean
+		noop := res.Virtual[sc][Noop].Mean
+		das := res.Virtual[sc][DaS].Mean
+		if van <= 0 || noop <= 0 || das <= 0 {
+			t.Fatalf("%s: missing data (van=%v noop=%v das=%v)", sc, van, noop, das)
+		}
+		// Message passing costs more than direct calls.
+		if das <= van {
+			t.Errorf("%s: das (%v) not slower than vanilla (%v)", sc, das, van)
+		}
+		// Dependency-aware scheduling beats round-robin polling.
+		if das >= noop {
+			t.Errorf("%s: das (%v) not faster than noop (%v)", sc, das, noop)
+		}
+	}
+	// Component merging helps the merged path (paper: FSm speeds up
+	// open/close, NETm speeds up socket I/O).
+	if fsm, das := res.Virtual["open"][FSm].Mean, res.Virtual["open"][DaS].Mean; fsm >= das {
+		t.Errorf("open: fsm (%v) not faster than das (%v)", fsm, das)
+	}
+	if netm, das := res.Virtual["socket_write"][NETm].Mean, res.Virtual["socket_write"][DaS].Mean; netm >= das {
+		t.Errorf("socket_write: netm (%v) not faster than das (%v)", netm, das)
+	}
+	// getpid has the fewest transitions of all calls under DaS.
+	if res.Dispatches["getpid"][DaS] >= res.Dispatches["open"][DaS] {
+		t.Errorf("getpid dispatches (%v) >= open dispatches (%v)",
+			res.Dispatches["getpid"][DaS], res.Dispatches["open"][DaS])
+	}
+	if out := res.Render(); !strings.Contains(out, "getpid") {
+		t.Error("render missing rows")
+	}
+}
+
+func TestTable3ShapeInvariants(t *testing.T) {
+	res, err := RunTable3(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// getpid is never logged.
+	if res.Normal["getpid"] != 0 || res.Shrunk["getpid"] != 0 {
+		t.Errorf("getpid logged: normal=%v shrunk=%v", res.Normal["getpid"], res.Shrunk["getpid"])
+	}
+	// Shrinking strictly reduces open/close/socket families.
+	for _, sc := range []string{"open", "close", "socket_read", "socket_write"} {
+		if res.Shrunk[sc] >= res.Normal[sc] {
+			t.Errorf("%s: shrunk (%v) not below normal (%v)", sc, res.Shrunk[sc], res.Normal[sc])
+		}
+	}
+	// The paper's signature result: steady-state open() is net negative
+	// with shrinking (fd reuse prunes the previous pair).
+	if res.Shrunk["open"] >= 0 {
+		t.Errorf("shrunk open = %v, want negative (fd-reuse pruning)", res.Shrunk["open"])
+	}
+	// Socket reads/writes fully pruned at close in steady state: ~0.
+	if res.Shrunk["socket_read"] > res.Normal["socket_read"] {
+		t.Errorf("socket_read shrunk %v > normal %v", res.Shrunk["socket_read"], res.Normal["socket_read"])
+	}
+	if out := res.Render(); !strings.Contains(out, "Table III") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig6ShapeInvariants(t *testing.T) {
+	res, err := RunFig6(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]Fig6Row{}
+	for _, row := range res.Rows {
+		byLabel[row.Target.Label] = row
+	}
+	proc := byLabel["PROCESS"]
+	vfs := byLabel["VFS"]
+	lwip := byLabel["LWIP"]
+	ninep := byLabel["9PFS"]
+	merged := byLabel["VFS+9PFS"]
+	// Stateless reboots are far cheaper than stateful ones.
+	if proc.Virtual.Mean*10 >= vfs.Virtual.Mean {
+		t.Errorf("PROCESS reboot (%v) not ≪ VFS reboot (%v)", proc.Virtual.Mean, vfs.Virtual.Mean)
+	}
+	if proc.Pages != 0 || proc.Replayed != 0 {
+		t.Errorf("stateless reboot restored pages=%d replayed=%d", proc.Pages, proc.Replayed)
+	}
+	// Snapshot restore dominates checkpointed components: VFS and LWIP
+	// restore pages, 9PFS does not (cold re-init + replay).
+	if vfs.Pages == 0 || lwip.Pages == 0 {
+		t.Errorf("checkpointed reboots restored no pages: vfs=%d lwip=%d", vfs.Pages, lwip.Pages)
+	}
+	if ninep.Pages != 0 {
+		t.Errorf("9PFS restored %d pages, want 0 (cold re-init)", ninep.Pages)
+	}
+	// 9PFS is the fastest stateful reboot (paper: no data/bss snapshot).
+	if ninep.Virtual.Mean >= vfs.Virtual.Mean {
+		t.Errorf("9PFS reboot (%v) not faster than VFS (%v)", ninep.Virtual.Mean, vfs.Virtual.Mean)
+	}
+	// The merged composite reboots both members: at least as many pages.
+	if merged.Pages < vfs.Pages {
+		t.Errorf("merged reboot pages %d < vfs pages %d", merged.Pages, vfs.Pages)
+	}
+	// Everything stays within the paper's tens-of-milliseconds order.
+	for label, row := range byLabel {
+		if row.Virtual.Max > 200*time.Millisecond {
+			t.Errorf("%s reboot %v exceeds 200ms", label, row.Virtual.Max)
+		}
+	}
+}
+
+func TestFig7ShapeInvariants(t *testing.T) {
+	res, err := RunFig7(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range Fig7Apps {
+		van, ok := res.Row(app, Vanilla)
+		if !ok || van.Virtual <= 0 {
+			t.Fatalf("%s vanilla missing", app)
+		}
+		das, _ := res.Row(app, DaS)
+		noop, _ := res.Row(app, Noop)
+		ratioDas := float64(das.Virtual) / float64(van.Virtual)
+		ratioNoop := float64(noop.Virtual) / float64(van.Virtual)
+		// VampOS costs something but stays within the paper's band
+		// (≤ ~1.5× for DaS; Noop is the worst configuration).
+		if ratioDas < 0.9 {
+			t.Errorf("%s: das ratio %.2f implausibly below vanilla", app, ratioDas)
+		}
+		if ratioDas > 3.0 {
+			t.Errorf("%s: das ratio %.2f far above the paper's band", app, ratioDas)
+		}
+		if ratioNoop < ratioDas {
+			t.Errorf("%s: noop (%.2fx) cheaper than das (%.2fx)", app, ratioNoop, ratioDas)
+		}
+	}
+	// Redis is I/O-dominated: the AOF share must be substantial, which
+	// is what hides VampOS's overhead in the paper.
+	if van, _ := res.Row("redis", Vanilla); van.IOShare < 0.3 {
+		t.Errorf("redis I/O share %.2f, want >= 0.3 (AOF-dominated)", van.IOShare)
+	}
+	// Redis memory dwarfs the message-domain overhead (paper Fig. 7b).
+	if das, _ := res.Row("redis", DaS); das.DomainBytes <= 0 {
+		t.Error("redis das domain bytes = 0")
+	}
+	if out := res.Render(); !strings.Contains(out, "Fig. 7a") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable4ShapeInvariants(t *testing.T) {
+	res, err := RunTable4(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range Table4Apps {
+		for _, th := range res.Thresholds {
+			if res.Throughput[app][th] <= 0 {
+				t.Errorf("%s threshold %d: zero throughput", app, th)
+			}
+		}
+		// The paper: frequent shrinking (threshold 20) is never the
+		// fastest by a large margin; allow equality within noise.
+		if res.Throughput[app][20] > res.Throughput[app][1000]*1.25 {
+			t.Errorf("%s: threshold 20 (%f) much faster than 1000 (%f)",
+				app, res.Throughput[app][20], res.Throughput[app][1000])
+		}
+	}
+}
+
+func TestTable5ShapeInvariants(t *testing.T) {
+	res, err := RunTable5(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var u, vo Table5Row
+	for _, row := range res.Rows {
+		switch row.Variant {
+		case VariantFullReboot:
+			u = row
+		case VariantVampOS:
+			vo = row
+		}
+	}
+	if vo.Fails != 0 {
+		t.Errorf("vampos lost %d requests across rejuvenation, want 0 (paper: 100%%)", vo.Fails)
+	}
+	if u.Fails == 0 {
+		t.Errorf("full reboot lost no requests; the paper loses ~25%%")
+	}
+	if vo.Reboots == 0 || u.Reboots == 0 {
+		t.Errorf("rejuvenation never ran: vampos=%d unikraft=%d", vo.Reboots, u.Reboots)
+	}
+	if vo.SuccessRatio() != 1.0 {
+		t.Errorf("vampos success ratio %.3f, want 1.0", vo.SuccessRatio())
+	}
+	if u.SuccessRatio() >= vo.SuccessRatio() {
+		t.Errorf("full reboot ratio %.3f not below vampos %.3f", u.SuccessRatio(), vo.SuccessRatio())
+	}
+}
+
+func TestFig8ShapeInvariants(t *testing.T) {
+	res, err := RunFig8(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vo, fr Fig8Series
+	for _, s := range res.Series {
+		switch s.Variant {
+		case VariantVampOS:
+			vo = s
+		case VariantFullReboot:
+			fr = s
+		}
+	}
+	if len(vo.Points) == 0 || len(fr.Points) == 0 {
+		t.Fatalf("missing probe points: vampos=%d fullreboot=%d", len(vo.Points), len(fr.Points))
+	}
+	// VampOS recovery: almost zero disruption. Full reboot: a visible
+	// multi-hundred-ms outage (boot delay + AOF reload).
+	if vo.Outage > 100*time.Millisecond {
+		t.Errorf("vampos disruption %v, want ~0", vo.Outage)
+	}
+	if fr.Outage < 200*time.Millisecond {
+		t.Errorf("full-reboot disruption %v, want >= 200ms", fr.Outage)
+	}
+	if fr.Outage <= vo.Outage {
+		t.Errorf("full reboot (%v) not worse than vampos (%v)", fr.Outage, vo.Outage)
+	}
+	if out := res.Render(); !strings.Contains(out, "Fig. 8") {
+		t.Error("render missing title")
+	}
+}

@@ -1,0 +1,289 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"vampos/internal/apps/redis"
+	"vampos/internal/core"
+	"vampos/internal/sched"
+	"vampos/internal/unikernel"
+)
+
+// Fig8Point is one latency probe: GET latency at a virtual-time offset.
+type Fig8Point struct {
+	At      time.Duration
+	Latency time.Duration
+	OK      bool
+}
+
+// Fig8Series is one recovery strategy's timeline.
+type Fig8Series struct {
+	Variant  Table5Variant
+	Points   []Fig8Point
+	Injected time.Duration // when the 9PFS fault fired
+	// Outage is the span during which probes failed or stalled beyond
+	// 5× the median pre-fault latency.
+	Outage time.Duration
+}
+
+// Fig8Result is the Redis failure-recovery comparison.
+type Fig8Result struct {
+	WarmKeys int
+	Series   []Fig8Series
+}
+
+// RunFig8 reproduces the Redis failure-recovery case study (§VII-E):
+// a warm Redis serves GETs; a fail-stop fault is injected into 9PFS;
+// recovery is either VampOS's component reboot or the full reboot with
+// its AOF reload.
+func RunFig8(scale Scale) (*Fig8Result, error) {
+	res := &Fig8Result{WarmKeys: scale.Fig8WarmKeys}
+	for _, v := range []Table5Variant{VariantVampOS, VariantFullReboot} {
+		series, err := runFig8Variant(v, scale)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s: %w", v, err)
+		}
+		res.Series = append(res.Series, *series)
+	}
+	return res, nil
+}
+
+func runFig8Variant(variant Table5Variant, scale Scale) (*Fig8Series, error) {
+	inst, err := newInstance(DaS)
+	if err != nil {
+		return nil, err
+	}
+	series := &Fig8Series{Variant: variant}
+	var runErr error
+	err = inst.Run(func(s *unikernel.Sys) {
+		defer s.Stop()
+		app := redis.New()
+		if runErr = s.StartApp(app); runErr != nil {
+			return
+		}
+		// Warm the store in-process (the AOF gets every SET, so the
+		// full-reboot variant pays the reload for all of them).
+		for i := 0; i < scale.Fig8WarmKeys; i++ {
+			resp := app.Execute(s, fmt.Sprintf("SET warm%06d %s", i, strings.Repeat("v", 16)))
+			if !strings.HasPrefix(resp, "+OK") {
+				runErr = fmt.Errorf("warm SET: %s", strings.TrimSpace(resp))
+				return
+			}
+		}
+		start := s.Elapsed()
+		end := start + scale.Fig8Duration
+
+		// Background GET load at the configured rate.
+		loadDone := false
+		peer := s.NewPeer()
+		s.GoHost("fig8/load", func(th *sched.Thread) {
+			defer func() { loadDone = true }()
+			period := time.Second / time.Duration(scale.Fig8GETRate)
+			var cl *redisClient
+			dial := func() bool {
+				for s.Elapsed() < end {
+					var err error
+					cl, err = dialRedis(s, th, peer, redis.DefaultPort, time.Second)
+					if err == nil {
+						return true
+					}
+					th.Sleep(50 * time.Millisecond)
+				}
+				return false
+			}
+			if !dial() {
+				return
+			}
+			n := 0
+			for s.Elapsed() < end {
+				key := fmt.Sprintf("warm%06d", n%scale.Fig8WarmKeys)
+				n++
+				if _, _, err := cl.get(key, time.Second); err != nil {
+					cl.close()
+					if !dial() {
+						return
+					}
+				}
+				th.Sleep(period)
+			}
+			cl.close()
+		})
+
+		// Latency probe: one timed GET per probe period.
+		probePeer := s.NewPeer()
+		probeDone := false
+		s.GoHost("fig8/probe", func(th *sched.Thread) {
+			defer func() { probeDone = true }()
+			var cl *redisClient
+			dial := func() bool {
+				for s.Elapsed() < end {
+					var err error
+					cl, err = dialRedis(s, th, probePeer, redis.DefaultPort, time.Second)
+					if err == nil {
+						return true
+					}
+					th.Sleep(20 * time.Millisecond)
+				}
+				return false
+			}
+			if !dial() {
+				return
+			}
+			clk := inst.Runtime().Clock()
+			for s.Elapsed() < end {
+				at := s.Elapsed() - start
+				t0 := clk.Elapsed()
+				_, _, err := cl.get("warm000000", 4*time.Second)
+				lat := clk.Elapsed() - t0
+				series.Points = append(series.Points, Fig8Point{At: at, Latency: lat, OK: err == nil})
+				if err != nil {
+					cl.close()
+					if !dial() {
+						return
+					}
+				}
+				if sleep := scale.Fig8ProbeEach - lat; sleep > 0 {
+					th.Sleep(sleep)
+				}
+			}
+			cl.close()
+		})
+
+		// The controller waits for the injection instant, fires the
+		// fault, and (for the baseline) performs the full reboot.
+		s.Sleep(scale.Fig8InjectAt)
+		series.Injected = s.Elapsed() - start
+		switch variant {
+		case VariantVampOS:
+			// Fail-stop inside 9PFS on its next write: the very next
+			// AOF append triggers it (paper: "we force 9PFS to call
+			// panic() and trigger its reboot").
+			if err := inst.Runtime().ArmFault("9pfs", "uk_9pfs_write", core.FaultCrash); err != nil {
+				runErr = err
+				return
+			}
+			// Issue one SET so the write path runs promptly.
+			if resp := app.Execute(s, "SET trigger x"); !strings.HasPrefix(resp, "+OK") {
+				runErr = fmt.Errorf("trigger SET: %s", strings.TrimSpace(resp))
+				return
+			}
+		case VariantFullReboot:
+			// The baseline recovery for the same fault: restart the
+			// image and reload the AOF.
+			if err := s.FullReboot(); err != nil {
+				runErr = err
+				return
+			}
+		}
+		for !loadDone || !probeDone {
+			s.Sleep(10 * time.Millisecond)
+		}
+		series.Outage = computeOutage(series.Points, series.Injected)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	return series, nil
+}
+
+// computeOutage estimates the post-injection disruption window: from the
+// first disrupted probe (failed, or 5× the pre-fault median latency)
+// until the next probe that succeeds at normal latency again. Redial
+// time between probes is part of the outage, exactly as a client
+// experiences it.
+func computeOutage(points []Fig8Point, injected time.Duration) time.Duration {
+	var pre []time.Duration
+	for _, p := range points {
+		if p.OK && p.At < injected {
+			pre = append(pre, p.Latency)
+		}
+	}
+	if len(pre) == 0 {
+		return 0
+	}
+	// median by insertion sort (small N)
+	for i := 1; i < len(pre); i++ {
+		for j := i; j > 0 && pre[j] < pre[j-1]; j-- {
+			pre[j], pre[j-1] = pre[j-1], pre[j]
+		}
+	}
+	threshold := 5 * pre[len(pre)/2]
+	disrupted := func(p Fig8Point) bool { return !p.OK || p.Latency > threshold }
+	var first time.Duration
+	found := false
+	for _, p := range points {
+		if p.At < injected {
+			continue
+		}
+		if disrupted(p) {
+			if !found {
+				first = p.At
+				found = true
+			}
+			continue
+		}
+		if found {
+			// Recovered: service is answering at normal latency again.
+			return p.At - first
+		}
+	}
+	if !found {
+		return 0
+	}
+	// Never recovered within the window.
+	last := points[len(points)-1]
+	return last.At + last.Latency - first
+}
+
+// Render produces the Fig. 8 timeline.
+func (r *Fig8Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Fig. 8 — Redis GET latency across failure recovery (%d warm keys) ==\n", r.WarmKeys)
+	t := &table{headers: []string{"t (s)", "vampos latency", "fullreboot latency"}}
+	get := func(v Table5Variant) *Fig8Series {
+		for i := range r.Series {
+			if r.Series[i].Variant == v {
+				return &r.Series[i]
+			}
+		}
+		return nil
+	}
+	vo, fr := get(VariantVampOS), get(VariantFullReboot)
+	maxN := 0
+	if vo != nil && len(vo.Points) > maxN {
+		maxN = len(vo.Points)
+	}
+	if fr != nil && len(fr.Points) > maxN {
+		maxN = len(fr.Points)
+	}
+	cell := func(s *Fig8Series, i int) string {
+		if s == nil || i >= len(s.Points) {
+			return "-"
+		}
+		p := s.Points[i]
+		if !p.OK {
+			return "LOST"
+		}
+		return fmtDur(p.Latency)
+	}
+	for i := 0; i < maxN; i++ {
+		at := "-"
+		if vo != nil && i < len(vo.Points) {
+			at = fmt.Sprintf("%.1f", vo.Points[i].At.Seconds())
+		} else if fr != nil && i < len(fr.Points) {
+			at = fmt.Sprintf("%.1f", fr.Points[i].At.Seconds())
+		}
+		t.addRow(at, cell(vo, i), cell(fr, i))
+	}
+	b.WriteString(t.String())
+	if vo != nil && fr != nil {
+		fmt.Fprintf(&b, "  injection at t=%.1fs; disruption: vampos %s vs fullreboot %s\n",
+			vo.Injected.Seconds(), fmtDur(vo.Outage), fmtDur(fr.Outage))
+	}
+	return b.String()
+}

@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"vampos/internal/host"
+	"vampos/internal/sched"
+	"vampos/internal/unikernel"
+)
+
+// httpClient drives keep-alive GET requests against the Nginx app.
+type httpClient struct {
+	th   *sched.Thread
+	conn *host.PeerConn
+}
+
+func dialHTTP(s *unikernel.Sys, th *sched.Thread, peer *host.Peer, port int, timeout time.Duration) (*httpClient, error) {
+	conn, err := peer.Dial(th, uint16(port), timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &httpClient{th: th, conn: conn}, nil
+}
+
+// get fetches target and returns the body length, or an error on any
+// transport or protocol failure.
+func (c *httpClient) get(target string, timeout time.Duration) (int, error) {
+	req := "GET " + target + " HTTP/1.1\r\nHost: guest\r\n\r\n"
+	if err := c.conn.Send(c.th, []byte(req)); err != nil {
+		return 0, err
+	}
+	status, err := c.conn.RecvLine(c.th, timeout)
+	if err != nil {
+		return 0, err
+	}
+	if !strings.Contains(string(status), "200") {
+		return 0, fmt.Errorf("http status %q", strings.TrimSpace(string(status)))
+	}
+	clen := -1
+	for {
+		line, err := c.conn.RecvLine(c.th, timeout)
+		if err != nil {
+			return 0, err
+		}
+		hl := strings.TrimRight(string(line), "\r\n")
+		if hl == "" {
+			break
+		}
+		if strings.HasPrefix(strings.ToLower(hl), "content-length:") {
+			clen, err = strconv.Atoi(strings.TrimSpace(hl[len("content-length:"):]))
+			if err != nil {
+				return 0, err
+			}
+		}
+	}
+	if clen < 0 {
+		return 0, fmt.Errorf("http response without content-length")
+	}
+	if _, err := c.conn.RecvExactly(c.th, clen, timeout); err != nil {
+		return 0, err
+	}
+	return clen, nil
+}
+
+func (c *httpClient) close() { c.conn.Close(c.th) }
+
+// redisClient drives the line protocol against the Redis app.
+type redisClient struct {
+	th   *sched.Thread
+	conn *host.PeerConn
+}
+
+func dialRedis(s *unikernel.Sys, th *sched.Thread, peer *host.Peer, port int, timeout time.Duration) (*redisClient, error) {
+	conn, err := peer.Dial(th, uint16(port), timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &redisClient{th: th, conn: conn}, nil
+}
+
+// set issues SET key value.
+func (c *redisClient) set(key, value string, timeout time.Duration) error {
+	if err := c.conn.Send(c.th, []byte("SET "+key+" "+value+"\n")); err != nil {
+		return err
+	}
+	line, err := c.conn.RecvLine(c.th, timeout)
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(string(line), "+OK") {
+		return fmt.Errorf("SET reply %q", strings.TrimSpace(string(line)))
+	}
+	return nil
+}
+
+// get issues GET key and returns (value, found).
+func (c *redisClient) get(key string, timeout time.Duration) (string, bool, error) {
+	if err := c.conn.Send(c.th, []byte("GET "+key+"\n")); err != nil {
+		return "", false, err
+	}
+	head, err := c.conn.RecvLine(c.th, timeout)
+	if err != nil {
+		return "", false, err
+	}
+	h := strings.TrimRight(string(head), "\n")
+	if h == "$-1" {
+		return "", false, nil
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(h, "$"))
+	if err != nil {
+		return "", false, fmt.Errorf("GET header %q", h)
+	}
+	body, err := c.conn.RecvExactly(c.th, n+1, timeout)
+	if err != nil {
+		return "", false, err
+	}
+	return string(body[:n]), true, nil
+}
+
+func (c *redisClient) close() { c.conn.Close(c.th) }
+
+// echoClient bounces fixed-size messages off the Echo app.
+type echoClient struct {
+	th   *sched.Thread
+	conn *host.PeerConn
+}
+
+func dialEcho(s *unikernel.Sys, th *sched.Thread, peer *host.Peer, port int, timeout time.Duration) (*echoClient, error) {
+	conn, err := peer.Dial(th, uint16(port), timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &echoClient{th: th, conn: conn}, nil
+}
+
+func (c *echoClient) roundTrip(payload []byte, timeout time.Duration) error {
+	if err := c.conn.Send(c.th, payload); err != nil {
+		return err
+	}
+	_, err := c.conn.RecvExactly(c.th, len(payload), timeout)
+	return err
+}
+
+func (c *echoClient) close() { c.conn.Close(c.th) }

@@ -1,0 +1,212 @@
+// Package clock provides the time sources used throughout the VampOS
+// simulation.
+//
+// The simulation runs on a virtual clock so that protocol timeouts, hang
+// thresholds, rejuvenation intervals, and experiment timelines (e.g. the
+// Fig. 8 latency-per-second series) are deterministic and fast: time only
+// moves when the cooperative scheduler decides nothing is runnable, exactly
+// like a discrete-event simulator. Wall-clock measurements for the overhead
+// benchmarks are taken with the standard library directly and do not go
+// through this package.
+package clock
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is a readable time source.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+}
+
+// Epoch is the instant at which every Virtual clock starts. The concrete
+// value is arbitrary; experiments report durations, never absolute times.
+var Epoch = time.Date(2024, 6, 24, 0, 0, 0, 0, time.UTC)
+
+// Virtual is a manually advanced clock with an ordered set of pending
+// timers. The zero value is ready to use and reads Epoch.
+//
+// Virtual is safe for concurrent use, although in the cooperative
+// simulation only one goroutine is ever runnable at a time.
+type Virtual struct {
+	mu     sync.Mutex
+	offset time.Duration // elapsed since Epoch
+	timers timerHeap
+	nextID int64
+}
+
+// NewVirtual returns a virtual clock positioned at Epoch.
+func NewVirtual() *Virtual { return &Virtual{} }
+
+// Now returns Epoch plus all time advanced so far.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return Epoch.Add(v.offset)
+}
+
+// Elapsed returns the total virtual time advanced since Epoch.
+func (v *Virtual) Elapsed() time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.offset
+}
+
+// Advance moves the clock forward by d and fires, in deadline order, every
+// timer whose deadline has been reached. It returns the number of timers
+// fired. Advancing by a negative duration panics: the simulation never
+// travels backwards, and silently accepting it would corrupt every pending
+// deadline.
+func (v *Virtual) Advance(d time.Duration) int {
+	if d < 0 {
+		panic(fmt.Sprintf("clock: Advance(%v): negative duration", d))
+	}
+	v.mu.Lock()
+	target := v.offset + d
+	fired := 0
+	for len(v.timers) > 0 && v.timers[0].at <= target {
+		t := heap.Pop(&v.timers).(*Timer)
+		// Time reaches each deadline before its callback observes Now.
+		if t.at > v.offset {
+			v.offset = t.at
+		}
+		t.fired = true
+		cb := t.fn
+		v.mu.Unlock()
+		cb()
+		v.mu.Lock()
+		fired++
+	}
+	if target > v.offset {
+		v.offset = target
+	}
+	v.mu.Unlock()
+	return fired
+}
+
+// AdvanceToNext advances the clock to the next pending timer deadline and
+// fires every timer due at that instant. It reports whether any timer was
+// pending. The scheduler calls this when all threads are blocked.
+func (v *Virtual) AdvanceToNext() bool {
+	v.mu.Lock()
+	if len(v.timers) == 0 {
+		v.mu.Unlock()
+		return false
+	}
+	d := v.timers[0].at - v.offset
+	v.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	v.Advance(d)
+	return true
+}
+
+// NextDeadline returns the deadline of the earliest pending timer. The
+// second result is false when no timer is pending.
+func (v *Virtual) NextDeadline() (time.Time, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.timers) == 0 {
+		return time.Time{}, false
+	}
+	return Epoch.Add(v.timers[0].at), true
+}
+
+// PendingTimers returns the number of timers that have not yet fired or
+// been stopped.
+func (v *Virtual) PendingTimers() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.timers)
+}
+
+// Timer is a pending virtual-time callback created by AfterFunc.
+type Timer struct {
+	at    time.Duration // deadline as offset from Epoch
+	fn    func()
+	id    int64
+	index int // heap index, -1 once popped
+	fired bool
+	owner *Virtual
+}
+
+// AfterFunc registers fn to run once the clock has advanced d past the
+// current instant. The callback runs on the goroutine that calls Advance.
+// A non-positive d fires on the next Advance call (even Advance(0)).
+func (v *Virtual) AfterFunc(d time.Duration, fn func()) *Timer {
+	if fn == nil {
+		panic("clock: AfterFunc with nil callback")
+	}
+	if d < 0 {
+		d = 0
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.nextID++
+	t := &Timer{at: v.offset + d, fn: fn, id: v.nextID, owner: v}
+	heap.Push(&v.timers, t)
+	return t
+}
+
+// Stop cancels the timer and reports whether it was still pending. Stopping
+// an already-fired or already-stopped timer is a harmless no-op.
+func (t *Timer) Stop() bool {
+	if t == nil || t.owner == nil {
+		return false
+	}
+	v := t.owner
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if t.fired || t.index < 0 {
+		return false
+	}
+	heap.Remove(&v.timers, t.index)
+	t.index = -1
+	return true
+}
+
+// timerHeap orders timers by deadline, breaking ties by creation order so
+// that equal-deadline callbacks fire in registration order.
+type timerHeap []*Timer
+
+func (h timerHeap) Len() int { return len(h) }
+
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].id < h[j].id
+}
+
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *timerHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// Wall is a Clock backed by the real system clock.
+type Wall struct{}
+
+// Now returns the current wall-clock time.
+func (Wall) Now() time.Time { return time.Now() }

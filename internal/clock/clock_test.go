@@ -1,0 +1,211 @@
+package clock
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestVirtualZeroValueReadsEpoch(t *testing.T) {
+	var v Virtual
+	if got := v.Now(); !got.Equal(Epoch) {
+		t.Fatalf("Now() = %v, want %v", got, Epoch)
+	}
+	if v.Elapsed() != 0 {
+		t.Fatalf("Elapsed() = %v, want 0", v.Elapsed())
+	}
+}
+
+func TestAdvanceMovesNow(t *testing.T) {
+	v := NewVirtual()
+	v.Advance(3 * time.Second)
+	v.Advance(250 * time.Millisecond)
+	want := Epoch.Add(3*time.Second + 250*time.Millisecond)
+	if got := v.Now(); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewVirtual().Advance(-time.Nanosecond)
+}
+
+func TestAfterFuncFiresAtDeadline(t *testing.T) {
+	v := NewVirtual()
+	var firedAt time.Time
+	v.AfterFunc(10*time.Millisecond, func() { firedAt = v.Now() })
+
+	if n := v.Advance(9 * time.Millisecond); n != 0 {
+		t.Fatalf("fired %d timers before deadline", n)
+	}
+	if n := v.Advance(time.Millisecond); n != 1 {
+		t.Fatalf("fired %d timers at deadline, want 1", n)
+	}
+	if want := Epoch.Add(10 * time.Millisecond); !firedAt.Equal(want) {
+		t.Fatalf("callback saw Now()=%v, want %v", firedAt, want)
+	}
+}
+
+func TestAfterFuncZeroDelayFiresOnNextAdvance(t *testing.T) {
+	v := NewVirtual()
+	fired := false
+	v.AfterFunc(0, func() { fired = true })
+	v.Advance(0)
+	if !fired {
+		t.Fatal("zero-delay timer did not fire on Advance(0)")
+	}
+}
+
+func TestTimersFireInDeadlineOrder(t *testing.T) {
+	v := NewVirtual()
+	var order []int
+	v.AfterFunc(30*time.Millisecond, func() { order = append(order, 3) })
+	v.AfterFunc(10*time.Millisecond, func() { order = append(order, 1) })
+	v.AfterFunc(20*time.Millisecond, func() { order = append(order, 2) })
+	v.Advance(time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fire order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestEqualDeadlinesFireInRegistrationOrder(t *testing.T) {
+	v := NewVirtual()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		v.AfterFunc(time.Millisecond, func() { order = append(order, i) })
+	}
+	v.Advance(time.Millisecond)
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestStopCancelsPendingTimer(t *testing.T) {
+	v := NewVirtual()
+	fired := false
+	timer := v.AfterFunc(time.Millisecond, func() { fired = true })
+	if !timer.Stop() {
+		t.Fatal("Stop() = false for pending timer")
+	}
+	if timer.Stop() {
+		t.Fatal("second Stop() = true, want false")
+	}
+	v.Advance(time.Second)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestStopAfterFireReturnsFalse(t *testing.T) {
+	v := NewVirtual()
+	timer := v.AfterFunc(time.Millisecond, func() {})
+	v.Advance(time.Millisecond)
+	if timer.Stop() {
+		t.Fatal("Stop() = true after timer fired")
+	}
+}
+
+func TestStopNilTimerIsNoOp(t *testing.T) {
+	var timer *Timer
+	if timer.Stop() {
+		t.Fatal("Stop on nil timer returned true")
+	}
+}
+
+func TestAdvanceToNext(t *testing.T) {
+	v := NewVirtual()
+	if v.AdvanceToNext() {
+		t.Fatal("AdvanceToNext() = true with no timers")
+	}
+	fired := false
+	v.AfterFunc(42*time.Millisecond, func() { fired = true })
+	if !v.AdvanceToNext() {
+		t.Fatal("AdvanceToNext() = false with a pending timer")
+	}
+	if !fired {
+		t.Fatal("timer did not fire")
+	}
+	if got, want := v.Elapsed(), 42*time.Millisecond; got != want {
+		t.Fatalf("Elapsed() = %v, want %v", got, want)
+	}
+}
+
+func TestNextDeadline(t *testing.T) {
+	v := NewVirtual()
+	if _, ok := v.NextDeadline(); ok {
+		t.Fatal("NextDeadline reported a deadline with no timers")
+	}
+	v.AfterFunc(5*time.Millisecond, func() {})
+	dl, ok := v.NextDeadline()
+	if !ok {
+		t.Fatal("NextDeadline() not ok with pending timer")
+	}
+	if want := Epoch.Add(5 * time.Millisecond); !dl.Equal(want) {
+		t.Fatalf("NextDeadline() = %v, want %v", dl, want)
+	}
+}
+
+func TestTimerCallbackMayRegisterTimers(t *testing.T) {
+	v := NewVirtual()
+	secondFired := false
+	v.AfterFunc(time.Millisecond, func() {
+		v.AfterFunc(time.Millisecond, func() { secondFired = true })
+	})
+	v.Advance(2 * time.Millisecond)
+	if !secondFired {
+		t.Fatal("timer registered from a callback did not fire")
+	}
+}
+
+func TestPendingTimers(t *testing.T) {
+	v := NewVirtual()
+	a := v.AfterFunc(time.Millisecond, func() {})
+	v.AfterFunc(2*time.Millisecond, func() {})
+	if got := v.PendingTimers(); got != 2 {
+		t.Fatalf("PendingTimers() = %d, want 2", got)
+	}
+	a.Stop()
+	if got := v.PendingTimers(); got != 1 {
+		t.Fatalf("PendingTimers() = %d after Stop, want 1", got)
+	}
+	v.Advance(time.Second)
+	if got := v.PendingTimers(); got != 0 {
+		t.Fatalf("PendingTimers() = %d after Advance, want 0", got)
+	}
+}
+
+// Property: for any sequence of non-negative advances, Elapsed equals
+// their sum, regardless of interleaved timer registrations.
+func TestAdvanceSumProperty(t *testing.T) {
+	f := func(steps []uint16) bool {
+		v := NewVirtual()
+		var sum time.Duration
+		for _, s := range steps {
+			d := time.Duration(s) * time.Microsecond
+			v.AfterFunc(d/2, func() {})
+			v.Advance(d)
+			sum += d
+		}
+		return v.Elapsed() == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWallClockAdvances(t *testing.T) {
+	var w Wall
+	a := w.Now()
+	b := w.Now()
+	if b.Before(a) {
+		t.Fatalf("wall clock went backwards: %v then %v", a, b)
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"vampos/internal/mem"
+	"vampos/internal/msg"
+)
+
+// Handler is one function a component exposes at its interface. Handlers
+// run on the component's thread (or on the caller's thread in vanilla /
+// merged configurations) and must not retain args past their return.
+type Handler func(ctx *Ctx, args msg.Args) (msg.Args, error)
+
+// Descriptor declares a component's static properties to the runtime.
+type Descriptor struct {
+	// Name is the component's registration name ("vfs", "lwip", …).
+	Name string
+	// Stateful components get function-call logging, checkpointing and
+	// encapsulated restoration; stateless ones reboot by plain re-init.
+	Stateful bool
+	// Checkpoint selects checkpoint-based initialization (§V-E): restore
+	// the post-boot memory image instead of re-running Init, for
+	// components whose Init has side effects on other components.
+	Checkpoint bool
+	// Unrebootable marks components whose state is shared with the host
+	// (VIRTIO): the reboot manager refuses to restart them (§VIII).
+	Unrebootable bool
+	// HeapPages is the component arena size in pages (power of two).
+	HeapPages int
+	// DomainPages is the message-domain size in pages (power of two).
+	DomainPages int
+	// Deps lists the components this one sends messages to; the
+	// dependency-aware scheduler derives its correlation from the actual
+	// message flow, so Deps is documentation plus Table I metadata.
+	Deps []string
+}
+
+// Component is one unikernel component (Table I).
+type Component interface {
+	// Describe returns the component's static descriptor. It must be
+	// constant for the component's lifetime.
+	Describe() Descriptor
+	// Init boots the component. It runs on the component's own thread
+	// and may call already-booted components through ctx.
+	Init(ctx *Ctx) error
+	// Exports returns the component's message interface. The returned
+	// map must be constant for the component's lifetime.
+	Exports() map[string]Handler
+}
+
+// StateSaver is implemented by stateful components whose control state
+// (fd tables, socket tables…) lives in Go structs rather than the arena;
+// the checkpoint mechanism saves and restores it alongside the memory
+// snapshot.
+type StateSaver interface {
+	// SaveState serialises control state.
+	SaveState() ([]byte, error)
+	// RestoreState replaces control state from a SaveState blob.
+	RestoreState(p []byte) error
+}
+
+// ColdResetter is implemented by components that keep control state in Go
+// structs but reboot by cold re-init: the reboot manager calls Reset
+// before re-running Init so no aged state survives.
+type ColdResetter interface {
+	Reset()
+}
+
+// LogPolicy describes how one exported function is logged for
+// encapsulated restoration.
+type LogPolicy struct {
+	// Classify maps a completed call to its session and shrink class.
+	// It sees the arguments, results and transported error. A nil
+	// Classify logs the call as durable with no session.
+	Classify func(args, rets msg.Args, callErr error) (msg.SessionID, msg.Class)
+	// KeepFailed retains records of calls that returned an error. The
+	// default (false) drops them: a failed call changed no state, and
+	// polling patterns (EAGAIN accept/recv) would otherwise flood the log.
+	KeepFailed bool
+}
+
+// LogPolicyProvider is implemented by stateful components. Only functions
+// present in the returned map are logged; state-unchanged functions
+// (fstat-style reads) are simply omitted, which is the paper's "skip
+// functions that do not change the component states".
+type LogPolicyProvider interface {
+	LogPolicies() map[string]LogPolicy
+}
+
+// Compactor is implemented by components that support threshold-driven
+// log compaction (§V-F): when the log exceeds the configured threshold
+// the runtime invokes CompactLog, which may replace entry runs with
+// synthetic state-install entries.
+type Compactor interface {
+	CompactLog(log *msg.Log) error
+}
+
+// RuntimeKeeper is implemented by components that must persist runtime
+// data that replay cannot regenerate — the paper's LWIP sequence/ACK
+// numbers. The component pushes updates with Ctx.SaveRuntimeState; after
+// replay the reboot manager hands the latest value to InstallRuntimeState.
+type RuntimeKeeper interface {
+	InstallRuntimeState(ctx *Ctx, state msg.Args) error
+}
+
+// Durable is the classification for calls that stay in the log until
+// their session disappears. Exported so component policies read naturally.
+func Durable(msg.Args, msg.Args, error) (msg.SessionID, msg.Class) {
+	return "", msg.ClassDurable
+}
+
+// component is the runtime's per-component record.
+type component struct {
+	comp     Component
+	desc     Descriptor
+	exports  map[string]Handler
+	policies map[string]LogPolicy
+	group    *group
+
+	heapBase  mem.Addr
+	heapPages int
+	heap      *mem.Buddy
+	domain    *msg.Domain
+
+	checkpoint   *checkpoint
+	runtimeState msg.Args
+
+	// fallback is the §VIII multi-version alternate implementation.
+	fallback     Component
+	fallbackUsed bool
+
+	failures uint64
+	reboots  uint64
+}
+
+// checkpoint is the post-init image used by checkpoint-based
+// initialization.
+type checkpoint struct {
+	memSnap *mem.Snapshot
+	heap    *mem.Buddy // allocator metadata at snapshot time; cloned on use
+	control []byte
+	takenAt time.Time
+}
+
+// group is a scheduling unit: one thread, one protection key, one
+// mailbox. An unmerged component forms a singleton group; merging (§V-F)
+// puts several components into one group.
+type group struct {
+	name    string
+	members []*component
+	key     mem.Key
+	mailbox *msg.Domain
+
+	worker      *workerThread
+	rebooting   bool
+	currentSeq  uint64 // seq of the call being handled, 0 if idle
+	busySinceV  time.Duration
+	failedTwice bool // deterministic fault: fail-stop (§II-B)
+
+	// curRec/curLog locate the log record of the inbound call the group
+	// is currently handling; outbound return values append there.
+	curRec *msg.Record
+	curLog *msg.Log
+
+	// reboot bookkeeping for the RebootRecord emitted on completion
+	rebootReason string
+	rebootStartV time.Duration
+	rebootStartW time.Time
+
+	// failStopNotified marks that the graceful-termination handler ran.
+	failStopNotified bool
+}
+
+func (g *group) member(name string) *component {
+	for _, c := range g.members {
+		if c.desc.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+func (g *group) String() string { return fmt.Sprintf("group(%s)", g.name) }

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"time"
+)
+
+// SchedPolicy selects the component-thread scheduling policy.
+type SchedPolicy uint8
+
+// Scheduling policies (paper §V-C).
+const (
+	// PolicyRoundRobin rotates through every ready thread; idle
+	// components poll their mailboxes. This is the VampOS-Noop baseline.
+	PolicyRoundRobin SchedPolicy = iota + 1
+	// PolicyDependencyAware prefers the message thread and the message's
+	// receiver at every hop; idle components block instead of polling.
+	PolicyDependencyAware
+)
+
+func (p SchedPolicy) String() string {
+	switch p {
+	case PolicyRoundRobin:
+		return "round-robin"
+	case PolicyDependencyAware:
+		return "dependency-aware"
+	default:
+		return "unknown"
+	}
+}
+
+// Config selects a runtime configuration. The paper's five experimental
+// configurations map onto it via the constructors below.
+type Config struct {
+	// MessagePassing turns on component threads, message domains,
+	// logging and protection. Off, the runtime is vanilla Unikraft:
+	// direct function calls on the caller's context.
+	MessagePassing bool
+	// Policy selects the scheduler policy (message-passing mode only).
+	Policy SchedPolicy
+	// Merges lists component groups that share one thread, one key and
+	// one mailbox (§V-F). Each inner slice is one merged group.
+	Merges [][]string
+	// LogShrinkThreshold triggers component log compaction when a log
+	// exceeds this many entries. The paper's default is 100.
+	LogShrinkThreshold int
+	// LogShrinkEnabled turns session-aware shrinking on. The Table III
+	// "normal" column is measured with it off.
+	LogShrinkEnabled bool
+	// HangThreshold is how long one inbound call may execute before the
+	// watchdog declares the component hung. The paper uses 1.0 s.
+	HangThreshold time.Duration
+	// WatchdogPeriod is the hang-detector scan interval (virtual time).
+	WatchdogPeriod time.Duration
+	// MemorySize is the guest address space size in bytes.
+	MemorySize int64
+	// DefaultHeapPages / DefaultDomainPages size component arenas when a
+	// descriptor leaves them zero. Both must be powers of two.
+	DefaultHeapPages   int
+	DefaultDomainPages int
+	// CallRetry is how many times a call interrupted by the target's
+	// reboot is transparently re-submitted (the fault model replays the
+	// same input once; a second failure is treated as deterministic).
+	CallRetry int
+	// MaxVirtualTime aborts the simulation when the virtual clock passes
+	// it — a backstop against livelocked experiments. Zero disables.
+	MaxVirtualTime time.Duration
+}
+
+// Defaults mirrored from the paper's prototype.
+const (
+	DefaultLogShrinkThreshold = 100
+	DefaultHangThreshold      = 1 * time.Second
+	DefaultWatchdogPeriod     = 100 * time.Millisecond
+	DefaultMemorySize         = 512 << 20
+	DefaultHeapPages          = 1024 // 4 MiB arenas
+	DefaultDomainPages        = 256  // 1 MiB message domains
+)
+
+// fill replaces zero fields with defaults.
+func (c Config) fill() Config {
+	if c.Policy == 0 {
+		c.Policy = PolicyDependencyAware
+	}
+	if c.LogShrinkThreshold == 0 {
+		c.LogShrinkThreshold = DefaultLogShrinkThreshold
+	}
+	if c.HangThreshold == 0 {
+		c.HangThreshold = DefaultHangThreshold
+	}
+	if c.WatchdogPeriod == 0 {
+		c.WatchdogPeriod = DefaultWatchdogPeriod
+	}
+	if c.MemorySize == 0 {
+		c.MemorySize = DefaultMemorySize
+	}
+	if c.DefaultHeapPages == 0 {
+		c.DefaultHeapPages = DefaultHeapPages
+	}
+	if c.DefaultDomainPages == 0 {
+		c.DefaultDomainPages = DefaultDomainPages
+	}
+	if c.CallRetry == 0 {
+		c.CallRetry = 1
+	}
+	if c.MaxVirtualTime == 0 {
+		c.MaxVirtualTime = 24 * time.Hour
+	}
+	return c
+}
+
+// VanillaConfig is the baseline: direct calls, no logging, no isolation,
+// modelling unmodified Unikraft.
+func VanillaConfig() Config {
+	return Config{MessagePassing: false, LogShrinkEnabled: false}.fill()
+}
+
+// NoopConfig is VampOS-Noop: message passing under round-robin
+// scheduling with polling components.
+func NoopConfig() Config {
+	return Config{
+		MessagePassing:   true,
+		Policy:           PolicyRoundRobin,
+		LogShrinkEnabled: true,
+	}.fill()
+}
+
+// DaSConfig is VampOS-DaS: Noop plus dependency-aware scheduling.
+func DaSConfig() Config {
+	return Config{
+		MessagePassing:   true,
+		Policy:           PolicyDependencyAware,
+		LogShrinkEnabled: true,
+	}.fill()
+}
+
+// FSmConfig is VampOS-FSm: DaS with the file-system components (VFS and
+// 9PFS) merged into one group.
+func FSmConfig() Config {
+	c := DaSConfig()
+	c.Merges = [][]string{{"vfs", "9pfs"}}
+	return c
+}
+
+// NETmConfig is VampOS-NETm: DaS with the network components (LWIP and
+// NETDEV) merged into one group.
+func NETmConfig() Config {
+	c := DaSConfig()
+	c.Merges = [][]string{{"lwip", "netdev"}}
+	return c
+}

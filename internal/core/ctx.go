@@ -1,0 +1,114 @@
+package core
+
+import (
+	"time"
+
+	"vampos/internal/mem"
+	"vampos/internal/msg"
+	"vampos/internal/sched"
+)
+
+// Ctx is the execution context handed to component handlers and
+// application threads. It carries the identity of the executing component
+// (nil for application code), the simulated thread, and — during
+// encapsulated restoration — the replay state that feeds logged return
+// values back instead of calling other components.
+type Ctx struct {
+	rt      *Runtime
+	comp    *component
+	th      *sched.Thread
+	replay  *replayState
+	appName string
+}
+
+// replayState drives one record's replay during encapsulated restoration.
+type replayState struct {
+	grp *group
+	rec *msg.RecordView
+	idx int
+	// diverged records a log mismatch even if the component swallows the
+	// error: the restore must not be trusted after one.
+	diverged *ReplayDivergenceError
+}
+
+// Runtime returns the owning runtime.
+func (c *Ctx) Runtime() *Runtime { return c.rt }
+
+// Mem returns the protection-checked memory accessor of the current
+// thread. All arena data accesses must go through it.
+func (c *Ctx) Mem() *mem.Accessor { return c.th.Accessor() }
+
+// Heap returns the executing component's arena allocator, or the
+// application heap for application threads (nil until EnsureAppHeap).
+func (c *Ctx) Heap() *mem.Buddy {
+	if c.comp != nil {
+		return c.comp.heap
+	}
+	return c.rt.appHeap
+}
+
+// Now returns the current virtual time.
+func (c *Ctx) Now() time.Time { return c.rt.clk.Now() }
+
+// Elapsed returns virtual time since boot.
+func (c *Ctx) Elapsed() time.Duration { return c.rt.clk.Elapsed() }
+
+// Sleep suspends the thread for d of virtual time.
+func (c *Ctx) Sleep(d time.Duration) { c.th.Sleep(d) }
+
+// Yield gives up the CPU until the scheduler comes back around.
+func (c *Ctx) Yield() { c.th.Yield() }
+
+// InReplay reports whether the context is executing an encapsulated
+// restoration replay.
+func (c *Ctx) InReplay() bool { return c.replay != nil }
+
+// ReplayRets returns the results the replayed call produced originally.
+// Handlers that allocate externally visible resource numbers (fds, fids)
+// consult it so the replayed allocation reproduces the original number
+// exactly, regardless of how the log was shrunk since.
+func (c *Ctx) ReplayRets() (msg.Args, bool) {
+	if c.replay == nil {
+		return nil, false
+	}
+	return c.replay.rec.Rets, true
+}
+
+// callerName identifies this context in messages and logs.
+func (c *Ctx) callerName() string {
+	if c.comp != nil {
+		return c.comp.desc.Name
+	}
+	if c.appName != "" {
+		return c.appName
+	}
+	return "app"
+}
+
+// Go spawns an additional application thread running fn. It is how the
+// workloads create their 25 Nginx workers or per-connection handlers.
+func (c *Ctx) Go(name string, fn func(*Ctx)) *sched.Thread {
+	pkru := mem.PKRU(mem.AllowAll)
+	if c.rt.cfg.MessagePassing {
+		pkru = mem.Allow(keyApp)
+	}
+	return c.rt.sch.Spawn(name, pkru, func(t *sched.Thread) {
+		fn(&Ctx{rt: c.rt, th: t, appName: name})
+	})
+}
+
+// SaveRuntimeState records component runtime data that log replay cannot
+// regenerate (the paper's LWIP TCP sequence/ACK numbers). Each call
+// replaces the previous state; the reboot manager hands the latest value
+// to RuntimeKeeper.InstallRuntimeState after replay. Calls made during
+// replay are ignored so restoration cannot clobber the very state it is
+// restoring from.
+func (c *Ctx) SaveRuntimeState(state msg.Args) {
+	if c.comp == nil || c.replay != nil {
+		return
+	}
+	c.comp.runtimeState = state
+}
+
+// Thread exposes the underlying simulated thread (for host integration).
+func (c *Ctx) Thread() *sched.Thread { return c.th }

@@ -1,0 +1,111 @@
+// Package core implements the VampOS runtime: message-passing component
+// interaction (§V-A), encapsulated restoration (§V-B), dependency-aware
+// scheduling (§V-C), component-level protection domains (§V-D),
+// checkpoint-based initialization (§V-E), component merging and
+// session-aware log shrinking (§V-F), plus the failure detectors and the
+// reboot manager that tie them together.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errno is a POSIX-flavoured error that survives the message-passing
+// boundary: handler errors are carried between components as strings and
+// rehydrated as Errno values, so expected conditions (EAGAIN, ENOENT…)
+// stay comparable with errors.Is across component reboots and replays.
+type Errno string
+
+// Error implements error.
+func (e Errno) Error() string { return string(e) }
+
+// Common errnos used by the component interfaces.
+const (
+	EAGAIN       Errno = "EAGAIN"
+	EBADF        Errno = "EBADF"
+	EEXIST       Errno = "EEXIST"
+	EINVAL       Errno = "EINVAL"
+	EISDIR       Errno = "EISDIR"
+	ENFILE       Errno = "ENFILE"
+	ENOENT       Errno = "ENOENT"
+	ENOSPC       Errno = "ENOSPC"
+	ENOSYS       Errno = "ENOSYS"
+	ENOTDIR      Errno = "ENOTDIR"
+	ENOTEMPTY    Errno = "ENOTEMPTY"
+	ENOTCONN     Errno = "ENOTCONN"
+	ECONNRESET   Errno = "ECONNRESET"
+	ECONNREFUSED Errno = "ECONNREFUSED"
+	EPIPE        Errno = "EPIPE"
+	EADDRINUSE   Errno = "EADDRINUSE"
+	EMSGSIZE     Errno = "EMSGSIZE"
+	EIO          Errno = "EIO"
+)
+
+// Sentinel errors surfaced by the runtime itself.
+var (
+	// ErrComponentRebooted reports that the target component failed (or
+	// was proactively rebooted) while handling the call. Call retries
+	// such failures once transparently — re-executing the same input, as
+	// the paper's fault model prescribes — before surfacing this error.
+	ErrComponentRebooted = errors.New("core: component rebooted during call")
+
+	// ErrComponentFailed reports a component that failed again right
+	// after a reboot: the deterministic-fault fail-stop of §II-B.
+	ErrComponentFailed = errors.New("core: component failed permanently")
+
+	// ErrUnrebootable reports an attempt to reboot a component whose
+	// state is shared with the host (VIRTIO, §VIII).
+	ErrUnrebootable = errors.New("core: component is unrebootable")
+
+	// ErrStopped reports that the runtime is shutting down.
+	ErrStopped = errors.New("core: runtime stopped")
+)
+
+// UnknownComponentError reports a call to a component that was never
+// registered in this unikernel configuration.
+type UnknownComponentError struct{ Name string }
+
+func (e *UnknownComponentError) Error() string {
+	return fmt.Sprintf("core: unknown component %q", e.Name)
+}
+
+// UnknownFunctionError reports a call to a function the target component
+// does not export.
+type UnknownFunctionError struct{ Component, Fn string }
+
+func (e *UnknownFunctionError) Error() string {
+	return fmt.Sprintf("core: component %q does not export %q", e.Component, e.Fn)
+}
+
+// ReplayDivergenceError reports that during encapsulated restoration a
+// component issued an outbound call that does not match the logged one —
+// the log can no longer restore this component consistently.
+type ReplayDivergenceError struct {
+	Component  string
+	WantTarget string
+	WantFn     string
+	GotTarget  string
+	GotFn      string
+}
+
+func (e *ReplayDivergenceError) Error() string {
+	return fmt.Sprintf("core: replay of %q diverged: logged outbound %s.%s, component issued %s.%s",
+		e.Component, e.WantTarget, e.WantFn, e.GotTarget, e.GotFn)
+}
+
+// errnoString flattens a handler error for transport; empty means nil.
+func errnoString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// errnoFromString rehydrates a transported error.
+func errnoFromString(s string) error {
+	if s == "" {
+		return nil
+	}
+	return Errno(s)
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"vampos/internal/mem"
+)
+
+// memAddr narrows a raw address back to the arena address type.
+func memAddr(a uint64) mem.Addr { return mem.Addr(a) }
+
+// FaultKind selects the injected failure mode (paper §II-B fault model).
+type FaultKind uint8
+
+// Injectable fault kinds.
+const (
+	// FaultCrash panics inside the handler: a fail-stop crash (invalid
+	// pointer dereference, assertion, panic()).
+	FaultCrash FaultKind = iota + 1
+	// FaultHang parks the handler forever: a deadlock/livelock the hang
+	// detector must catch.
+	FaultHang
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "crash"
+	case FaultHang:
+		return "hang"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", uint8(k))
+	}
+}
+
+type armedFault struct {
+	kind  FaultKind
+	count int // invocations remaining before the fault disarms
+}
+
+// ArmFault arms a one-shot fault on the next invocation of fn on the
+// component. Faults trigger in both message-passing and vanilla modes;
+// in vanilla mode a crash takes down the whole image (there is no
+// component boundary to contain it), which is exactly the baseline
+// behaviour the paper's recovery comparison needs.
+func (rt *Runtime) ArmFault(component, fn string, kind FaultKind) error {
+	c, ok := rt.comps[component]
+	if !ok {
+		return &UnknownComponentError{Name: component}
+	}
+	if _, ok := c.exports[fn]; !ok {
+		return &UnknownFunctionError{Component: component, Fn: fn}
+	}
+	if rt.armed == nil {
+		rt.armed = make(map[string]*armedFault)
+	}
+	rt.armed[component+"."+fn] = &armedFault{kind: kind, count: 1}
+	return nil
+}
+
+// checkFault fires an armed fault for the invocation, if any.
+func (rt *Runtime) checkFault(ctx *Ctx, component, fn string) {
+	if rt.armed == nil || ctx.InReplay() {
+		return
+	}
+	f, ok := rt.armed[component+"."+fn]
+	if !ok {
+		return
+	}
+	f.count--
+	if f.count <= 0 {
+		delete(rt.armed, component+"."+fn)
+	}
+	switch f.kind {
+	case FaultCrash:
+		panic(fmt.Sprintf("injected %v in %s.%s", f.kind, component, fn))
+	case FaultHang:
+		for {
+			ctx.Sleep(10 * time.Second)
+		}
+	}
+}
+
+// ComponentHeap exposes a component's arena allocator for fault
+// injection (leaks) and aging observation.
+func (rt *Runtime) ComponentHeap(name string) (Heap, bool) {
+	c, ok := rt.comps[name]
+	if !ok || c.heap == nil {
+		return nil, false
+	}
+	return &componentHeap{rt: rt, c: c}, true
+}
+
+// Heap is a stable handle onto a component's current arena allocator.
+// The underlying allocator object changes across reboots (restores clone
+// a fresh one), so the handle re-resolves on every call.
+type Heap interface {
+	// Alloc reserves n bytes in the component arena.
+	Alloc(n int64) (uint64, error)
+	// Free releases a block.
+	Free(addr uint64) error
+	// Stats returns the allocator statistics.
+	Stats() HeapStats
+}
+
+// HeapStats mirrors mem.BuddyStats for external consumers.
+type HeapStats struct {
+	TotalBytes       int64
+	AllocatedBytes   int64
+	FreeBytes        int64
+	LiveAllocs       int
+	FailedAllocs     uint64
+	LargestFreeBlock int64
+	Fragmentation    float64
+}
+
+type componentHeap struct {
+	rt *Runtime
+	c  *component
+}
+
+func (h *componentHeap) Alloc(n int64) (uint64, error) {
+	a, err := h.c.heap.Alloc(n)
+	return uint64(a), err
+}
+
+func (h *componentHeap) Free(addr uint64) error {
+	return h.c.heap.Free(memAddr(addr))
+}
+
+func (h *componentHeap) Stats() HeapStats {
+	s := h.c.heap.Stats()
+	return HeapStats{
+		TotalBytes:       s.TotalBytes,
+		AllocatedBytes:   s.AllocatedBytes,
+		FreeBytes:        s.FreeBytes,
+		LiveAllocs:       s.LiveAllocs,
+		FailedAllocs:     s.FailedAllocs,
+		LargestFreeBlock: s.LargestFreeBlock,
+		Fragmentation:    s.ExternalFragmentation(),
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"vampos/internal/mem"
+	"vampos/internal/sched"
+)
+
+// FullRestartStats describes one whole-image restart.
+type FullRestartStats struct {
+	VirtualDuration time.Duration
+	WallDuration    time.Duration
+	At              time.Time
+}
+
+// FullRestart is the baseline the paper compares against: the regular
+// reboot that restarts the whole unikernel image. Every component is
+// torn down and re-initialised from scratch, all logs and runtime state
+// are discarded, and every in-flight call fails. Unlike VampOS's
+// component-level reboot nothing is restored — the application layer is
+// expected to rebuild its own state (e.g. Redis reloading its AOF)
+// after the instance comes back.
+//
+// It must be called from an application/controller thread that is not
+// itself waiting on any component call. The caller is responsible for
+// having stopped the application threads first.
+func (rt *Runtime) FullRestart(c *Ctx) error {
+	if !rt.booted {
+		return fmt.Errorf("core: FullRestart before Boot")
+	}
+	startV := rt.clk.Elapsed()
+	startW := time.Now()
+
+	if rt.cfg.MessagePassing {
+		// Fail everything in flight; queued mailbox work dies with it.
+		for _, pc := range rt.pending {
+			if !pc.done {
+				rt.finishCall(pc, nil, errnoString(ErrStopped))
+			}
+		}
+		rt.mq = nil
+		for _, g := range rt.groups {
+			if g.worker != nil && g.worker.t.State() != sched.StateDone {
+				g.worker.t.Kill()
+			}
+			g.rebooting = false
+			g.failedTwice = false
+			g.currentSeq = 0
+			g.curRec, g.curLog = nil, nil
+		}
+	}
+	// Scrub every component: memory, allocators, logs, runtime state.
+	for _, comp := range rt.order {
+		if err := rt.memry.Zero(comp.heapBase, comp.heapPages*mem.PageSize); err != nil {
+			return err
+		}
+		heap, err := mem.NewBuddy(comp.heapBase, int64(comp.heapPages)*mem.PageSize)
+		if err != nil {
+			return err
+		}
+		comp.heap = heap
+		comp.domain.DropQueued()
+		comp.domain.Log().Reset()
+		comp.runtimeState = nil
+		comp.checkpoint = nil
+		if cr, ok := comp.comp.(ColdResetter); ok {
+			cr.Reset()
+		}
+	}
+	// Reset the application heap as well: the whole image restarts.
+	if rt.appHeap != nil {
+		if err := rt.memry.Zero(rt.appHeapBase, rt.appHeapPages*mem.PageSize); err != nil {
+			return err
+		}
+		heap, err := mem.NewBuddy(rt.appHeapBase, int64(rt.appHeapPages)*mem.PageSize)
+		if err != nil {
+			return err
+		}
+		rt.appHeap = heap
+	}
+	// Re-initialise in boot order, re-taking checkpoints.
+	if rt.cfg.MessagePassing {
+		for _, g := range rt.groups {
+			rt.spawnWorker(g, false)
+		}
+		rt.bootThread = c.th
+		for _, g := range rt.groups {
+			for _, comp := range g.members {
+				if err := rt.initComponentMP(c.th, g, comp); err != nil {
+					return fmt.Errorf("core: full restart init %q: %w", comp.desc.Name, err)
+				}
+			}
+		}
+	} else {
+		for _, comp := range rt.order {
+			ctx := &Ctx{rt: rt, comp: comp, th: c.th}
+			if err := comp.comp.Init(ctx); err != nil {
+				return fmt.Errorf("core: full restart init %q: %w", comp.desc.Name, err)
+			}
+		}
+	}
+	rt.fullRestarts = append(rt.fullRestarts, FullRestartStats{
+		VirtualDuration: rt.clk.Elapsed() - startV,
+		WallDuration:    time.Since(startW),
+		At:              rt.clk.Now(),
+	})
+	return nil
+}
+
+// FullRestarts returns the record of whole-image restarts.
+func (rt *Runtime) FullRestarts() []FullRestartStats {
+	out := make([]FullRestartStats, len(rt.fullRestarts))
+	copy(out, rt.fullRestarts)
+	return out
+}

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"vampos/internal/msg"
+	"vampos/internal/sched"
+)
+
+// pendingCall tracks one in-flight cross-component call.
+type pendingCall struct {
+	seq     uint64
+	from    string
+	fromGrp *group // nil for application callers
+	to      *component
+	fn      string
+	args    msg.Args
+	caller  *sched.Thread
+	rec     *msg.Record // inbound log record, nil when not logged
+
+	done     bool
+	rets     msg.Args
+	errStr   string
+	rebooted bool // failed because the target rebooted: retryable once
+	noReply  bool // fire-and-forget injection
+}
+
+// mqKind selects the message-thread work item type.
+type mqKind uint8
+
+const (
+	mqPush mqKind = iota + 1
+	mqReply
+	mqFailure
+)
+
+// mqItem is one unit of message-thread work.
+type mqItem struct {
+	kind   mqKind
+	pc     *pendingCall
+	rets   msg.Args
+	errStr string
+	grp    *group // mqFailure
+	seq    uint64 // mqFailure: seq in flight when the component died
+	reason string
+}
+
+// submit hands an item to the message thread.
+func (rt *Runtime) submit(it mqItem) {
+	rt.mq = append(rt.mq, it)
+	if rt.msgThread != nil {
+		rt.msgThread.Wake()
+		rt.sch.Hint(rt.msgThread)
+	}
+}
+
+// Call invokes fn on the target component. In vanilla mode (and within a
+// merged group) this is a direct function call on the caller's context;
+// otherwise the call becomes a message: the message thread stores the
+// arguments in the target's message domain (logging them if the target's
+// policy asks), the target's thread executes the function, and the
+// message thread carries the results back (logging them into the
+// caller's record when the caller is a logged component).
+func (c *Ctx) Call(target, fn string, args ...any) (msg.Args, error) {
+	rt := c.rt
+	tc, ok := rt.comps[target]
+	if !ok {
+		return nil, &UnknownComponentError{Name: target}
+	}
+	// During encapsulated restoration, calls leaving the rebooting group
+	// are answered from the log instead of disturbing running components.
+	if c.replay != nil && tc.group != c.replay.grp {
+		return rt.feedFromLog(c, target, fn)
+	}
+	h, ok := tc.exports[fn]
+	if !ok {
+		return nil, &UnknownFunctionError{Component: target, Fn: fn}
+	}
+	sameGroup := c.comp != nil && c.comp.group == tc.group
+	if !rt.cfg.MessagePassing || sameGroup {
+		rt.stats.DirectCalls++
+		rt.charge(rt.costs.DirectCall)
+		sub := &Ctx{rt: rt, comp: tc, th: c.th, replay: c.replay}
+		rt.checkFault(sub, target, fn)
+		return h(sub, msg.Args(args))
+	}
+	return rt.callMessage(c, tc, fn, msg.Args(args))
+}
+
+// callMessage performs one message-passing call, transparently retrying
+// once when the target reboots mid-call (re-executing the same input, as
+// the fault model prescribes), and failing permanently after that.
+func (rt *Runtime) callMessage(c *Ctx, tc *component, fn string, args msg.Args) (msg.Args, error) {
+	g := tc.group
+	if g.failedTwice {
+		return nil, fmt.Errorf("%w: %s", ErrComponentFailed, tc.desc.Name)
+	}
+	var fromGrp *group
+	if c.comp != nil {
+		fromGrp = c.comp.group
+	}
+	for attempt := 0; ; attempt++ {
+		rt.nextSeq++
+		pc := &pendingCall{
+			seq: rt.nextSeq, from: c.callerName(), fromGrp: fromGrp,
+			to: tc, fn: fn, args: args, caller: c.th,
+		}
+		rt.pending[pc.seq] = pc
+		rt.stats.Calls++
+		rt.submit(mqItem{kind: mqPush, pc: pc})
+		for !pc.done {
+			c.th.Block("call " + tc.desc.Name + "." + fn)
+		}
+		delete(rt.pending, pc.seq)
+		if !pc.rebooted {
+			return pc.rets, errnoFromString(pc.errStr)
+		}
+		if attempt >= rt.cfg.CallRetry {
+			// The same input failed again: a deterministic bug. Try the
+			// registered multi-version fallback before fail-stopping.
+			if rt.trySwapFallback(c.th, tc) {
+				continue
+			}
+			g.failedTwice = true
+			rt.notifyFailStop(g)
+			return nil, fmt.Errorf("%w: %s.%s failed across reboot", ErrComponentFailed, tc.desc.Name, fn)
+		}
+		// Wait out the reboot, then re-submit the same input.
+		for g.rebooting {
+			c.th.Sleep(10 * time.Microsecond)
+		}
+		if g.failedTwice {
+			rt.notifyFailStop(g)
+			return nil, fmt.Errorf("%w: %s", ErrComponentFailed, tc.desc.Name)
+		}
+	}
+}
+
+// Inject performs a fire-and-forget invocation: virtual IRQs (virtio
+// completions) and timer-driven pumps use it. In vanilla mode the handler
+// runs directly on the calling thread, like an interrupt borrowing the
+// interrupted context.
+func (rt *Runtime) Inject(from *Ctx, target, fn string, args ...any) error {
+	tc, ok := rt.comps[target]
+	if !ok {
+		return &UnknownComponentError{Name: target}
+	}
+	rt.stats.Injects++
+	th := from.th
+	if th == nil {
+		// IRQ contexts borrow whichever simulated thread raised the
+		// interrupt, like a real interrupt borrowing the interrupted
+		// context.
+		th = rt.sch.Current()
+	}
+	if !rt.cfg.MessagePassing {
+		h, ok := tc.exports[fn]
+		if !ok {
+			return &UnknownFunctionError{Component: target, Fn: fn}
+		}
+		sub := &Ctx{rt: rt, comp: tc, th: th}
+		_, err := h(sub, msg.Args(args))
+		return err
+	}
+	rt.nextSeq++
+	pc := &pendingCall{
+		seq: rt.nextSeq, from: from.callerName(),
+		to: tc, fn: fn, args: msg.Args(args), caller: th, noReply: true,
+	}
+	rt.pending[pc.seq] = pc
+	rt.submit(mqItem{kind: mqPush, pc: pc})
+	return nil
+}
+
+// loggingWanted reports whether calls to fn on c are logged.
+func (rt *Runtime) loggingWanted(c *component, fn string) bool {
+	if !c.desc.Stateful || c.policies == nil {
+		return false
+	}
+	_, ok := c.policies[fn]
+	return ok
+}
+
+// msgLoop is the message thread (paper §V-D): it owns every message
+// domain, performs all log writes, and turns detected failures into
+// component reboots.
+func (rt *Runtime) msgLoop(t *sched.Thread) {
+	for !rt.stopped {
+		if len(rt.mq) == 0 {
+			t.Block("msg idle")
+			continue
+		}
+		it := rt.mq[0]
+		rt.mq = rt.mq[1:]
+		switch it.kind {
+		case mqPush:
+			rt.handlePush(it.pc)
+		case mqReply:
+			rt.handleReply(it.pc, it.rets, it.errStr)
+		case mqFailure:
+			rt.handleFailure(it.grp, it.seq, it.reason)
+		}
+	}
+}
+
+func (rt *Runtime) handlePush(pc *pendingCall) {
+	g := pc.to.group
+	rt.stats.Messages++
+	rt.charge(rt.costs.MessagePush)
+	if rt.loggingWanted(pc.to, pc.fn) {
+		rt.charge(rt.costs.LogAppend)
+		rec, err := pc.to.domain.Log().BeginInbound(pc.seq, pc.fn, pc.args)
+		if err != nil {
+			rt.finishCall(pc, nil, "ENOSPC: "+err.Error())
+			return
+		}
+		pc.rec = rec
+	}
+	if err := g.mailbox.Push(&msg.Message{
+		Seq: pc.seq, From: pc.from, To: pc.to.desc.Name, Fn: pc.fn, Args: pc.args,
+	}); err != nil {
+		if pc.rec != nil {
+			pc.to.domain.Log().DropRecord(pc.rec)
+			pc.rec = nil
+		}
+		rt.finishCall(pc, nil, "ENOSPC: "+err.Error())
+		return
+	}
+	if w := g.worker; w != nil && !g.rebooting {
+		w.t.Wake()
+		rt.sch.Hint(w.t)
+	}
+}
+
+func (rt *Runtime) handleReply(pc *pendingCall, rets msg.Args, errStr string) {
+	rt.charge(rt.costs.MessagePull)
+	if pc.rec != nil {
+		rt.charge(rt.costs.LogAppend)
+		lg := pc.to.domain.Log()
+		pol := pc.to.policies[pc.fn]
+		if errStr != "" && !pol.KeepFailed {
+			// A failed call changed no component state: logging it would
+			// only bloat the replay (EAGAIN accept/recv polls especially).
+			lg.DropRecord(pc.rec)
+		} else {
+			sess, class := msg.SessionID(""), msg.ClassDurable
+			if pol.Classify != nil {
+				sess, class = pol.Classify(pc.args, rets, errnoFromString(errStr))
+			}
+			if err := lg.EndInbound(pc.rec, sess, class, rets, errStr); err != nil {
+				errStr = "ENOSPC: " + err.Error()
+			}
+			rt.maybeCompact(pc.to)
+		}
+	}
+	// Return-value logging for encapsulated restoration of the caller.
+	if pc.fromGrp != nil && pc.fromGrp.curRec != nil {
+		rt.charge(rt.costs.LogAppend)
+		if err := pc.fromGrp.curLog.AppendOutboundTo(pc.fromGrp.curRec, pc.to.desc.Name, pc.fn, rets, errStr); err != nil {
+			// A full caller domain poisons future restoration of the
+			// caller; surface it as the call's error.
+			errStr = "ENOSPC: " + err.Error()
+		}
+	}
+	rt.finishCall(pc, rets, errStr)
+}
+
+// finishCall resolves a pending call and wakes its caller.
+func (rt *Runtime) finishCall(pc *pendingCall, rets msg.Args, errStr string) {
+	pc.rets = rets
+	pc.errStr = errStr
+	pc.done = true
+	if pc.noReply || pc.caller == nil || pc.caller.State() == sched.StateDone {
+		delete(rt.pending, pc.seq)
+		return
+	}
+	pc.caller.Wake()
+	rt.sch.Hint(pc.caller)
+}
+
+// maybeCompact triggers the component's log compactor once the log
+// exceeds the configured shrink threshold (§V-F).
+func (rt *Runtime) maybeCompact(c *component) {
+	if !rt.cfg.LogShrinkEnabled {
+		return
+	}
+	lg := c.domain.Log()
+	if lg.Len() <= rt.cfg.LogShrinkThreshold {
+		return
+	}
+	if comp, ok := c.comp.(Compactor); ok {
+		before := lg.Len()
+		if err := comp.CompactLog(lg); err != nil {
+			// Compaction is an optimisation: a failure only means the log
+			// stays longer. Record it and continue.
+			rt.stats.CompactErrors++
+		}
+		// Scanning and rewriting the log costs time proportional to the
+		// entries touched — why very low thresholds hurt (Table IV).
+		touched := before
+		if after := lg.Len(); before-after > touched {
+			touched = before - after
+		}
+		rt.charge(time.Duration(touched) * rt.costs.LogAppend)
+	}
+}
+
+// feedFromLog answers an out-of-group call during replay from the logged
+// outbound results (paper Fig. 3).
+func (rt *Runtime) feedFromLog(c *Ctx, target, fn string) (msg.Args, error) {
+	rs := c.replay
+	if rs.idx >= len(rs.rec.Outbound) {
+		de := &ReplayDivergenceError{
+			Component: c.comp.desc.Name,
+			GotTarget: target, GotFn: fn,
+			WantTarget: "(log exhausted)", WantFn: "",
+		}
+		rs.diverged = de
+		return nil, de
+	}
+	ob := rs.rec.Outbound[rs.idx]
+	if ob.Target != target || ob.Fn != fn {
+		de := &ReplayDivergenceError{
+			Component:  c.comp.desc.Name,
+			WantTarget: ob.Target, WantFn: ob.Fn,
+			GotTarget: target, GotFn: fn,
+		}
+		rs.diverged = de
+		return nil, de
+	}
+	rs.idx++
+	return ob.Rets, errnoFromString(ob.Err)
+}

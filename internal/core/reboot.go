@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vampos/internal/mem"
+	"vampos/internal/msg"
+	"vampos/internal/sched"
+)
+
+// handleFailure runs on the message thread when a component handler
+// panicked: attribute the failure, fail the in-flight call (retryable),
+// discard its half-written log record, and start the reboot.
+func (rt *Runtime) handleFailure(g *group, seq uint64, reason string) {
+	rt.stats.Failures++
+	victim := g.members[0]
+	if pc := rt.pending[seq]; pc != nil {
+		victim = pc.to
+	}
+	victim.failures++
+	if rt.onComponentFailure != nil {
+		rt.onComponentFailure(victim.desc.Name, reason)
+	}
+	if pc := rt.pending[seq]; pc != nil && !pc.done {
+		if pc.rec != nil {
+			victim.domain.Log().DropRecord(pc.rec)
+			pc.rec = nil
+		}
+		pc.rebooted = true
+		rt.finishCall(pc, nil, "")
+	}
+	if g.failedTwice || g.rebooting {
+		// Failure while already restoring: deterministic fault,
+		// fail-stop the group (§II-B).
+		g.failedTwice = true
+		g.rebooting = false
+		rt.failAllPending(g, false)
+		rt.notifyFailStop(g)
+		return
+	}
+	rt.beginReboot(g, "failure: "+reason, false)
+}
+
+// beginReboot transitions a group into restoration. The old worker (if
+// still alive) is killed; a fresh worker thread performs checkpoint
+// restore and log replay before serving the mailbox again, so queued
+// requests are delayed, not lost.
+func (rt *Runtime) beginReboot(g *group, reason string, killWorker bool) {
+	g.rebooting = true
+	g.rebootReason = reason
+	g.rebootStartV = rt.clk.Elapsed()
+	g.rebootStartW = time.Now()
+	if killWorker && g.worker != nil && g.worker.t.State() != sched.StateDone {
+		g.worker.t.Kill()
+	}
+	rt.spawnWorker(g, true)
+}
+
+// Reboot proactively reboots the named component (and, if merged, its
+// whole group) from any application or driver thread: the software
+// rejuvenation entry point. It waits for the group to go idle, performs
+// the reboot, and returns once the group serves again.
+func (c *Ctx) Reboot(name string) error {
+	rt := c.rt
+	tc, ok := rt.comps[name]
+	if !ok {
+		return &UnknownComponentError{Name: name}
+	}
+	if !rt.cfg.MessagePassing {
+		return fmt.Errorf("core: reboot of %q requires message passing (vanilla Unikraft can only reboot whole images)", name)
+	}
+	g := tc.group
+	for _, m := range g.members {
+		if m.desc.Unrebootable {
+			return fmt.Errorf("%w: %s shares state with the host", ErrUnrebootable, m.desc.Name)
+		}
+	}
+	if g.failedTwice {
+		return fmt.Errorf("%w: %s", ErrComponentFailed, name)
+	}
+	if c.comp != nil && c.comp.group == g {
+		return fmt.Errorf("core: component %q cannot reboot itself", name)
+	}
+	// Wait until the group is between requests. Cooperative scheduling
+	// makes the check-and-set race-free: nothing runs between the check
+	// and beginReboot.
+	for g.rebooting || g.currentSeq != 0 {
+		c.th.Sleep(10 * time.Microsecond)
+	}
+	rt.beginReboot(g, "proactive", true)
+	for g.rebooting {
+		c.th.Sleep(10 * time.Microsecond)
+	}
+	if g.failedTwice {
+		return fmt.Errorf("%w: %s", ErrComponentFailed, name)
+	}
+	return nil
+}
+
+// restoreGroup rebuilds every member of a group on the new worker
+// thread: memory image (checkpoint or cold init), encapsulated log
+// replay in global sequence order, then runtime-state installation.
+func (rt *Runtime) restoreGroup(t *sched.Thread, g *group) error {
+	replayed := 0
+	restoredPages := 0
+	// Note: the group mailbox is untouched — requests queued during the
+	// reboot are delayed, not lost (the Table V property).
+	for _, c := range g.members {
+		if c.desc.Stateful && c.checkpoint != nil {
+			if err := rt.memry.Restore(c.checkpoint.memSnap); err != nil {
+				return err
+			}
+			c.heap = c.checkpoint.heap.Clone()
+			restoredPages += c.checkpoint.memSnap.Pages
+			rt.charge(time.Duration(c.checkpoint.memSnap.Pages) * rt.costs.SnapshotPerPage)
+			if ss, ok := c.comp.(StateSaver); ok && c.checkpoint.control != nil {
+				if err := ss.RestoreState(c.checkpoint.control); err != nil {
+					return fmt.Errorf("core: restore state of %q: %w", c.desc.Name, err)
+				}
+			}
+		} else {
+			// Cold re-initialisation: scrub the arena so no aged state
+			// survives, then boot the component afresh.
+			if err := rt.memry.Zero(c.heapBase, c.heapPages*mem.PageSize); err != nil {
+				return err
+			}
+			heap, err := mem.NewBuddy(c.heapBase, int64(c.heapPages)*mem.PageSize)
+			if err != nil {
+				return err
+			}
+			c.heap = heap
+			if cr, ok := c.comp.(ColdResetter); ok {
+				cr.Reset()
+			}
+			rt.charge(rt.costs.ColdInit)
+			ctx := &Ctx{rt: rt, comp: c, th: t}
+			if err := c.comp.Init(ctx); err != nil {
+				return fmt.Errorf("core: re-init %q: %w", c.desc.Name, err)
+			}
+		}
+	}
+	// Encapsulated restoration: replay each member's retained log in
+	// global sequence order so cross-member orderings inside a merged
+	// group are preserved.
+	type replayItem struct {
+		c *component
+		v msg.RecordView
+	}
+	var items []replayItem
+	for _, c := range g.members {
+		if !c.desc.Stateful {
+			continue
+		}
+		views, err := c.domain.Log().Entries()
+		if err != nil {
+			return err
+		}
+		for _, v := range views {
+			items = append(items, replayItem{c: c, v: v})
+		}
+	}
+	sort.SliceStable(items, func(i, j int) bool { return items[i].v.Seq < items[j].v.Seq })
+	for i := range items {
+		it := items[i]
+		h, ok := it.c.exports[it.v.Fn]
+		if !ok {
+			return &UnknownFunctionError{Component: it.c.desc.Name, Fn: it.v.Fn}
+		}
+		rs := &replayState{grp: g, rec: &items[i].v}
+		ctx := &Ctx{rt: rt, comp: it.c, th: t, replay: rs}
+		rets, err, pv, panicked := rt.invoke(h, ctx, it.v.Args)
+		if panicked {
+			return fmt.Errorf("core: replay of %s.%s panicked: %v", it.c.desc.Name, it.v.Fn, pv)
+		}
+		if de, ok := err.(*ReplayDivergenceError); ok {
+			return de
+		}
+		if rs.diverged != nil {
+			// The component issued a call the log cannot answer — even if
+			// it swallowed the error, the restored state is untrusted.
+			return rs.diverged
+		}
+		_ = rets // replay results are not compared; the call already ran once
+		rt.charge(rt.costs.ReplayPerEntry)
+		it.c.domain.Log().MarkReplayed(1)
+		replayed++
+	}
+	// Runtime data that replay cannot regenerate (LWIP seq/ACK numbers).
+	for _, c := range g.members {
+		rk, ok := c.comp.(RuntimeKeeper)
+		if !ok || c.runtimeState == nil {
+			continue
+		}
+		ctx := &Ctx{rt: rt, comp: c, th: t}
+		if err := rk.InstallRuntimeState(ctx, c.runtimeState); err != nil {
+			return fmt.Errorf("core: install runtime state of %q: %w", c.desc.Name, err)
+		}
+	}
+	names := make([]string, len(g.members))
+	for i, c := range g.members {
+		c.reboots++
+		names[i] = c.desc.Name
+	}
+	rt.reboots = append(rt.reboots, RebootRecord{
+		Group:           g.name,
+		Components:      names,
+		Reason:          g.rebootReason,
+		VirtualDuration: rt.clk.Elapsed() - g.rebootStartV,
+		WallDuration:    time.Since(g.rebootStartW),
+		ReplayedEntries: replayed,
+		RestoredPages:   restoredPages,
+		At:              rt.clk.Now(),
+	})
+	return nil
+}
+
+// watchdogLoop is the hang detector: a component whose current call has
+// been processing longer than the threshold is declared hung and
+// rebooted (paper §V-A, threshold 1.0 s).
+func (rt *Runtime) watchdogLoop(t *sched.Thread) {
+	for !rt.stopped {
+		t.Sleep(rt.cfg.WatchdogPeriod)
+		if rt.cfg.MaxVirtualTime > 0 && rt.clk.Elapsed() > rt.cfg.MaxVirtualTime {
+			rt.Stop()
+			return
+		}
+		nowV := rt.clk.Elapsed()
+		for _, g := range rt.groups {
+			if g.rebooting || g.failedTwice || g.currentSeq == 0 {
+				continue
+			}
+			if nowV-g.busySinceV <= rt.cfg.HangThreshold {
+				continue
+			}
+			rt.stats.Hangs++
+			seq := g.currentSeq
+			victim := g.members[0]
+			if pc := rt.pending[seq]; pc != nil {
+				victim = pc.to
+			}
+			victim.failures++
+			if rt.onComponentFailure != nil {
+				rt.onComponentFailure(victim.desc.Name, "hang")
+			}
+			if pc := rt.pending[seq]; pc != nil && !pc.done {
+				if pc.rec != nil {
+					victim.domain.Log().DropRecord(pc.rec)
+					pc.rec = nil
+				}
+				pc.rebooted = true
+				rt.finishCall(pc, nil, "")
+			}
+			g.currentSeq = 0
+			g.curRec = nil
+			g.curLog = nil
+			rt.beginReboot(g, "hang", true)
+		}
+	}
+}
+
+// SetFailureObserver registers fn to be told about every detected
+// component failure (experiments use it to timestamp injections).
+func (rt *Runtime) SetFailureObserver(fn func(component, reason string)) {
+	rt.onComponentFailure = fn
+}

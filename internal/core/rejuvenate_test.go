@@ -1,0 +1,61 @@
+package core
+
+import (
+	"strconv"
+	"testing"
+	"time"
+)
+
+func TestRejuvenatorCyclesComponents(t *testing.T) {
+	kv := &kvComp{name: "kv"}
+	other := &statelessComp{name: "other"}
+	virtio := virtioStub{}
+	rt := run(t, DaSConfig(), []Component{kv, other, virtio}, func(c *Ctx) {
+		rej := c.Runtime().NewRejuvenator(time.Millisecond)
+		// The default schedule skips unrebootable components.
+		for _, tgt := range rej.Targets() {
+			if tgt == "virtio" {
+				t.Fatalf("schedule includes unrebootable virtio: %v", rej.Targets())
+			}
+		}
+		c.Go("rejuvenator", rej.Run)
+		// Work keeps flowing while the schedule runs.
+		for i := 0; i < 50; i++ {
+			mustCall(t, c, "kv", "put", "k"+strconv.Itoa(i), "v")
+			c.Sleep(100 * time.Microsecond)
+		}
+		for rej.Rounds < 2 {
+			c.Sleep(time.Millisecond)
+		}
+		rej.Stop()
+		if rej.Errors != 0 {
+			t.Fatalf("rejuvenation errors: %d (last: %v)", rej.Errors, rej.LastErr)
+		}
+		// All writes survived the rolling reboots.
+		for i := 0; i < 50; i++ {
+			rets := mustCall(t, c, "kv", "get", "k"+strconv.Itoa(i))
+			if v, _ := rets.Str(0); v != "v" {
+				t.Fatalf("k%d = %q after rejuvenation", i, v)
+			}
+		}
+	})
+	if len(rt.Reboots()) < 4 {
+		t.Fatalf("only %d reboots recorded", len(rt.Reboots()))
+	}
+}
+
+func TestRejuvenatorExplicitTargets(t *testing.T) {
+	kv := &kvComp{name: "kv"}
+	run(t, DaSConfig(), []Component{kv, &statelessComp{name: "other"}}, func(c *Ctx) {
+		rej := c.Runtime().NewRejuvenator(time.Millisecond, "kv")
+		c.Go("rej", rej.Run)
+		for rej.Reboots < 3 {
+			c.Sleep(time.Millisecond)
+		}
+		rej.Stop()
+		cs, _ := c.Runtime().ComponentStats("other")
+		if cs.Reboots != 0 {
+			t.Fatalf("untargeted component rebooted %d times", cs.Reboots)
+		}
+	})
+}

@@ -1,0 +1,440 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"vampos/internal/clock"
+	"vampos/internal/mem"
+	"vampos/internal/msg"
+	"vampos/internal/sched"
+)
+
+// Protection-key layout. The paper's tag budget per application (e.g.
+// "app + nine components + message domain + thread scheduler = 12 tags"
+// for Redis/Nginx) maps directly onto this assignment.
+const (
+	keyDefault   mem.Key = 0 // boot/bootstrap pages
+	keyScheduler mem.Key = 1 // scheduler metadata
+	keyDomains   mem.Key = 2 // all message domains share one tag
+	keyApp       mem.Key = 3 // application heap
+	keyFirstComp mem.Key = 4 // first component group key
+)
+
+// CostModel charges virtual time for runtime mechanisms so that
+// experiment timelines measured on the virtual clock reflect the paper's
+// cost structure (message hops, log writes, snapshot loads). Constants
+// are calibrated against the paper's Unikraft/Xeon measurements; wall
+// clock benchmarks are reported separately by the bench harness.
+type CostModel struct {
+	Dispatch        time.Duration // one context switch
+	MessagePush     time.Duration // argument copy into a message domain
+	MessagePull     time.Duration // message removal by the receiver
+	DirectCall      time.Duration // vanilla / intra-merge function call
+	LogAppend       time.Duration // one log record write
+	SnapshotPerPage time.Duration // checkpoint restore, per page
+	ReplayPerEntry  time.Duration // one replayed log record
+	ColdInit        time.Duration // stateless re-initialisation
+}
+
+// DefaultCostModel returns the calibrated defaults.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		Dispatch:        200 * time.Nanosecond,
+		MessagePush:     120 * time.Nanosecond,
+		MessagePull:     80 * time.Nanosecond,
+		DirectCall:      60 * time.Nanosecond,
+		LogAppend:       80 * time.Nanosecond,
+		SnapshotPerPage: 10 * time.Microsecond,
+		ReplayPerEntry:  2 * time.Microsecond,
+		ColdInit:        5 * time.Microsecond,
+	}
+}
+
+// Runtime is one booted VampOS unikernel: its address space, scheduler,
+// components, message thread and reboot manager.
+type Runtime struct {
+	cfg   Config
+	costs CostModel
+	clk   *clock.Virtual
+	sch   *sched.Scheduler
+	memry *mem.Memory
+
+	comps   map[string]*component
+	order   []*component // registration order = boot order
+	groups  []*group
+	nextKey mem.Key
+
+	appHeapBase  mem.Addr
+	appHeapPages int
+	appHeap      *mem.Buddy
+
+	msgThread  *sched.Thread
+	bootThread *sched.Thread
+	mq         []mqItem
+	pending    map[uint64]*pendingCall
+	nextSeq    uint64
+
+	booted  bool
+	stopped bool
+
+	stats        RuntimeStats
+	reboots      []RebootRecord
+	fullRestarts []FullRestartStats
+	armed        map[string]*armedFault
+
+	// onComponentFailure, if set, observes every detected failure.
+	onComponentFailure func(component, reason string)
+	// onFailStop, if set, runs the graceful-termination handler when a
+	// group fail-stops permanently (§VIII).
+	onFailStop func(ctx *Ctx, component string)
+}
+
+// NewRuntime creates an unbooted runtime with the given configuration.
+func NewRuntime(cfg Config) *Runtime {
+	cfg = cfg.fill()
+	clk := clock.NewVirtual()
+	var policy sched.Policy
+	if cfg.MessagePassing && cfg.Policy == PolicyDependencyAware {
+		policy = sched.NewDependencyAware()
+	} else {
+		policy = sched.NewRoundRobin()
+	}
+	s := sched.New(clk, policy)
+	m := mem.New(cfg.MemorySize)
+	if err := s.SetMemory(m); err != nil {
+		panic(err) // fresh scheduler; cannot already have memory
+	}
+	s.SetDispatchCost(DefaultCostModel().Dispatch)
+	return &Runtime{
+		cfg:     cfg,
+		costs:   DefaultCostModel(),
+		clk:     clk,
+		sch:     s,
+		memry:   m,
+		comps:   make(map[string]*component),
+		nextKey: keyFirstComp,
+		pending: make(map[uint64]*pendingCall),
+	}
+}
+
+// Config returns the runtime configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// SetCostModel replaces the virtual-time cost model. Must be called
+// before Boot.
+func (rt *Runtime) SetCostModel(c CostModel) {
+	rt.costs = c
+	rt.sch.SetDispatchCost(c.Dispatch)
+}
+
+// Clock returns the runtime's virtual clock.
+func (rt *Runtime) Clock() *clock.Virtual { return rt.clk }
+
+// Scheduler exposes the cooperative scheduler so that host-side threads
+// (hypervisor services, workload clients) join the same simulation.
+func (rt *Runtime) Scheduler() *sched.Scheduler { return rt.sch }
+
+// Memory returns the guest address space.
+func (rt *Runtime) Memory() *mem.Memory { return rt.memry }
+
+// charge advances virtual time by the given mechanism cost.
+func (rt *Runtime) charge(d time.Duration) {
+	if d > 0 {
+		rt.clk.Advance(d)
+	}
+}
+
+// Register adds a component. All registrations must happen before Boot;
+// boot order follows registration order, so substrates register first.
+func (rt *Runtime) Register(c Component) error {
+	if rt.booted {
+		return fmt.Errorf("core: Register after Boot")
+	}
+	d := c.Describe()
+	if d.Name == "" {
+		return fmt.Errorf("core: component with empty name")
+	}
+	if _, dup := rt.comps[d.Name]; dup {
+		return fmt.Errorf("core: duplicate component %q", d.Name)
+	}
+	if d.HeapPages == 0 {
+		d.HeapPages = rt.cfg.DefaultHeapPages
+	}
+	if d.DomainPages == 0 {
+		d.DomainPages = rt.cfg.DefaultDomainPages
+	}
+	rec := &component{comp: c, desc: d, exports: c.Exports()}
+	if lp, ok := c.(LogPolicyProvider); ok {
+		rec.policies = lp.LogPolicies()
+	}
+	rt.comps[d.Name] = rec
+	rt.order = append(rt.order, rec)
+	return nil
+}
+
+// Component returns the registered component implementation by name, for
+// tests and experiments that reach into substrate state.
+func (rt *Runtime) Component(name string) (Component, bool) {
+	c, ok := rt.comps[name]
+	if !ok {
+		return nil, false
+	}
+	return c.comp, true
+}
+
+// Components returns the registered component names in boot order.
+func (rt *Runtime) Components() []string {
+	out := make([]string, len(rt.order))
+	for i, c := range rt.order {
+		out[i] = c.desc.Name
+	}
+	return out
+}
+
+// KeysInUse returns how many MPK tags the configuration consumes:
+// app + one per group + message domain + scheduler (paper §VI).
+func (rt *Runtime) KeysInUse() int {
+	return 3 + len(rt.groups) // scheduler, domains, app, groups
+}
+
+// buildGroups partitions components into merge groups and assigns keys.
+func (rt *Runtime) buildGroups() error {
+	merged := make(map[string]*group)
+	for _, names := range rt.cfg.Merges {
+		if len(names) < 2 {
+			return fmt.Errorf("core: merge group %v needs at least two members", names)
+		}
+		g := &group{name: names[0]}
+		for _, n := range names {
+			c, ok := rt.comps[n]
+			if !ok {
+				return fmt.Errorf("core: merge of unknown component %q", n)
+			}
+			if c.group != nil {
+				return fmt.Errorf("core: component %q in two merge groups", n)
+			}
+			if merged[n] != nil {
+				return fmt.Errorf("core: component %q merged twice", n)
+			}
+			merged[n] = g
+		}
+		g.name = fmt.Sprintf("%s+", names[0])
+	}
+	// Build groups in registration order so key assignment is stable.
+	seen := make(map[*group]bool)
+	for _, c := range rt.order {
+		g := merged[c.desc.Name]
+		if g == nil {
+			g = &group{name: c.desc.Name}
+		}
+		c.group = g
+		g.members = append(g.members, c)
+		if !seen[g] {
+			seen[g] = true
+			rt.groups = append(rt.groups, g)
+		}
+	}
+	for _, g := range rt.groups {
+		if len(g.members) > 1 {
+			names := ""
+			for i, m := range g.members {
+				if i > 0 {
+					names += "+"
+				}
+				names += m.desc.Name
+			}
+			g.name = names
+		}
+		if rt.nextKey >= mem.NumKeys {
+			return fmt.Errorf("core: out of protection keys (%d groups; 16 keys)", len(rt.groups))
+		}
+		g.key = rt.nextKey
+		rt.nextKey++
+	}
+	return nil
+}
+
+// allocateRegions maps every component's heap and message domain.
+func (rt *Runtime) allocateRegions() error {
+	for _, g := range rt.groups {
+		for _, c := range g.members {
+			base, err := rt.memry.AllocPages(c.desc.HeapPages, g.key)
+			if err != nil {
+				return fmt.Errorf("core: heap for %q: %w", c.desc.Name, err)
+			}
+			heap, err := mem.NewBuddy(base, int64(c.desc.HeapPages)*mem.PageSize)
+			if err != nil {
+				return err
+			}
+			c.heapBase, c.heapPages, c.heap = base, c.desc.HeapPages, heap
+			d, err := msg.NewDomain(c.desc.Name, rt.memry, keyDomains, c.desc.DomainPages)
+			if err != nil {
+				return err
+			}
+			d.Log().ShrinkEnabled = rt.cfg.LogShrinkEnabled
+			c.domain = d
+		}
+		// The group mailbox is the first member's domain.
+		g.mailbox = g.members[0].domain
+	}
+	return nil
+}
+
+// Boot builds groups, maps memory, starts the message thread and the
+// watchdog, and initialises every component in registration order —
+// taking post-init checkpoints of the components that request them. It
+// must run on a simulated thread; use Run for the common case.
+func (rt *Runtime) Boot(boot *sched.Thread) error {
+	if rt.booted {
+		return fmt.Errorf("core: double Boot")
+	}
+	if err := rt.buildGroups(); err != nil {
+		return err
+	}
+	if err := rt.allocateRegions(); err != nil {
+		return err
+	}
+	rt.booted = true
+	rt.bootThread = boot
+	if rt.cfg.MessagePassing {
+		rt.msgThread = rt.sch.Spawn("vampos/msg", mem.Allow(keyDomains), rt.msgLoop)
+		rt.sch.Spawn("vampos/watchdog", mem.Allow(keyScheduler), rt.watchdogLoop)
+		// Spawn workers first so components can call each other during
+		// later components' Init.
+		for _, g := range rt.groups {
+			rt.spawnWorker(g, false)
+		}
+		for _, g := range rt.groups {
+			for _, c := range g.members {
+				if err := rt.initComponentMP(boot, g, c); err != nil {
+					return fmt.Errorf("core: init %q: %w", c.desc.Name, err)
+				}
+			}
+		}
+	} else {
+		for _, c := range rt.order {
+			ctx := &Ctx{rt: rt, comp: c, th: boot}
+			if err := c.comp.Init(ctx); err != nil {
+				return fmt.Errorf("core: init %q: %w", c.desc.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// initComponentMP asks a group's worker to initialise one member, waits
+// for completion, and takes the post-init checkpoint if requested.
+func (rt *Runtime) initComponentMP(boot *sched.Thread, g *group, c *component) error {
+	w := g.worker
+	w.initQueue = append(w.initQueue, c)
+	w.t.Wake()
+	rt.sch.Hint(w.t)
+	for !w.initDone[c] {
+		boot.Block("await init " + c.desc.Name)
+	}
+	if err := w.initErr[c]; err != nil {
+		return err
+	}
+	if c.desc.Stateful && c.desc.Checkpoint {
+		if err := rt.takeCheckpoint(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// takeCheckpoint captures the component's post-init image (§V-E).
+func (rt *Runtime) takeCheckpoint(c *component) error {
+	snap, err := rt.memry.Snapshot(c.heapBase, c.heapPages)
+	if err != nil {
+		return err
+	}
+	cp := &checkpoint{memSnap: snap, heap: c.heap.Clone(), takenAt: rt.clk.Now()}
+	if ss, ok := c.comp.(StateSaver); ok {
+		blob, err := ss.SaveState()
+		if err != nil {
+			return fmt.Errorf("core: checkpoint %q: %w", c.desc.Name, err)
+		}
+		cp.control = blob
+	}
+	c.checkpoint = cp
+	return nil
+}
+
+// Run boots the runtime and executes main as the first application
+// thread, then drives the simulation until main returns and every other
+// thread finishes (or Stop is called). It returns the boot or scheduling
+// error, if any.
+func (rt *Runtime) Run(main func(*Ctx)) error {
+	var bootErr error
+	boot := rt.sch.Spawn("boot", mem.AllowAll, func(t *sched.Thread) {
+		// Stop unconditionally — a panicking main must still end the
+		// simulation rather than leave polling threads spinning.
+		defer rt.sch.Stop()
+		if bootErr = rt.Boot(t); bootErr != nil {
+			return
+		}
+		if main != nil {
+			main(rt.appCtx(t))
+		}
+	})
+	if err := rt.sch.Run(); err != nil {
+		return err
+	}
+	if bootErr != nil {
+		return bootErr
+	}
+	if pv := boot.PanicValue(); pv != nil {
+		return fmt.Errorf("core: application thread panicked: %v", pv)
+	}
+	return nil
+}
+
+// IRQContext builds a context for host-side code (device backends) that
+// needs to inject virtual interrupts; the injection borrows whatever
+// simulated thread is current when the IRQ fires.
+func (rt *Runtime) IRQContext(name string) *Ctx {
+	return &Ctx{rt: rt, appName: name}
+}
+
+// InjectIRQ fires a fire-and-forget call into a component from an IRQ
+// context.
+func (rt *Runtime) InjectIRQ(from *Ctx, target, fn string, args ...any) error {
+	return rt.Inject(from, target, fn, args...)
+}
+
+// appCtx builds an application-thread context.
+func (rt *Runtime) appCtx(t *sched.Thread) *Ctx {
+	if rt.cfg.MessagePassing {
+		t.SetPKRU(mem.Allow(keyApp))
+	} else {
+		t.SetPKRU(mem.AllowAll)
+	}
+	return &Ctx{rt: rt, th: t, appName: "app"}
+}
+
+// Stop halts the simulation.
+func (rt *Runtime) Stop() {
+	rt.stopped = true
+	rt.sch.Stop()
+}
+
+// EnsureAppHeap lazily maps an application arena of npages (power of
+// two) tagged with the application key, for applications that keep bulk
+// data in guest memory.
+func (rt *Runtime) EnsureAppHeap(npages int) (*mem.Buddy, error) {
+	if rt.appHeap != nil {
+		return rt.appHeap, nil
+	}
+	base, err := rt.memry.AllocPages(npages, keyApp)
+	if err != nil {
+		return nil, err
+	}
+	h, err := mem.NewBuddy(base, int64(npages)*mem.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	rt.appHeapBase, rt.appHeapPages, rt.appHeap = base, npages, h
+	return h, nil
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"time"
+
+	"vampos/internal/mem"
+	"vampos/internal/msg"
+	"vampos/internal/sched"
+)
+
+// RuntimeStats counts runtime activity across the whole instance.
+type RuntimeStats struct {
+	Calls           uint64 // message-passing calls issued
+	Messages        uint64 // messages pushed by the message thread
+	DirectCalls     uint64 // vanilla / intra-merge function calls
+	Injects         uint64 // fire-and-forget injections (virtual IRQs)
+	Failures        uint64 // component crashes detected
+	Hangs           uint64 // component hangs detected
+	FailedRestores  uint64 // restorations that themselves failed
+	CompactErrors   uint64 // log compactions that returned an error
+	VersionSwitches uint64 // fallback implementations swapped in (§VIII)
+}
+
+// RebootRecord describes one completed component(-group) reboot; the
+// Fig. 6 experiment aggregates these.
+type RebootRecord struct {
+	Group           string
+	Components      []string
+	Reason          string
+	VirtualDuration time.Duration
+	WallDuration    time.Duration
+	ReplayedEntries int
+	RestoredPages   int
+	At              time.Time
+}
+
+// ComponentStats is the per-component health view.
+type ComponentStats struct {
+	Name        string
+	Group       string
+	Key         mem.Key
+	Stateful    bool
+	Failures    uint64
+	Reboots     uint64
+	LogLen      int
+	LogStats    msg.LogStats
+	DomainBytes int64
+	Heap        mem.BuddyStats
+	Pending     int
+}
+
+// Stats returns a copy of the runtime counters.
+func (rt *Runtime) Stats() RuntimeStats { return rt.stats }
+
+// SchedStats returns the scheduler counters (dispatches etc.).
+func (rt *Runtime) SchedStats() sched.Stats { return rt.sch.Stats() }
+
+// Reboots returns the completed reboot records in order.
+func (rt *Runtime) Reboots() []RebootRecord {
+	out := make([]RebootRecord, len(rt.reboots))
+	copy(out, rt.reboots)
+	return out
+}
+
+// ComponentStats returns the health view of one component.
+func (rt *Runtime) ComponentStats(name string) (ComponentStats, bool) {
+	c, ok := rt.comps[name]
+	if !ok {
+		return ComponentStats{}, false
+	}
+	cs := ComponentStats{
+		Name:     c.desc.Name,
+		Stateful: c.desc.Stateful,
+		Failures: c.failures,
+		Reboots:  c.reboots,
+	}
+	if c.group != nil {
+		cs.Group = c.group.name
+		cs.Key = c.group.key
+		cs.Pending = c.group.mailbox.Pending()
+	}
+	if c.domain != nil {
+		cs.LogLen = c.domain.Log().Len()
+		cs.LogStats = c.domain.Log().Stats()
+		cs.DomainBytes = c.domain.BytesInUse()
+	}
+	if c.heap != nil {
+		cs.Heap = c.heap.Stats()
+	}
+	return cs, true
+}
+
+// ResetLog discards a component's retained restoration log. It exists
+// for benchmarks that deliberately disable session-aware shrinking: the
+// paper warns that such logs grow without bound (§V-F), and an unbounded
+// benchmark loop would otherwise exhaust the message domain. After a
+// reset, a reboot restores only the checkpoint image.
+func (rt *Runtime) ResetLog(name string) {
+	if c, ok := rt.comps[name]; ok && c.domain != nil {
+		c.domain.Log().Reset()
+	}
+}
+
+// LogLen returns the retained log length of a component, or -1 when the
+// component is unknown or unlogged.
+func (rt *Runtime) LogLen(name string) int {
+	c, ok := rt.comps[name]
+	if !ok || c.domain == nil {
+		return -1
+	}
+	return c.domain.Log().Len()
+}
+
+// DomainBytes sums the bytes in use across every message domain: the
+// instance's logging/message space overhead (Fig. 7b).
+func (rt *Runtime) DomainBytes() int64 {
+	var n int64
+	for _, c := range rt.order {
+		if c.domain != nil {
+			n += c.domain.BytesInUse()
+		}
+	}
+	return n
+}
+
+// ResidentBytes reports materialised guest memory (Fig. 7b).
+func (rt *Runtime) ResidentBytes() int64 { return rt.memry.ResidentBytes() }
+
+// GroupOf returns the scheduling/protection group name of a component.
+func (rt *Runtime) GroupOf(name string) (string, bool) {
+	c, ok := rt.comps[name]
+	if !ok || c.group == nil {
+		return "", false
+	}
+	return c.group.name, true
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"vampos/internal/mem"
+	"vampos/internal/msg"
+	"vampos/internal/sched"
+)
+
+// workerThread runs one group's component code: init requests during
+// boot, restoration after a reboot, then the serve loop that pulls
+// messages from the group mailbox.
+type workerThread struct {
+	t         *sched.Thread
+	g         *group
+	initQueue []*component
+	initDone  map[*component]bool
+	initErr   map[*component]error
+	restore   bool
+}
+
+// spawnWorker creates (or re-creates, after a reboot) a group's thread.
+func (rt *Runtime) spawnWorker(g *group, restore bool) {
+	w := &workerThread{
+		g:        g,
+		initDone: make(map[*component]bool),
+		initErr:  make(map[*component]error),
+		restore:  restore,
+	}
+	g.worker = w
+	pkru := mem.Allow(g.key).WithRead(keyDomains)
+	w.t = rt.sch.Spawn("comp/"+g.name, pkru, func(t *sched.Thread) {
+		rt.workerMain(t, g, w)
+	})
+}
+
+func (rt *Runtime) workerMain(t *sched.Thread, g *group, w *workerThread) {
+	if w.restore {
+		if err := rt.restoreGroup(t, g); err != nil {
+			// Restoration itself failed: treat as a deterministic fault
+			// and fail-stop the group (§II-B).
+			g.failedTwice = true
+			g.rebooting = false
+			rt.failAllPending(g, false)
+			rt.stats.FailedRestores++
+			rt.notifyFailStop(g)
+			return
+		}
+		g.rebooting = false
+	}
+	pollMode := rt.cfg.Policy == PolicyRoundRobin
+	for !rt.stopped {
+		if len(w.initQueue) > 0 {
+			c := w.initQueue[0]
+			w.initQueue = w.initQueue[1:]
+			ctx := &Ctx{rt: rt, comp: c, th: t}
+			err := c.comp.Init(ctx)
+			w.initDone[c] = true
+			w.initErr[c] = err
+			if rt.bootThread != nil {
+				rt.bootThread.Wake()
+			}
+			continue
+		}
+		m, ok := g.mailbox.Pull()
+		if !ok {
+			if pollMode {
+				t.Yield()
+			} else {
+				t.Block("mailbox empty")
+			}
+			continue
+		}
+		rt.charge(rt.costs.MessagePull)
+		if !rt.execMessage(t, g, m) {
+			return // component crashed; the message thread takes over
+		}
+	}
+}
+
+// execMessage runs one inbound call and submits its reply. It returns
+// false when the handler panicked and the worker thread must die.
+func (rt *Runtime) execMessage(t *sched.Thread, g *group, m *msg.Message) bool {
+	c := g.member(m.To)
+	if c == nil {
+		// Message addressed to a component not in this group: domain
+		// bookkeeping is broken, which only a core bug can cause.
+		panic(fmt.Sprintf("core: group %s received message for %q", g.name, m.To))
+	}
+	pc := rt.pending[m.Seq]
+	h, ok := c.exports[m.Fn]
+	if !ok {
+		rt.submit(mqItem{kind: mqReply, pc: pc, errStr: errnoString(&UnknownFunctionError{Component: m.To, Fn: m.Fn})})
+		return true
+	}
+	g.currentSeq = m.Seq
+	g.busySinceV = rt.clk.Elapsed()
+	if pc != nil && pc.rec != nil {
+		g.curRec = pc.rec
+		g.curLog = c.domain.Log()
+	}
+	ctx := &Ctx{rt: rt, comp: c, th: t}
+	rets, err, pv, panicked := rt.invokeChecked(h, ctx, c.desc.Name, m.Fn, m.Args)
+	g.currentSeq = 0
+	g.curRec = nil
+	g.curLog = nil
+	if panicked {
+		rt.submit(mqItem{kind: mqFailure, grp: g, seq: m.Seq, reason: fmt.Sprint(pv)})
+		return false
+	}
+	rt.submit(mqItem{kind: mqReply, pc: pc, rets: rets, errStr: errnoString(err)})
+	return true
+}
+
+// invokeChecked fires any armed fault for the invocation, then invokes.
+func (rt *Runtime) invokeChecked(h Handler, ctx *Ctx, component, fn string, args msg.Args) (rets msg.Args, err error, pv any, panicked bool) {
+	wrapped := func(c *Ctx, a msg.Args) (msg.Args, error) {
+		rt.checkFault(c, component, fn)
+		return h(c, a)
+	}
+	return rt.invoke(wrapped, ctx, args)
+}
+
+// invoke runs a handler, converting panics — crashes, nil dereferences,
+// protection faults turned into panics — into a captured failure, while
+// letting the scheduler's kill-unwind pass through.
+func (rt *Runtime) invoke(h Handler, ctx *Ctx, args msg.Args) (rets msg.Args, err error, pv any, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if sched.IsKill(r) {
+				panic(r)
+			}
+			pv = r
+			panicked = true
+		}
+	}()
+	rets, err = h(ctx, args)
+	return rets, err, nil, false
+}
+
+// failAllPending resolves every outstanding call addressed to the group.
+// With retryable set the callers re-submit after the reboot; otherwise
+// they observe a permanent failure.
+func (rt *Runtime) failAllPending(g *group, retryable bool) {
+	for _, pc := range rt.pending {
+		if pc.done || pc.to.group != g {
+			continue
+		}
+		if retryable {
+			pc.rebooted = true
+			rt.finishCall(pc, nil, "")
+		} else {
+			rt.finishCall(pc, nil, errnoString(ErrComponentFailed))
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package host models everything outside the unikernel: the hypervisor's
+// virtio-9p backend over an in-memory export file system, the virtual
+// ethernet switch, and the TCP peers that workload clients run on.
+//
+// Host services are simulated threads on the same cooperative scheduler
+// as the guest, so the whole experiment is one deterministic simulation;
+// their I/O costs are charged in virtual time through configurable
+// latencies (the substitution for the paper's real storage and gigabit
+// link).
+package host
+
+import (
+	"fmt"
+	"time"
+
+	"vampos/internal/clock"
+	"vampos/internal/lwip"
+	"vampos/internal/ninep"
+	"vampos/internal/sched"
+	"vampos/internal/virtio"
+)
+
+// GuestIP is the unikernel's address on the virtual network.
+var GuestIP = lwip.IP4(10, 0, 0, 2)
+
+// Latencies configures the virtual-time cost of host-side operations.
+type Latencies struct {
+	Wire    time.Duration // one frame across the virtual ethernet
+	P9Op    time.Duration // one 9P operation (page-cache-hit cost)
+	P9Fsync time.Duration // one fsync (synchronous storage flush)
+}
+
+// DefaultLatencies mirrors a local NVMe-backed host share and an
+// intra-host virtio link.
+func DefaultLatencies() Latencies {
+	return Latencies{
+		Wire:    10 * time.Microsecond,
+		P9Op:    8 * time.Microsecond,
+		P9Fsync: 250 * time.Microsecond,
+	}
+}
+
+// Host is the hypervisor-side world attached to one simulation.
+type Host struct {
+	sch *sched.Scheduler
+	clk *clock.Virtual
+	lat Latencies
+
+	fs    *ninep.ExportFS
+	p9srv *ninep.Server
+
+	netDev *virtio.Device
+	p9Dev  *virtio.Device
+
+	peers    map[lwip.Addr]*Peer
+	nextPeer byte
+
+	p9Thread     *sched.Thread
+	switchThread *sched.Thread
+	stopped      bool
+
+	// Stats
+	FramesSwitched uint64
+	FramesDropped  uint64
+}
+
+// New creates a host over the simulation scheduler. The export file
+// system persists for the host's lifetime, surviving guest reboots.
+func New(sch *sched.Scheduler, lat Latencies) *Host {
+	fs := ninep.NewExportFS()
+	return &Host{
+		sch:   sch,
+		clk:   sch.Clock(),
+		lat:   lat,
+		fs:    fs,
+		p9srv: ninep.NewServer(fs),
+		peers: make(map[lwip.Addr]*Peer),
+	}
+}
+
+// FS returns the export file system (workload setup, durability checks).
+func (h *Host) FS() *ninep.ExportFS { return h.fs }
+
+// Server exposes the 9P server (fid-leak observation in tests).
+func (h *Host) Server() *ninep.Server { return h.p9srv }
+
+// Latencies returns the configured cost model.
+func (h *Host) Latencies() Latencies { return h.lat }
+
+// AttachNet implements virtio.Ports.
+func (h *Host) AttachNet(dev *virtio.Device) {
+	h.netDev = dev
+	dev.HostNotify = func() {
+		if h.switchThread != nil {
+			h.switchThread.Wake()
+		}
+	}
+}
+
+// Attach9P implements virtio.Ports. Re-attachment (a full VM reboot)
+// starts a fresh 9P session: the server's fid table resets while the
+// export itself — the durable host storage — survives.
+func (h *Host) Attach9P(dev *virtio.Device) {
+	h.p9Dev = dev
+	h.p9srv = ninep.NewServer(h.fs)
+	dev.HostNotify = func() {
+		if h.p9Thread != nil {
+			h.p9Thread.Wake()
+		}
+	}
+}
+
+// Start spawns the host service threads. Call once, before the guest
+// starts issuing I/O (device attachment may happen later — the threads
+// idle until devices appear).
+func (h *Host) Start() {
+	h.p9Thread = h.sch.Spawn("host/9p", 0, h.p9Loop)
+	h.switchThread = h.sch.Spawn("host/switch", 0, h.switchLoop)
+}
+
+// Stop parks the host threads permanently.
+func (h *Host) Stop() {
+	h.stopped = true
+	if h.p9Thread != nil {
+		h.p9Thread.Wake()
+	}
+	if h.switchThread != nil {
+		h.switchThread.Wake()
+	}
+}
+
+// p9Loop serves 9P requests from the virtio-9p ring, charging the
+// configured storage latencies.
+func (h *Host) p9Loop(t *sched.Thread) {
+	for !h.stopped {
+		if h.p9Dev == nil {
+			t.Block("no 9p device")
+			continue
+		}
+		req, ok, err := h.p9Dev.HostRecv()
+		if err != nil || !ok {
+			t.Block("9p idle")
+			continue
+		}
+		var resp *ninep.Fcall
+		tmsg, err := ninep.Decode(req)
+		if err != nil {
+			// Undecodable request: the transport is byte-accurate, so
+			// this means guest-side corruption. Answer with Rerror.
+			resp = &ninep.Fcall{Type: ninep.Rerror, Ename: "EIO: " + err.Error()}
+		} else {
+			cost := h.lat.P9Op
+			if tmsg.Type == ninep.Tfsync {
+				cost = h.lat.P9Fsync
+			}
+			t.Sleep(cost)
+			resp, err = h.p9srv.Handle(tmsg)
+			if err != nil {
+				resp = &ninep.Fcall{Type: ninep.Rerror, Tag: tmsg.Tag, Ename: "EIO: " + err.Error()}
+			}
+		}
+		out, err := ninep.Encode(resp)
+		if err != nil {
+			panic(fmt.Sprintf("host: encode own response: %v", err))
+		}
+		if err := h.p9Dev.HostSend(out); err != nil {
+			// Desynced device: drop, as real hardware would.
+			continue
+		}
+	}
+}
+
+// switchLoop moves guest TX frames to the addressed peer connection.
+func (h *Host) switchLoop(t *sched.Thread) {
+	for !h.stopped {
+		if h.netDev == nil {
+			t.Block("no net device")
+			continue
+		}
+		frame, ok, err := h.netDev.HostRecv()
+		if err != nil || !ok {
+			t.Block("switch idle")
+			continue
+		}
+		t.Sleep(h.lat.Wire)
+		seg, err := lwip.DecodeSegment(frame)
+		if err != nil {
+			h.FramesDropped++
+			continue
+		}
+		peer, ok := h.peers[seg.Dst]
+		if !ok {
+			h.FramesDropped++
+			continue
+		}
+		h.FramesSwitched++
+		peer.deliver(seg)
+	}
+}
+
+// sendToGuest pushes a peer-originated segment into the guest RX ring.
+// It runs on whichever simulated thread triggered the transmission (a
+// workload thread sending, or the switch thread delivering an ACK).
+func (h *Host) sendToGuest(seg lwip.Segment) error {
+	if h.netDev == nil {
+		return fmt.Errorf("host: no net device attached")
+	}
+	t := h.sch.Current()
+	if t != nil {
+		t.Sleep(h.lat.Wire)
+	}
+	frame := lwip.EncodeSegment(seg)
+	for {
+		err := h.netDev.HostSend(frame)
+		if err == nil {
+			h.FramesSwitched++
+			return nil
+		}
+		if err != virtio.ErrRingFull || t == nil {
+			h.FramesDropped++
+			return err
+		}
+		t.Sleep(10 * time.Microsecond)
+	}
+}

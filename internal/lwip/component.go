@@ -1,0 +1,673 @@
+package lwip
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"vampos/internal/core"
+	"vampos/internal/mem"
+	"vampos/internal/msg"
+	"vampos/internal/sched"
+)
+
+// Socket kinds/states at the component level.
+type sockState uint8
+
+const (
+	sockFresh sockState = iota + 1
+	sockBound
+	sockListening
+	sockConn
+	sockClosed
+)
+
+// connKey demultiplexes incoming segments to connections.
+type connKey struct {
+	Remote     Addr
+	RemotePort uint16
+	LocalPort  uint16
+}
+
+// sock is one socket-table entry.
+type sock struct {
+	ID        int
+	State     sockState
+	LocalPort uint16
+	Backlog   int
+	AcceptQ   []int // established, not-yet-accepted connection socks
+	Listener  int   // owning listener for queued conns (0 none)
+	m         *Machine
+	ctlBlock  mem.Addr // arena allocation representing the PCB
+	Opts      map[int]int
+}
+
+// Comp is the LWIP component: the socket layer plus the per-connection
+// TCP machines. Stateful; reboots restore via checkpoint + log replay
+// for the socket/bind/listen structure and via extracted runtime state
+// (sequence/ACK numbers, live connections) for everything the log
+// cannot regenerate — the paper's ad-hoc LWIP optimisation (§V-B).
+type Comp struct {
+	ip       Addr
+	socks    map[int]*sock
+	listens  map[uint16]int // port -> listening sock
+	conns    map[connKey]int
+	nextSock int
+	isn      uint32
+
+	// curCtxs maps each simulated thread to its in-flight handler
+	// context; the machines' segment output runs through it. In
+	// message-passing mode only the component worker appears here, but
+	// vanilla mode runs handlers on every caller thread concurrently.
+	curCtxs map[*sched.Thread]*core.Ctx
+	sch     *sched.Scheduler
+
+	// Stats
+	SegsIn, SegsOut uint64
+	Resets          uint64
+}
+
+// New creates the LWIP component with the guest address.
+func New(ip Addr) *Comp {
+	return &Comp{ip: ip}
+}
+
+// Describe implements core.Component. LWIP uses checkpoint-based
+// initialization: its Init allocates control state whose reconstruction
+// must not disturb NETDEV/VIRTIO (paper §V-E applies it to VFS and LWIP).
+func (c *Comp) Describe() core.Descriptor {
+	return core.Descriptor{
+		Name: "lwip", Stateful: true, Checkpoint: true,
+		HeapPages: 1024, DomainPages: 256,
+		Deps: []string{"netdev"},
+	}
+}
+
+// Init implements core.Component.
+func (c *Comp) Init(ctx *core.Ctx) error {
+	c.socks = make(map[int]*sock)
+	c.listens = make(map[uint16]int)
+	c.conns = make(map[connKey]int)
+	c.nextSock = 0
+	c.isn = 100
+	if c.curCtxs == nil {
+		c.curCtxs = make(map[*sched.Thread]*core.Ctx)
+	}
+	c.sch = ctx.Runtime().Scheduler()
+	return nil
+}
+
+// Exports implements core.Component. Function names follow the paper's
+// Table II where it names them.
+func (c *Comp) Exports() map[string]core.Handler {
+	return map[string]core.Handler{
+		"socket":         c.socket,
+		"bind":           c.bind,
+		"listen":         c.listen,
+		"connect":        c.connect,
+		"accept":         c.accept,
+		"send":           c.send,
+		"recv":           c.recv,
+		"shutdown":       c.shutdown,
+		"sock_net_close": c.sockClose,
+		"getsockopt":     c.getsockopt,
+		"setsockopt":     c.setsockopt,
+		"sock_net_ioctl": c.ioctl,
+		"rx_pump":        c.rxPump,
+		"conn_state":     c.connState,
+	}
+}
+
+// LogPolicies implements core.LogPolicyProvider: the Table II row for
+// LWIP. Data-path functions (send/recv/accept/rx_pump) are NOT logged;
+// their effects live in the extracted runtime state.
+func (c *Comp) LogPolicies() map[string]core.LogPolicy {
+	sockSession := func(argIdx int) func(args, rets msg.Args, callErr error) (msg.SessionID, msg.Class) {
+		return func(args, rets msg.Args, callErr error) (msg.SessionID, msg.Class) {
+			id, err := args.Int(argIdx)
+			if err != nil {
+				return "", msg.ClassDurable
+			}
+			return msg.SessionID(fmt.Sprintf("sock:%d", id)), msg.ClassDurable
+		}
+	}
+	return map[string]core.LogPolicy{
+		"socket": {Classify: func(args, rets msg.Args, callErr error) (msg.SessionID, msg.Class) {
+			id, err := rets.Int(0)
+			if err != nil {
+				return "", msg.ClassDurable
+			}
+			return msg.SessionID(fmt.Sprintf("sock:%d", id)), msg.ClassOpener
+		}},
+		"bind":           {Classify: sockSession(0)},
+		"listen":         {Classify: sockSession(0)},
+		"connect":        {Classify: sockSession(0)},
+		"getsockopt":     {Classify: sockSession(0)},
+		"setsockopt":     {Classify: sockSession(0)},
+		"shutdown":       {Classify: sockSession(0)},
+		"sock_net_ioctl": {Classify: sockSession(0)},
+		"sock_net_close": {Classify: func(args, rets msg.Args, callErr error) (msg.SessionID, msg.Class) {
+			id, err := args.Int(0)
+			if err != nil {
+				return "", msg.ClassDurable
+			}
+			return msg.SessionID(fmt.Sprintf("sock:%d", id)), msg.ClassCanceler
+		}},
+	}
+}
+
+// runtimeState is what replay cannot rebuild: live connections with
+// their sequence/ACK numbers and buffered bytes, plus the allocation
+// counters that keep post-reboot ids collision-free.
+type runtimeState struct {
+	NextSock int
+	ISN      uint32
+	Conns    []savedConn
+	AcceptQs map[int][]int
+}
+
+type savedConn struct {
+	ID       int
+	Listener int
+	Machine  MachineState
+}
+
+func init() {
+	gob.Register(runtimeState{})
+}
+
+// saveRuntime extracts and stores the runtime state (paper §V-B: "tracks
+// and saves specific data every time their updates are directly used").
+func (c *Comp) saveRuntime(ctx *core.Ctx) {
+	if ctx.InReplay() {
+		return
+	}
+	st := runtimeState{NextSock: c.nextSock, ISN: c.isn, AcceptQs: make(map[int][]int)}
+	for id, s := range c.socks {
+		if s.State == sockConn && s.m != nil {
+			st.Conns = append(st.Conns, savedConn{ID: id, Listener: s.Listener, Machine: s.m.Snapshot()})
+		}
+		if s.State == sockListening && len(s.AcceptQ) > 0 {
+			st.AcceptQs[id] = append([]int(nil), s.AcceptQ...)
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		panic(fmt.Sprintf("lwip: encode runtime state: %v", err))
+	}
+	ctx.SaveRuntimeState(msg.Args{buf.Bytes()})
+}
+
+// InstallRuntimeState implements core.RuntimeKeeper: after checkpoint
+// restore and log replay, re-create the live connections from the saved
+// sequence/ACK numbers.
+func (c *Comp) InstallRuntimeState(ctx *core.Ctx, state msg.Args) error {
+	blob, err := state.Bytes(0)
+	if err != nil {
+		return err
+	}
+	var st runtimeState
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&st); err != nil {
+		return fmt.Errorf("lwip: decode runtime state: %w", err)
+	}
+	c.nextSock = st.NextSock
+	c.isn = st.ISN
+	for _, sc := range st.Conns {
+		s := &sock{ID: sc.ID, State: sockConn, Listener: sc.Listener, Opts: map[int]int{}}
+		s.m = Restore(sc.Machine, c.emit)
+		s.LocalPort = sc.Machine.LocalPort
+		c.allocPCB(ctx, s)
+		c.socks[sc.ID] = s
+		c.conns[connKey{Remote: sc.Machine.Remote, RemotePort: sc.Machine.RemotePort, LocalPort: sc.Machine.LocalPort}] = sc.ID
+	}
+	for lid, q := range st.AcceptQs {
+		if l, ok := c.socks[lid]; ok {
+			l.AcceptQ = append([]int(nil), q...)
+		}
+	}
+	return nil
+}
+
+// allocPCB reserves an arena block for the socket's protocol control
+// block, making socket churn visible to the allocator (aging substrate).
+func (c *Comp) allocPCB(ctx *core.Ctx, s *sock) {
+	if addr, err := ctx.Heap().Alloc(256); err == nil {
+		s.ctlBlock = addr
+	}
+}
+
+func (c *Comp) freePCB(ctx *core.Ctx, s *sock) {
+	if s.ctlBlock != 0 {
+		// Best-effort: after a checkpoint restore the allocator was
+		// rebuilt, and stale blocks simply no longer exist.
+		_ = ctx.Heap().Free(s.ctlBlock)
+		s.ctlBlock = 0
+	}
+}
+
+// emit transmits one segment through NETDEV on the context of the
+// handler currently running on this thread. During encapsulated replay
+// the call is fed from the log, so no segment actually leaves the
+// component.
+func (c *Comp) emit(seg Segment) {
+	var ctx *core.Ctx
+	if c.sch != nil {
+		ctx = c.curCtxs[c.sch.Current()]
+	}
+	if ctx == nil {
+		panic("lwip: segment emitted outside a handler invocation")
+	}
+	c.SegsOut++
+	if _, err := ctx.Call("netdev", "tx", EncodeSegment(seg)); err != nil {
+		// Transmission failure on the lossless virtual wire is a device
+		// failure (ring desync / reboot window); the segment is lost and
+		// the peer will observe it as the connection stalling.
+		c.Resets++
+	}
+}
+
+// enter/exit bracket every handler to bind the machine output context
+// for the executing thread.
+func (c *Comp) enter(ctx *core.Ctx) func() {
+	th := ctx.Thread()
+	prev := c.curCtxs[th]
+	c.curCtxs[th] = ctx
+	return func() {
+		if prev == nil {
+			delete(c.curCtxs, th)
+		} else {
+			c.curCtxs[th] = prev
+		}
+	}
+}
+
+func (c *Comp) getSock(args msg.Args, idx int) (*sock, error) {
+	id, err := args.Int(idx)
+	if err != nil {
+		return nil, err
+	}
+	s, ok := c.socks[id]
+	if !ok || s.State == sockClosed {
+		return nil, core.EBADF
+	}
+	return s, nil
+}
+
+func (c *Comp) socket(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	defer c.enter(ctx)()
+	c.nextSock++
+	s := &sock{ID: c.nextSock, State: sockFresh, Opts: map[int]int{}}
+	c.allocPCB(ctx, s)
+	c.socks[s.ID] = s
+	c.saveRuntime(ctx)
+	return msg.Args{s.ID}, nil
+}
+
+func (c *Comp) bind(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	defer c.enter(ctx)()
+	s, err := c.getSock(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	port, err := args.Int(1)
+	if err != nil {
+		return nil, err
+	}
+	if port <= 0 || port > 65535 {
+		return nil, core.EINVAL
+	}
+	if other, used := c.listens[uint16(port)]; used && other != s.ID {
+		return nil, core.EADDRINUSE
+	}
+	s.LocalPort = uint16(port)
+	s.State = sockBound
+	return nil, nil
+}
+
+func (c *Comp) listen(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	defer c.enter(ctx)()
+	s, err := c.getSock(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	if s.State != sockBound {
+		return nil, core.EINVAL
+	}
+	backlog, err := args.Int(1)
+	if err != nil {
+		return nil, err
+	}
+	if backlog <= 0 {
+		backlog = 16
+	}
+	s.Backlog = backlog
+	s.State = sockListening
+	c.listens[s.LocalPort] = s.ID
+	return nil, nil
+}
+
+// connect starts an active open; completion is observed via conn_state.
+func (c *Comp) connect(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	defer c.enter(ctx)()
+	s, err := c.getSock(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	raddrU, err := args.Uint64(1)
+	if err != nil {
+		return nil, err
+	}
+	rport, err := args.Int(2)
+	if err != nil {
+		return nil, err
+	}
+	if s.State != sockFresh && s.State != sockBound {
+		return nil, core.EINVAL
+	}
+	if s.LocalPort == 0 {
+		s.LocalPort = uint16(30000 + s.ID)
+	}
+	c.isn += 64013
+	s.m = NewActive(c.ip, s.LocalPort, Addr(raddrU), uint16(rport), c.isn, c.emit)
+	s.State = sockConn
+	c.conns[connKey{Remote: Addr(raddrU), RemotePort: uint16(rport), LocalPort: s.LocalPort}] = s.ID
+	c.saveRuntime(ctx)
+	return nil, nil
+}
+
+// accept pops one established connection; EAGAIN when none is ready.
+func (c *Comp) accept(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	defer c.enter(ctx)()
+	s, err := c.getSock(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	if s.State != sockListening {
+		return nil, core.EINVAL
+	}
+	kept := s.AcceptQ[:0]
+	var picked *sock
+	for _, id := range s.AcceptQ {
+		conn, ok := c.socks[id]
+		if !ok || conn.m == nil {
+			continue // already destroyed
+		}
+		switch {
+		case picked == nil && (conn.m.State() == StateEstablished || conn.m.Readable() > 0):
+			picked = conn
+		case conn.m.State() == StateDone || conn.m.WasReset():
+			// Died before it was ever accepted.
+			c.destroySock(ctx, conn)
+		default:
+			// Handshake still in flight: keep it queued.
+			kept = append(kept, id)
+		}
+	}
+	s.AcceptQ = kept
+	if picked == nil {
+		return nil, core.EAGAIN
+	}
+	c.saveRuntime(ctx)
+	st := picked.m.Snapshot()
+	return msg.Args{picked.ID, uint64(st.Remote), int(st.RemotePort)}, nil
+}
+
+// send transmits on a connected socket.
+func (c *Comp) send(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	defer c.enter(ctx)()
+	s, err := c.getSock(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	data, err := args.Bytes(1)
+	if err != nil {
+		return nil, err
+	}
+	if s.State != sockConn || s.m == nil {
+		return nil, core.ENOTCONN
+	}
+	switch s.m.State() {
+	case StateEstablished, StateCloseWait:
+	case StateSynSent, StateSynRcvd:
+		return nil, core.EAGAIN
+	default:
+		if s.m.WasReset() {
+			return nil, core.ECONNRESET
+		}
+		return nil, core.EPIPE
+	}
+	if err := s.m.Send(data); err != nil {
+		return nil, core.EPIPE
+	}
+	c.saveRuntime(ctx)
+	return msg.Args{len(data)}, nil
+}
+
+// recv returns up to n buffered bytes; (empty, eof=true) at stream end.
+func (c *Comp) recv(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	defer c.enter(ctx)()
+	s, err := c.getSock(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	n, err := args.Int(1)
+	if err != nil {
+		return nil, err
+	}
+	if s.State != sockConn || s.m == nil {
+		return nil, core.ENOTCONN
+	}
+	if s.m.Readable() == 0 {
+		if s.m.WasReset() {
+			return nil, core.ECONNRESET
+		}
+		if s.m.PeerClosed() || s.m.State() == StateDone {
+			return msg.Args{[]byte{}, true}, nil // EOF
+		}
+		return nil, core.EAGAIN
+	}
+	data := s.m.Recv(n)
+	c.saveRuntime(ctx)
+	return msg.Args{data, false}, nil
+}
+
+func (c *Comp) shutdown(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	defer c.enter(ctx)()
+	s, err := c.getSock(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	if s.m != nil {
+		s.m.Close()
+		c.saveRuntime(ctx)
+	}
+	return nil, nil
+}
+
+func (c *Comp) sockClose(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	defer c.enter(ctx)()
+	s, err := c.getSock(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	if s.m != nil && s.m.State() != StateDone {
+		s.m.Close()
+	}
+	c.destroySock(ctx, s)
+	c.saveRuntime(ctx)
+	return nil, nil
+}
+
+func (c *Comp) destroySock(ctx *core.Ctx, s *sock) {
+	if s.State == sockListening {
+		delete(c.listens, s.LocalPort)
+	}
+	if s.m != nil {
+		st := s.m.Snapshot()
+		delete(c.conns, connKey{Remote: st.Remote, RemotePort: st.RemotePort, LocalPort: st.LocalPort})
+	}
+	c.freePCB(ctx, s)
+	s.State = sockClosed
+	delete(c.socks, s.ID)
+}
+
+func (c *Comp) getsockopt(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	s, err := c.getSock(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := args.Int(1)
+	if err != nil {
+		return nil, err
+	}
+	return msg.Args{s.Opts[opt]}, nil
+}
+
+func (c *Comp) setsockopt(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	s, err := c.getSock(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := args.Int(1)
+	if err != nil {
+		return nil, err
+	}
+	val, err := args.Int(2)
+	if err != nil {
+		return nil, err
+	}
+	s.Opts[opt] = val
+	return nil, nil
+}
+
+func (c *Comp) ioctl(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	s, err := c.getSock(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	// FIONREAD-style: report readable bytes.
+	n := 0
+	if s.m != nil {
+		n = s.m.Readable()
+	}
+	return msg.Args{n}, nil
+}
+
+// connState reports the machine state for connect() completion polling.
+func (c *Comp) connState(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	s, err := c.getSock(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	if s.m == nil {
+		return msg.Args{int(StateClosed)}, nil
+	}
+	return msg.Args{int(s.m.State())}, nil
+}
+
+// rxPump drains the receive ring through NETDEV and demultiplexes each
+// segment. It is injected (fire-and-forget) by the virtio RX interrupt.
+func (c *Comp) rxPump(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	defer c.enter(ctx)()
+	changed := false
+	for {
+		rets, err := ctx.Call("netdev", "rx_pop")
+		if err != nil {
+			break // EAGAIN: ring drained (or device gone)
+		}
+		frame, err := rets.Bytes(0)
+		if err != nil {
+			break
+		}
+		seg, err := DecodeSegment(frame)
+		if err != nil {
+			continue
+		}
+		c.SegsIn++
+		c.demux(ctx, seg)
+		changed = true
+	}
+	if changed {
+		c.saveRuntime(ctx)
+	}
+	return nil, nil
+}
+
+func (c *Comp) demux(ctx *core.Ctx, seg Segment) {
+	key := connKey{Remote: seg.Src, RemotePort: seg.SrcPort, LocalPort: seg.DstPort}
+	if id, ok := c.conns[key]; ok {
+		if s := c.socks[id]; s != nil && s.m != nil {
+			s.m.OnSegment(seg)
+			return
+		}
+	}
+	if seg.Flags&FlagSYN != 0 && seg.Flags&FlagACK == 0 {
+		if lid, ok := c.listens[seg.DstPort]; ok {
+			l := c.socks[lid]
+			if l != nil && len(l.AcceptQ) < l.Backlog {
+				c.isn += 64013
+				m, err := NewPassive(c.ip, seg.DstPort, c.isn, seg, c.emit)
+				if err != nil {
+					return
+				}
+				c.nextSock++
+				s := &sock{ID: c.nextSock, State: sockConn, m: m, LocalPort: seg.DstPort, Listener: lid, Opts: map[int]int{}}
+				c.allocPCB(ctx, s)
+				c.socks[s.ID] = s
+				c.conns[key] = s.ID
+				l.AcceptQ = append(l.AcceptQ, s.ID)
+				return
+			}
+		}
+	}
+	if seg.Flags&FlagRST != 0 {
+		return // no RST wars
+	}
+	// Segment for no connection: reset the sender (what a freshly
+	// rebooted stack without restored state would do to every peer).
+	c.Resets++
+	c.emit(Segment{
+		Src: seg.Dst, Dst: seg.Src, SrcPort: seg.DstPort, DstPort: seg.SrcPort,
+		Seq: seg.Ack, Flags: FlagRST,
+	})
+}
+
+var (
+	_ core.Component         = (*Comp)(nil)
+	_ core.LogPolicyProvider = (*Comp)(nil)
+	_ core.RuntimeKeeper     = (*Comp)(nil)
+	_ core.StateSaver        = (*Comp)(nil)
+)
+
+// SaveState / RestoreState serialise the control structures for the
+// post-init checkpoint. At checkpoint time (right after Init) the table
+// is empty, so the blob is small; what matters is that restore brings
+// the component back to the exact post-boot structure.
+func (c *Comp) SaveState() ([]byte, error) {
+	var buf bytes.Buffer
+	st := struct {
+		NextSock int
+		ISN      uint32
+	}{c.nextSock, c.isn}
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements core.StateSaver.
+func (c *Comp) RestoreState(p []byte) error {
+	var st struct {
+		NextSock int
+		ISN      uint32
+	}
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&st); err != nil {
+		return err
+	}
+	c.socks = make(map[int]*sock)
+	c.listens = make(map[uint16]int)
+	c.conns = make(map[connKey]int)
+	c.nextSock = st.NextSock
+	c.isn = st.ISN
+	return nil
+}

@@ -1,0 +1,288 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newTestBuddy(t *testing.T, size int64) *Buddy {
+	t.Helper()
+	b, err := NewBuddy(0x10000, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBuddyRejectsBadSizes(t *testing.T) {
+	for _, size := range []int64{0, 1, MinBlock - 1, MinBlock*2 + 1, 3 * MinBlock} {
+		if _, err := NewBuddy(0, size); err == nil {
+			t.Errorf("NewBuddy(size=%d) accepted a non-power-of-two size", size)
+		}
+	}
+}
+
+func TestBuddyAllocFreeRoundTrip(t *testing.T) {
+	b := newTestBuddy(t, 1<<16)
+	addr, err := b.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr < b.Base() || addr >= b.Base()+Addr(b.Size()) {
+		t.Fatalf("block %#x outside arena", uint64(addr))
+	}
+	size, ok := b.BlockSize(addr)
+	if !ok {
+		t.Fatal("BlockSize does not know the live block")
+	}
+	if size < 100 || size != 128 {
+		t.Fatalf("BlockSize = %d, want 128 (next power of two above 100)", size)
+	}
+	if err := b.Free(addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.BlockSize(addr); ok {
+		t.Fatal("freed block still reported live")
+	}
+}
+
+func TestBuddyDoubleFreeRejected(t *testing.T) {
+	b := newTestBuddy(t, 1<<12)
+	addr, err := b.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Free(addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Free(addr); err == nil {
+		t.Fatal("double free accepted")
+	}
+}
+
+func TestBuddyFreeForeignAddressRejected(t *testing.T) {
+	b := newTestBuddy(t, 1<<12)
+	if err := b.Free(b.Base() + 8); err == nil {
+		t.Fatal("free of never-allocated address accepted")
+	}
+	if err := b.Free(0); err == nil {
+		t.Fatal("free below arena base accepted")
+	}
+}
+
+func TestBuddyExhaustionAndRecovery(t *testing.T) {
+	b := newTestBuddy(t, 4*MinBlock)
+	var addrs []Addr
+	for i := 0; i < 4; i++ {
+		a, err := b.Alloc(MinBlock)
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		addrs = append(addrs, a)
+	}
+	if _, err := b.Alloc(1); err == nil {
+		t.Fatal("allocation from a full arena succeeded")
+	}
+	if got := b.Stats().FailedAllocs; got != 1 {
+		t.Fatalf("FailedAllocs = %d, want 1", got)
+	}
+	for _, a := range addrs {
+		if err := b.Free(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After freeing everything, buddies must have coalesced to one block.
+	if _, err := b.Alloc(4 * MinBlock); err != nil {
+		t.Fatalf("full-arena alloc after coalescing failed: %v", err)
+	}
+}
+
+func TestBuddyCoalescingRestoresLargestBlock(t *testing.T) {
+	b := newTestBuddy(t, 1<<14)
+	var addrs []Addr
+	for i := 0; i < 64; i++ {
+		a, err := b.Alloc(MinBlock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, a)
+	}
+	for _, a := range addrs {
+		if err := b.Free(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := b.Stats()
+	if s.LargestFreeBlock != b.Size() {
+		t.Fatalf("LargestFreeBlock = %d after freeing all, want %d", s.LargestFreeBlock, b.Size())
+	}
+	if s.ExternalFragmentation() != 0 {
+		t.Fatalf("fragmentation = %v after freeing all, want 0", s.ExternalFragmentation())
+	}
+}
+
+func TestBuddyFragmentationObservable(t *testing.T) {
+	b := newTestBuddy(t, 1<<14)
+	// Allocate the whole arena as min blocks, then free every other one:
+	// plenty of free space but no large contiguous block.
+	var addrs []Addr
+	for {
+		a, err := b.Alloc(MinBlock)
+		if err != nil {
+			break
+		}
+		addrs = append(addrs, a)
+	}
+	for i, a := range addrs {
+		if i%2 == 0 {
+			if err := b.Free(a); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s := b.Stats()
+	if s.FreeBytes == 0 {
+		t.Fatal("expected free space")
+	}
+	if s.LargestFreeBlock != MinBlock {
+		t.Fatalf("LargestFreeBlock = %d, want %d (checkerboard)", s.LargestFreeBlock, MinBlock)
+	}
+	if s.ExternalFragmentation() == 0 {
+		t.Fatal("checkerboard arena reported zero fragmentation")
+	}
+}
+
+func TestBuddyStatsAccounting(t *testing.T) {
+	b := newTestBuddy(t, 1<<12)
+	a1, err := b.Alloc(MinBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := b.Alloc(2 * MinBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := b.Stats()
+	if s.AllocatedBytes != 3*MinBlock {
+		t.Fatalf("AllocatedBytes = %d, want %d", s.AllocatedBytes, 3*MinBlock)
+	}
+	if s.LiveAllocs != 2 {
+		t.Fatalf("LiveAllocs = %d, want 2", s.LiveAllocs)
+	}
+	if s.AllocatedBytes+s.FreeBytes != s.TotalBytes {
+		t.Fatalf("allocated %d + free %d != total %d", s.AllocatedBytes, s.FreeBytes, s.TotalBytes)
+	}
+	if err := b.Free(a1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Free(a2); err != nil {
+		t.Fatal(err)
+	}
+	s = b.Stats()
+	if s.AllocatedBytes != 0 || s.LiveAllocs != 0 {
+		t.Fatalf("after freeing all: %+v", s)
+	}
+}
+
+func TestBuddyLiveAllocationsSorted(t *testing.T) {
+	b := newTestBuddy(t, 1<<12)
+	for i := 0; i < 8; i++ {
+		if _, err := b.Alloc(MinBlock); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live := b.LiveAllocations()
+	if len(live) != 8 {
+		t.Fatalf("LiveAllocations returned %d addrs, want 8", len(live))
+	}
+	for i := 1; i < len(live); i++ {
+		if live[i] <= live[i-1] {
+			t.Fatal("LiveAllocations not strictly ascending")
+		}
+	}
+}
+
+// Property: random alloc/free interleavings never hand out overlapping
+// blocks and conserve bytes (allocated + free == total).
+func TestBuddyNoOverlapProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b, err := NewBuddy(0, 1<<13)
+		if err != nil {
+			return false
+		}
+		type block struct {
+			addr Addr
+			size int64
+		}
+		var live []block
+		for step := 0; step < 200; step++ {
+			if rng.Intn(2) == 0 || len(live) == 0 {
+				n := int64(1 + rng.Intn(500))
+				a, err := b.Alloc(n)
+				if err != nil {
+					continue
+				}
+				sz, _ := b.BlockSize(a)
+				for _, blk := range live {
+					if a < blk.addr+Addr(blk.size) && blk.addr < a+Addr(sz) {
+						return false // overlap
+					}
+				}
+				live = append(live, block{a, sz})
+			} else {
+				i := rng.Intn(len(live))
+				if err := b.Free(live[i].addr); err != nil {
+					return false
+				}
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			s := b.Stats()
+			if s.AllocatedBytes+s.FreeBytes != s.TotalBytes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after freeing every block the arena is one maximal free block
+// again (perfect coalescing), for any interleaving.
+func TestBuddyPerfectCoalescingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b, err := NewBuddy(0, 1<<13)
+		if err != nil {
+			return false
+		}
+		var live []Addr
+		for step := 0; step < 120; step++ {
+			if rng.Intn(3) > 0 {
+				if a, err := b.Alloc(int64(1 + rng.Intn(300))); err == nil {
+					live = append(live, a)
+				}
+			} else if len(live) > 0 {
+				i := rng.Intn(len(live))
+				if err := b.Free(live[i]); err != nil {
+					return false
+				}
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		for _, a := range live {
+			if err := b.Free(a); err != nil {
+				return false
+			}
+		}
+		return b.Stats().LargestFreeBlock == b.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,451 @@
+// Package mem models the single flat address space shared by a
+// unikernel-linked application and its components, together with the
+// Intel MPK-style in-process protection that VampOS uses to confine error
+// propagation (paper §V-D).
+//
+// The model follows Intel MPK closely: every 4 KiB page carries a 4-bit
+// protection key, and every thread carries a PKRU word holding an
+// access-disable and a write-disable bit per key. All guest accesses go
+// through an Accessor bound to the current thread's PKRU; an access to a
+// page whose key the PKRU disables returns a *Fault instead of touching
+// the page, which is how a wild write out of a faulty component is caught
+// before it damages another component's memory. The host (hypervisor)
+// bypasses protection, as real DMA does.
+package mem
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PageSize is the size of one page in bytes, matching x86.
+const PageSize = 4096
+
+// NumKeys is the number of protection keys, matching Intel MPK.
+const NumKeys = 16
+
+// Key identifies a protection domain. Key 0 is the default key: like the
+// conventional MPK setup, pages tagged 0 are accessible regardless of
+// PKRU, so bootstrap code always has somewhere to stand.
+type Key uint8
+
+// Addr is a guest-physical address in the flat space.
+type Addr uint64
+
+// PKRU mirrors the x86 PKRU register layout: bit 2k disables all access
+// to key k, bit 2k+1 disables writes to key k.
+type PKRU uint32
+
+// DenyAll is a PKRU with every key except key 0 fully disabled.
+const DenyAll PKRU = 0xFFFFFFFC
+
+// AllowAll is a PKRU granting read/write on every key.
+const AllowAll PKRU = 0
+
+// Allow returns a PKRU that permits read/write on key 0 and the listed
+// keys and denies everything else.
+func Allow(keys ...Key) PKRU {
+	p := DenyAll
+	for _, k := range keys {
+		p &^= PKRU(3) << (2 * k)
+	}
+	return p
+}
+
+// WithRead returns p with read (but not write) access added for key k.
+func (p PKRU) WithRead(k Key) PKRU {
+	p &^= PKRU(1) << (2 * k)  // clear AD
+	p |= PKRU(1) << (2*k + 1) // set WD
+	return p
+}
+
+// WithWrite returns p with full read/write access added for key k.
+func (p PKRU) WithWrite(k Key) PKRU {
+	return p &^ (PKRU(3) << (2 * k))
+}
+
+// Without returns p with all access to key k removed.
+func (p PKRU) Without(k Key) PKRU {
+	if k == 0 {
+		return p // key 0 is not revocable, as on real hardware setups
+	}
+	return p | PKRU(1)<<(2*k)
+}
+
+// CanRead reports whether p permits reads of pages tagged k.
+func (p PKRU) CanRead(k Key) bool {
+	return k == 0 || p&(PKRU(1)<<(2*k)) == 0
+}
+
+// CanWrite reports whether p permits writes to pages tagged k.
+func (p PKRU) CanWrite(k Key) bool {
+	return k == 0 || p&(PKRU(3)<<(2*k)) == 0
+}
+
+// Op distinguishes the access kind recorded in a Fault.
+type Op uint8
+
+// Access kinds.
+const (
+	OpRead Op = iota + 1
+	OpWrite
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Fault is a protection violation: an access denied by the PKRU, or an
+// access outside the mapped address space. It is the software analogue of
+// the #PF a real MPK violation raises, and the failure detector treats it
+// as a fail-stop of the offending component.
+type Fault struct {
+	Addr Addr
+	Key  Key // key of the page touched; meaningless if OutOfRange
+	Op   Op
+	PKRU PKRU
+	// OutOfRange marks an access beyond the address space rather than a
+	// key violation.
+	OutOfRange bool
+}
+
+func (f *Fault) Error() string {
+	if f.OutOfRange {
+		return fmt.Sprintf("mem: %s fault at %#x: address out of range", f.Op, uint64(f.Addr))
+	}
+	return fmt.Sprintf("mem: %s fault at %#x: page key %d denied by pkru %#08x",
+		f.Op, uint64(f.Addr), f.Key, uint32(f.PKRU))
+}
+
+// Memory is the flat paged address space. Pages are materialised lazily,
+// so a large space costs nothing until touched.
+type Memory struct {
+	mu       sync.Mutex
+	npages   int
+	keys     []Key
+	frames   [][]byte
+	owned    []bool // page is part of some mapping
+	faults   uint64
+	searchAt int // next-fit cursor for page allocation
+}
+
+// New creates an address space of the given size, rounded up to whole
+// pages. Size must be positive.
+func New(size int64) *Memory {
+	if size <= 0 {
+		panic(fmt.Sprintf("mem: New(%d): size must be positive", size))
+	}
+	n := int((size + PageSize - 1) / PageSize)
+	return &Memory{
+		npages: n,
+		keys:   make([]Key, n),
+		frames: make([][]byte, n),
+		owned:  make([]bool, n),
+	}
+}
+
+// Size returns the size of the address space in bytes.
+func (m *Memory) Size() int64 { return int64(m.npages) * PageSize }
+
+// Faults returns the number of protection faults raised so far.
+func (m *Memory) Faults() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.faults
+}
+
+// ResidentBytes returns the number of bytes in materialised pages: the
+// model's equivalent of resident-set size, used by the Fig. 7b memory
+// accounting.
+func (m *Memory) ResidentBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, f := range m.frames {
+		if f != nil {
+			n += PageSize
+		}
+	}
+	return n
+}
+
+// AllocPages maps n contiguous pages tagged with key and returns the base
+// address. It fails when no contiguous run of unmapped pages exists.
+func (m *Memory) AllocPages(n int, key Key) (Addr, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("mem: AllocPages(%d): count must be positive", n)
+	}
+	if key >= NumKeys {
+		return 0, fmt.Errorf("mem: AllocPages: key %d out of range", key)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	start, ok := m.findRun(n)
+	if !ok {
+		return 0, fmt.Errorf("mem: AllocPages(%d): no contiguous region in %d-page space", n, m.npages)
+	}
+	for i := start; i < start+n; i++ {
+		m.owned[i] = true
+		m.keys[i] = key
+	}
+	m.searchAt = start + n
+	return Addr(start) * PageSize, nil
+}
+
+// findRun locates n consecutive unowned pages using a next-fit scan.
+// Caller holds m.mu.
+func (m *Memory) findRun(n int) (int, bool) {
+	if n > m.npages {
+		return 0, false
+	}
+	scan := func(from, to int) (int, bool) {
+		run := 0
+		for i := from; i < to; i++ {
+			if m.owned[i] {
+				run = 0
+				continue
+			}
+			run++
+			if run == n {
+				return i - n + 1, true
+			}
+		}
+		return 0, false
+	}
+	if at := m.searchAt; at < m.npages {
+		if s, ok := scan(at, m.npages); ok {
+			return s, true
+		}
+	}
+	return scan(0, m.npages)
+}
+
+// FreePages unmaps n pages starting at base, zeroing their contents and
+// resetting their key. base must be page-aligned.
+func (m *Memory) FreePages(base Addr, n int) error {
+	start, err := m.pageIndex(base, n)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := start; i < start+n; i++ {
+		m.owned[i] = false
+		m.keys[i] = 0
+		m.frames[i] = nil
+	}
+	return nil
+}
+
+// SetKey retags n pages starting at base with key. The reboot manager uses
+// this when reassigning a merged component's region.
+func (m *Memory) SetKey(base Addr, n int, key Key) error {
+	if key >= NumKeys {
+		return fmt.Errorf("mem: SetKey: key %d out of range", key)
+	}
+	start, err := m.pageIndex(base, n)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := start; i < start+n; i++ {
+		m.keys[i] = key
+	}
+	return nil
+}
+
+// KeyAt returns the protection key of the page containing addr.
+func (m *Memory) KeyAt(addr Addr) (Key, error) {
+	i, err := m.pageIndex(addr&^Addr(PageSize-1), 1)
+	if err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.keys[i], nil
+}
+
+func (m *Memory) pageIndex(base Addr, n int) (int, error) {
+	if base%PageSize != 0 {
+		return 0, fmt.Errorf("mem: address %#x not page-aligned", uint64(base))
+	}
+	start := int(base / PageSize)
+	if n < 0 || start < 0 || start+n > m.npages {
+		return 0, fmt.Errorf("mem: page range [%d,%d) outside %d-page space", start, start+n, m.npages)
+	}
+	return start, nil
+}
+
+// frame returns the backing bytes of page i, materialising it on first
+// touch. Caller holds m.mu.
+func (m *Memory) frame(i int) []byte {
+	if m.frames[i] == nil {
+		m.frames[i] = make([]byte, PageSize)
+	}
+	return m.frames[i]
+}
+
+// access copies between guest memory and p, checking each touched page
+// against pkru unless host is set. write selects the direction.
+func (m *Memory) access(addr Addr, p []byte, pkru PKRU, write, host bool) error {
+	if len(p) == 0 {
+		return nil
+	}
+	end := uint64(addr) + uint64(len(p))
+	if end > uint64(m.npages)*PageSize || end < uint64(addr) {
+		m.mu.Lock()
+		m.faults++
+		m.mu.Unlock()
+		op := OpRead
+		if write {
+			op = OpWrite
+		}
+		return &Fault{Addr: addr, Op: op, PKRU: pkru, OutOfRange: true}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	off := 0
+	for off < len(p) {
+		pg := int((uint64(addr) + uint64(off)) / PageSize)
+		inPage := int((uint64(addr) + uint64(off)) % PageSize)
+		chunk := PageSize - inPage
+		if rem := len(p) - off; chunk > rem {
+			chunk = rem
+		}
+		if !host {
+			key := m.keys[pg]
+			allowed := pkru.CanRead(key)
+			if write {
+				allowed = pkru.CanWrite(key)
+			}
+			if !allowed {
+				m.faults++
+				op := OpRead
+				if write {
+					op = OpWrite
+				}
+				return &Fault{Addr: addr + Addr(off), Key: key, Op: op, PKRU: pkru}
+			}
+		}
+		f := m.frame(pg)
+		if write {
+			copy(f[inPage:inPage+chunk], p[off:off+chunk])
+		} else {
+			copy(p[off:off+chunk], f[inPage:inPage+chunk])
+		}
+		off += chunk
+	}
+	return nil
+}
+
+// HostRead copies guest memory into p without protection checks, as a
+// hypervisor or DMA engine would.
+func (m *Memory) HostRead(addr Addr, p []byte) error {
+	return m.access(addr, p, 0, false, true)
+}
+
+// HostWrite copies p into guest memory without protection checks.
+func (m *Memory) HostWrite(addr Addr, p []byte) error {
+	return m.access(addr, p, 0, true, true)
+}
+
+// Accessor performs protection-checked accesses on behalf of one thread.
+// The scheduler installs the thread's PKRU on dispatch, mirroring the tag
+// switch VampOS performs on every context switch.
+type Accessor struct {
+	mem  *Memory
+	pkru PKRU
+}
+
+// NewAccessor binds an accessor to m with the given PKRU.
+func NewAccessor(m *Memory, pkru PKRU) *Accessor {
+	return &Accessor{mem: m, pkru: pkru}
+}
+
+// PKRU returns the accessor's current PKRU word.
+func (a *Accessor) PKRU() PKRU { return a.pkru }
+
+// SetPKRU replaces the accessor's PKRU word.
+func (a *Accessor) SetPKRU(p PKRU) { a.pkru = p }
+
+// Memory returns the underlying address space.
+func (a *Accessor) Memory() *Memory { return a.mem }
+
+// Read copies len(p) bytes at addr into p, checking protections.
+func (a *Accessor) Read(addr Addr, p []byte) error {
+	return a.mem.access(addr, p, a.pkru, false, false)
+}
+
+// Write copies p into memory at addr, checking protections.
+func (a *Accessor) Write(addr Addr, p []byte) error {
+	return a.mem.access(addr, p, a.pkru, true, false)
+}
+
+// ReadBytes reads and returns n bytes at addr.
+func (a *Accessor) ReadBytes(addr Addr, n int) ([]byte, error) {
+	p := make([]byte, n)
+	if err := a.Read(addr, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Snapshot is a verbatim copy of a page range and its keys, used by
+// checkpoint-based initialization (paper §V-E).
+type Snapshot struct {
+	Base  Addr
+	Pages int
+	Data  []byte
+	Keys  []Key
+}
+
+// Snapshot captures n pages starting at base. The host takes snapshots,
+// so no protection check applies (the paper reuses the QEMU snapshot
+// feature for the same reason).
+func (m *Memory) Snapshot(base Addr, n int) (*Snapshot, error) {
+	start, err := m.pageIndex(base, n)
+	if err != nil {
+		return nil, err
+	}
+	s := &Snapshot{Base: base, Pages: n, Data: make([]byte, n*PageSize), Keys: make([]Key, n)}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := 0; i < n; i++ {
+		s.Keys[i] = m.keys[start+i]
+		if f := m.frames[start+i]; f != nil {
+			copy(s.Data[i*PageSize:(i+1)*PageSize], f)
+		}
+	}
+	return s, nil
+}
+
+// Restore writes a snapshot back over its original page range, restoring
+// both contents and keys.
+func (m *Memory) Restore(s *Snapshot) error {
+	start, err := m.pageIndex(s.Base, s.Pages)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := 0; i < s.Pages; i++ {
+		m.keys[start+i] = s.Keys[i]
+		copy(m.frame(start+i), s.Data[i*PageSize:(i+1)*PageSize])
+	}
+	return nil
+}
+
+// Zero clears length bytes at addr without protection checks. The reboot
+// manager uses it to scrub a component's pages on cold re-init.
+func (m *Memory) Zero(addr Addr, length int) error {
+	zeros := make([]byte, length)
+	return m.HostWrite(addr, zeros)
+}

@@ -1,0 +1,363 @@
+package mem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestPKRUAllow(t *testing.T) {
+	p := Allow(3, 7)
+	for k := Key(0); k < NumKeys; k++ {
+		wantRW := k == 0 || k == 3 || k == 7
+		if got := p.CanRead(k); got != wantRW {
+			t.Errorf("CanRead(%d) = %v, want %v", k, got, wantRW)
+		}
+		if got := p.CanWrite(k); got != wantRW {
+			t.Errorf("CanWrite(%d) = %v, want %v", k, got, wantRW)
+		}
+	}
+}
+
+func TestPKRUWithRead(t *testing.T) {
+	p := DenyAll.WithRead(5)
+	if !p.CanRead(5) {
+		t.Error("WithRead(5): CanRead(5) = false")
+	}
+	if p.CanWrite(5) {
+		t.Error("WithRead(5): CanWrite(5) = true, want read-only")
+	}
+}
+
+func TestPKRUWithWriteThenWithout(t *testing.T) {
+	p := DenyAll.WithWrite(4)
+	if !p.CanWrite(4) || !p.CanRead(4) {
+		t.Fatal("WithWrite(4) did not grant read/write")
+	}
+	p = p.Without(4)
+	if p.CanRead(4) || p.CanWrite(4) {
+		t.Fatal("Without(4) did not revoke access")
+	}
+}
+
+func TestKeyZeroAlwaysAccessible(t *testing.T) {
+	if !DenyAll.CanRead(0) || !DenyAll.CanWrite(0) {
+		t.Fatal("key 0 must remain accessible under DenyAll")
+	}
+	if got := DenyAll.Without(0); got != DenyAll {
+		t.Fatal("Without(0) must be a no-op")
+	}
+}
+
+func TestAllocPagesAssignsKeyAndRange(t *testing.T) {
+	m := New(64 * PageSize)
+	base, err := m.AllocPages(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base%PageSize != 0 {
+		t.Fatalf("base %#x not page-aligned", uint64(base))
+	}
+	for i := 0; i < 4; i++ {
+		k, err := m.KeyAt(base + Addr(i*PageSize))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k != 5 {
+			t.Fatalf("page %d key = %d, want 5", i, k)
+		}
+	}
+}
+
+func TestAllocPagesDistinctRegions(t *testing.T) {
+	m := New(16 * PageSize)
+	a, err := m.AllocPages(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.AllocPages(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("two mappings share a base address")
+	}
+	if b < a+4*PageSize && a < b+4*PageSize {
+		t.Fatalf("mappings overlap: %#x and %#x", uint64(a), uint64(b))
+	}
+}
+
+func TestAllocPagesExhaustion(t *testing.T) {
+	m := New(4 * PageSize)
+	if _, err := m.AllocPages(4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AllocPages(1, 1); err == nil {
+		t.Fatal("expected exhaustion error")
+	}
+}
+
+func TestFreePagesAllowsReuseAndZeroes(t *testing.T) {
+	m := New(4 * PageSize)
+	base, err := m.AllocPages(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.HostWrite(base, []byte{0xAA, 0xBB}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FreePages(base, 4); err != nil {
+		t.Fatal(err)
+	}
+	base2, err := m.AllocPages(4, 3)
+	if err != nil {
+		t.Fatalf("reuse after free failed: %v", err)
+	}
+	got := make([]byte, 2)
+	if err := m.HostRead(base2, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 || got[1] != 0 {
+		t.Fatalf("freed pages not zeroed: % x", got)
+	}
+}
+
+func TestAccessorRoundTrip(t *testing.T) {
+	m := New(8 * PageSize)
+	base, err := m.AllocPages(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAccessor(m, Allow(2))
+	msg := []byte("hello component world")
+	if err := a.Write(base+100, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.ReadBytes(base+100, len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("read back %q, want %q", got, msg)
+	}
+}
+
+func TestAccessCrossesPageBoundary(t *testing.T) {
+	m := New(8 * PageSize)
+	base, err := m.AllocPages(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAccessor(m, Allow(2))
+	big := make([]byte, PageSize+512)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := a.Write(base+PageSize-256, big); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.ReadBytes(base+PageSize-256, len(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatal("cross-page round trip corrupted data")
+	}
+}
+
+func TestProtectionFaultOnForeignKey(t *testing.T) {
+	m := New(8 * PageSize)
+	mine, err := m.AllocPages(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	theirs, err := m.AllocPages(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAccessor(m, Allow(1))
+	if err := a.Write(mine, []byte{1}); err != nil {
+		t.Fatalf("write to own page failed: %v", err)
+	}
+	err = a.Write(theirs, []byte{1})
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("wild write returned %v, want *Fault", err)
+	}
+	if f.Op != OpWrite || f.Key != 2 {
+		t.Fatalf("fault = %+v, want write fault on key 2", f)
+	}
+	// The wild write must not have modified the victim page.
+	got := make([]byte, 1)
+	if err := m.HostRead(theirs, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Fatal("wild write modified a protected page before faulting")
+	}
+}
+
+func TestReadOnlyGrant(t *testing.T) {
+	m := New(8 * PageSize)
+	dom, err := m.AllocPages(1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.HostWrite(dom, []byte("msg")); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAccessor(m, Allow(1).WithRead(6))
+	if _, err := a.ReadBytes(dom, 3); err != nil {
+		t.Fatalf("read with read-only grant failed: %v", err)
+	}
+	var f *Fault
+	if err := a.Write(dom, []byte("x")); !errors.As(err, &f) {
+		t.Fatalf("write with read-only grant returned %v, want *Fault", err)
+	}
+}
+
+func TestOutOfRangeFault(t *testing.T) {
+	m := New(2 * PageSize)
+	a := NewAccessor(m, AllowAll)
+	var f *Fault
+	if err := a.Read(Addr(2*PageSize)-1, make([]byte, 2)); !errors.As(err, &f) {
+		t.Fatalf("out-of-range read returned %v, want *Fault", err)
+	}
+	if !f.OutOfRange {
+		t.Fatalf("fault = %+v, want OutOfRange", f)
+	}
+}
+
+func TestFaultCounter(t *testing.T) {
+	m := New(8 * PageSize)
+	dom, err := m.AllocPages(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAccessor(m, Allow(1))
+	before := m.Faults()
+	_ = a.Write(dom, []byte{1})
+	_ = a.Read(dom, make([]byte, 1))
+	if got := m.Faults() - before; got != 2 {
+		t.Fatalf("fault counter rose by %d, want 2", got)
+	}
+}
+
+func TestHostBypassesProtection(t *testing.T) {
+	m := New(8 * PageSize)
+	dom, err := m.AllocPages(1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.HostWrite(dom, []byte("dma")); err != nil {
+		t.Fatalf("host write faulted: %v", err)
+	}
+	got := make([]byte, 3)
+	if err := m.HostRead(dom, got); err != nil {
+		t.Fatalf("host read faulted: %v", err)
+	}
+	if string(got) != "dma" {
+		t.Fatalf("host round trip = %q", got)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	m := New(8 * PageSize)
+	base, err := m.AllocPages(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.HostWrite(base+10, []byte("pristine")); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := m.Snapshot(base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the region and retag it, then restore.
+	if err := m.HostWrite(base+10, []byte("damaged!")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetKey(base, 2, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	if err := m.HostRead(base+10, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "pristine" {
+		t.Fatalf("restored data = %q, want %q", got, "pristine")
+	}
+	k, err := m.KeyAt(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 3 {
+		t.Fatalf("restored key = %d, want 3", k)
+	}
+}
+
+func TestZeroScrubs(t *testing.T) {
+	m := New(4 * PageSize)
+	base, err := m.AllocPages(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.HostWrite(base, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Zero(base, 3); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 3)
+	if err := m.HostRead(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0]|got[1]|got[2] != 0 {
+		t.Fatalf("Zero left bytes % x", got)
+	}
+}
+
+func TestResidentBytesGrowsLazily(t *testing.T) {
+	m := New(1024 * PageSize)
+	if got := m.ResidentBytes(); got != 0 {
+		t.Fatalf("fresh space resident = %d, want 0", got)
+	}
+	base, err := m.AllocPages(512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ResidentBytes(); got != 0 {
+		t.Fatalf("untouched mapping resident = %d, want 0", got)
+	}
+	if err := m.HostWrite(base, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ResidentBytes(); got != PageSize {
+		t.Fatalf("resident = %d after one-byte touch, want %d", got, PageSize)
+	}
+}
+
+func TestSetKeyRejectsBadKey(t *testing.T) {
+	m := New(4 * PageSize)
+	base, err := m.AllocPages(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetKey(base, 1, NumKeys); err == nil {
+		t.Fatal("SetKey accepted out-of-range key")
+	}
+}
+
+func TestUnalignedAddressRejected(t *testing.T) {
+	m := New(4 * PageSize)
+	if err := m.FreePages(1, 1); err == nil {
+		t.Fatal("FreePages accepted unaligned base")
+	}
+	if _, err := m.Snapshot(3, 1); err == nil {
+		t.Fatal("Snapshot accepted unaligned base")
+	}
+}

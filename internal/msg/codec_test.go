@@ -1,0 +1,174 @@
+package msg
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		args Args
+	}{
+		{"empty", Args{}},
+		{"nil element", Args{nil}},
+		{"bools", Args{true, false}},
+		{"ints", Args{0, -1, 42, math.MaxInt32, -math.MaxInt32}},
+		{"int64", Args{int64(math.MaxInt64), int64(math.MinInt64)}},
+		{"uint64", Args{uint64(0), uint64(math.MaxUint64)}},
+		{"float64", Args{3.14159, -0.0, math.Inf(1)}},
+		{"strings", Args{"", "open", "/var/www/index.html", "日本語"}},
+		{"bytes", Args{[]byte{}, []byte{0, 255, 10}, []byte("payload")}},
+		{"mixed", Args{5, "read", []byte("buf"), int64(4096), true, nil, uint64(7)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			enc, err := EncodeArgs(tc.args)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, err := DecodeArgs(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(dec) != len(tc.args) {
+				t.Fatalf("decoded %d args, want %d", len(dec), len(tc.args))
+			}
+			for i := range tc.args {
+				if !equalVal(dec[i], tc.args[i]) {
+					t.Fatalf("arg %d = %#v, want %#v", i, dec[i], tc.args[i])
+				}
+			}
+		})
+	}
+}
+
+func equalVal(a, b any) bool {
+	ab, aok := a.([]byte)
+	bb, bok := b.([]byte)
+	if aok && bok {
+		return bytes.Equal(ab, bb)
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+func TestEncodeRejectsUnsupportedKind(t *testing.T) {
+	if _, err := EncodeArgs(Args{struct{}{}}); err == nil {
+		t.Fatal("encoded an unsupported kind")
+	}
+	if _, err := EncodeArgs(Args{[]string{"a"}}); err == nil {
+		t.Fatal("encoded a string slice")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	bad := [][]byte{
+		{},
+		{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 1},
+		{1, 99},         // one arg, unknown kind tag
+		{1, 7},          // one arg, string kind, missing length
+		{2, 1},          // two args, only a nil present
+		{1, 7, 10, 'x'}, // string claims 10 bytes, has 1
+	}
+	for i, p := range bad {
+		if _, err := DecodeArgs(p); err == nil {
+			t.Errorf("case %d: decoded garbage % x", i, p)
+		}
+	}
+}
+
+// Property: any args built from the supported kinds round-trip.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(i int, i64 int64, u uint64, s string, b []byte, ok bool) bool {
+		in := Args{i, i64, u, s, b, ok, nil}
+		enc, err := EncodeArgs(in)
+		if err != nil {
+			return false
+		}
+		out, err := DecodeArgs(enc)
+		if err != nil || len(out) != len(in) {
+			return false
+		}
+		for j := range in {
+			if !equalVal(out[j], in[j]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the decoder never panics on arbitrary input.
+func TestDecodeNeverPanicsProperty(t *testing.T) {
+	f := func(p []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = DecodeArgs(p)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArgsAccessors(t *testing.T) {
+	a := Args{5, int64(99), uint64(7), "name", []byte("buf"), true, nil}
+	if v, err := a.Int(0); err != nil || v != 5 {
+		t.Fatalf("Int(0) = %d, %v", v, err)
+	}
+	if v, err := a.Int(1); err != nil || v != 99 {
+		t.Fatalf("Int(1) accepting int64 = %d, %v", v, err)
+	}
+	if v, err := a.Int64(0); err != nil || v != 5 {
+		t.Fatalf("Int64(0) accepting int = %d, %v", v, err)
+	}
+	if v, err := a.Uint64(2); err != nil || v != 7 {
+		t.Fatalf("Uint64(2) = %d, %v", v, err)
+	}
+	if v, err := a.Str(3); err != nil || v != "name" {
+		t.Fatalf("Str(3) = %q, %v", v, err)
+	}
+	if v, err := a.Bytes(4); err != nil || string(v) != "buf" {
+		t.Fatalf("Bytes(4) = %q, %v", v, err)
+	}
+	if v, err := a.Bool(5); err != nil || !v {
+		t.Fatalf("Bool(5) = %v, %v", v, err)
+	}
+	if v, err := a.Bytes(6); err != nil || v != nil {
+		t.Fatalf("Bytes(nil) = %v, %v", v, err)
+	}
+}
+
+func TestArgsAccessorErrors(t *testing.T) {
+	a := Args{"str"}
+	if _, err := a.Int(0); err == nil {
+		t.Error("Int on string succeeded")
+	}
+	if _, err := a.Int(5); err == nil {
+		t.Error("Int out of range succeeded")
+	}
+	if _, err := a.Str(5); err == nil {
+		t.Error("Str out of range succeeded")
+	}
+	if _, err := a.Uint64(0); err == nil {
+		t.Error("Uint64 on string succeeded")
+	}
+	if _, err := a.Bool(0); err == nil {
+		t.Error("Bool on string succeeded")
+	}
+	if _, err := a.Bytes(0); err == nil {
+		t.Error("Bytes on string succeeded")
+	}
+	if _, err := a.Int64(0); err == nil {
+		t.Error("Int64 on string succeeded")
+	}
+}

@@ -1,0 +1,166 @@
+package msg
+
+import (
+	"fmt"
+
+	"vampos/internal/mem"
+)
+
+// Message is one entry in a component's mailbox: a function invocation
+// requested by another component (or by the application thread).
+type Message struct {
+	Seq  uint64
+	From string
+	To   string
+	Fn   string
+	Args Args
+}
+
+// Domain is one component's message domain: its mailbox plus the
+// function-call/return-value log used for encapsulated restoration. All
+// entry payloads are stored encoded inside pages tagged with the domain's
+// own protection key, managed by a buddy allocator, so space usage is
+// observable and a faulty component cannot scribble over the log that
+// will later rebuild it.
+type Domain struct {
+	owner string
+	m     *mem.Memory
+	key   mem.Key
+	base  mem.Addr
+	pages int
+	heap  *mem.Buddy
+
+	queue []storedMessage
+	log   *Log
+}
+
+type storedMessage struct {
+	seq          uint64
+	from, to, fn string
+	addr         mem.Addr
+	length       int
+}
+
+// NewDomain creates a message domain for the named component, backed by
+// npages pages (a power of two) tagged with key.
+func NewDomain(owner string, m *mem.Memory, key mem.Key, npages int) (*Domain, error) {
+	if npages <= 0 || npages&(npages-1) != 0 {
+		return nil, fmt.Errorf("msg: domain pages %d must be a power of two", npages)
+	}
+	base, err := m.AllocPages(npages, key)
+	if err != nil {
+		return nil, fmt.Errorf("msg: domain %q: %w", owner, err)
+	}
+	heap, err := mem.NewBuddy(base, int64(npages)*mem.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	d := &Domain{owner: owner, m: m, key: key, base: base, pages: npages, heap: heap}
+	d.log = newLog(d)
+	return d, nil
+}
+
+// Owner returns the component name this domain belongs to.
+func (d *Domain) Owner() string { return d.owner }
+
+// Key returns the domain's protection key.
+func (d *Domain) Key() mem.Key { return d.key }
+
+// Log returns the domain's restoration log.
+func (d *Domain) Log() *Log { return d.log }
+
+// BytesInUse returns the bytes currently allocated inside the domain for
+// queued messages and log entries.
+func (d *Domain) BytesInUse() int64 { return d.heap.Stats().AllocatedBytes }
+
+// store encodes args into domain memory and returns its location.
+func (d *Domain) store(args Args) (mem.Addr, int, error) {
+	p, err := EncodeArgs(args)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(p) == 0 {
+		return 0, 0, nil
+	}
+	addr, err := d.heap.Alloc(int64(len(p)))
+	if err != nil {
+		return 0, 0, fmt.Errorf("msg: domain %q full: %w", d.owner, err)
+	}
+	if err := d.m.HostWrite(addr, p); err != nil {
+		return 0, 0, err
+	}
+	return addr, len(p), nil
+}
+
+// load decodes args previously placed by store, without freeing them.
+func (d *Domain) load(addr mem.Addr, length int) (Args, error) {
+	if length == 0 {
+		return nil, nil
+	}
+	p := make([]byte, length)
+	if err := d.m.HostRead(addr, p); err != nil {
+		return nil, err
+	}
+	return DecodeArgs(p)
+}
+
+func (d *Domain) release(addr mem.Addr, length int) {
+	if length == 0 {
+		return
+	}
+	// A free failure here would mean corrupted domain bookkeeping, which
+	// only a bug in this package can cause.
+	if err := d.heap.Free(addr); err != nil {
+		panic(fmt.Sprintf("msg: domain %q: %v", d.owner, err))
+	}
+}
+
+// Push appends a call message to the mailbox, storing its arguments in
+// domain memory. This is the vo_push_msgs half of the paper's interface.
+func (d *Domain) Push(m *Message) error {
+	addr, n, err := d.store(m.Args)
+	if err != nil {
+		return err
+	}
+	to := m.To
+	if to == "" {
+		to = d.owner
+	}
+	d.queue = append(d.queue, storedMessage{
+		seq: m.Seq, from: m.From, to: to, fn: m.Fn, addr: addr, length: n,
+	})
+	return nil
+}
+
+// Pull removes and returns the oldest pending message, releasing its
+// domain storage. This is the vo_pull_msgs half.
+func (d *Domain) Pull() (*Message, bool) {
+	if len(d.queue) == 0 {
+		return nil, false
+	}
+	s := d.queue[0]
+	d.queue = d.queue[1:]
+	args, err := d.load(s.addr, s.length)
+	d.release(s.addr, s.length)
+	if err != nil {
+		// Storage we wrote ourselves must decode; anything else is a
+		// domain-integrity bug.
+		panic(fmt.Sprintf("msg: domain %q: corrupt message payload: %v", d.owner, err))
+	}
+	return &Message{Seq: s.seq, From: s.from, To: s.to, Fn: s.fn, Args: args}, true
+}
+
+// Pending returns the number of queued messages.
+func (d *Domain) Pending() int { return len(d.queue) }
+
+// DropQueued discards every pending message, releasing their storage.
+// The reboot manager clears a failed component's mailbox of messages the
+// crash may have half-consumed.
+func (d *Domain) DropQueued() int {
+	n := len(d.queue)
+	for _, s := range d.queue {
+		d.release(s.addr, s.length)
+	}
+	d.queue = nil
+	return n
+}

@@ -1,0 +1,134 @@
+package msg
+
+import (
+	"testing"
+
+	"vampos/internal/mem"
+)
+
+func newTestDomain(t *testing.T) *Domain {
+	t.Helper()
+	m := mem.New(256 * mem.PageSize)
+	d, err := NewDomain("vfs", m, 7, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDomainRejectsNonPowerOfTwoPages(t *testing.T) {
+	m := mem.New(64 * mem.PageSize)
+	if _, err := NewDomain("x", m, 1, 3); err == nil {
+		t.Fatal("accepted 3 pages")
+	}
+	if _, err := NewDomain("x", m, 1, 0); err == nil {
+		t.Fatal("accepted 0 pages")
+	}
+}
+
+func TestPushPullRoundTrip(t *testing.T) {
+	d := newTestDomain(t)
+	in := &Message{Seq: 1, From: "app", To: "vfs", Fn: "open", Args: Args{"/etc/motd", 0}}
+	if err := d.Push(in); err != nil {
+		t.Fatal(err)
+	}
+	if d.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", d.Pending())
+	}
+	out, ok := d.Pull()
+	if !ok {
+		t.Fatal("Pull returned nothing")
+	}
+	if out.Seq != 1 || out.From != "app" || out.To != "vfs" || out.Fn != "open" {
+		t.Fatalf("pulled %+v", out)
+	}
+	name, err := out.Args.Str(0)
+	if err != nil || name != "/etc/motd" {
+		t.Fatalf("arg 0 = %q, %v", name, err)
+	}
+	if _, ok := d.Pull(); ok {
+		t.Fatal("Pull from empty mailbox returned a message")
+	}
+}
+
+func TestPushPullFIFOOrder(t *testing.T) {
+	d := newTestDomain(t)
+	for i := 0; i < 10; i++ {
+		if err := d.Push(&Message{Seq: uint64(i), Fn: "f", Args: Args{i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		m, ok := d.Pull()
+		if !ok || m.Seq != uint64(i) {
+			t.Fatalf("pull %d: got %+v", i, m)
+		}
+	}
+}
+
+func TestMessageStorageReleasedOnPull(t *testing.T) {
+	d := newTestDomain(t)
+	payload := make([]byte, 2048)
+	for i := 0; i < 50; i++ {
+		if err := d.Push(&Message{Seq: uint64(i), Fn: "write", Args: Args{payload}}); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := d.Pull(); !ok {
+			t.Fatal("pull failed")
+		}
+	}
+	if got := d.BytesInUse(); got != 0 {
+		t.Fatalf("BytesInUse = %d after draining, want 0", got)
+	}
+}
+
+func TestDomainExhaustionSurfacesError(t *testing.T) {
+	m := mem.New(16 * mem.PageSize)
+	d, err := NewDomain("tiny", m, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 3*mem.PageSize)
+	if err := d.Push(&Message{Fn: "write", Args: Args{big}}); err == nil {
+		t.Fatal("oversized push accepted")
+	}
+}
+
+func TestDropQueued(t *testing.T) {
+	d := newTestDomain(t)
+	for i := 0; i < 5; i++ {
+		if err := d.Push(&Message{Seq: uint64(i), Fn: "f", Args: Args{[]byte("xx")}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := d.DropQueued(); n != 5 {
+		t.Fatalf("DropQueued = %d, want 5", n)
+	}
+	if d.Pending() != 0 || d.BytesInUse() != 0 {
+		t.Fatalf("after drop: pending=%d bytes=%d", d.Pending(), d.BytesInUse())
+	}
+}
+
+func TestDomainIsolationByKey(t *testing.T) {
+	m := mem.New(64 * mem.PageSize)
+	d, err := NewDomain("vfs", m, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Push(&Message{Fn: "open", Args: Args{"/x"}}); err != nil {
+		t.Fatal(err)
+	}
+	// A component with a foreign key cannot write the domain's pages.
+	intruder := mem.NewAccessor(m, mem.Allow(3))
+	if err := intruder.Write(d.base, []byte{0xFF}); err == nil {
+		t.Fatal("foreign component wrote into the message domain")
+	}
+	// A read-only grant (the receiver posture) allows reads, not writes.
+	receiver := mem.NewAccessor(m, mem.Allow(3).WithRead(7))
+	if _, err := receiver.ReadBytes(d.base, 8); err != nil {
+		t.Fatalf("receiver read failed: %v", err)
+	}
+	if err := receiver.Write(d.base, []byte{0}); err == nil {
+		t.Fatal("receiver wrote with a read-only grant")
+	}
+}

@@ -1,0 +1,336 @@
+package msg
+
+import (
+	"fmt"
+
+	"vampos/internal/mem"
+)
+
+// SessionID groups log entries that belong to one resource instance — a
+// file descriptor, a socket, a 9P fid. The id is the *raw* resource
+// number (e.g. "fd:5"): reuse of a number is what allows the shrinker to
+// discard the previous open/close pair for it, reproducing the paper's
+// "-1 entries for open()" behaviour (Table III).
+type SessionID string
+
+// Class determines how the session-aware shrinker treats a logged call
+// (paper §V-F).
+type Class uint8
+
+// Log entry classes.
+const (
+	// ClassDurable entries persist until their whole session is discarded
+	// (mount, setsockopt, bind, listen…).
+	ClassDurable Class = iota + 1
+	// ClassOpener starts a session (open, socket, pipe). Logging an opener
+	// whose session id was previously closed discards the stale session.
+	ClassOpener
+	// ClassTransient entries (read, write) become unnecessary once their
+	// session's canceling function runs and are removed by it.
+	ClassTransient
+	// ClassCanceler is a canceling function (close, shutdown): it removes
+	// the session's transient entries immediately and marks the session
+	// closed so a later opener reusing the id can drop the remainder.
+	ClassCanceler
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassDurable:
+		return "durable"
+	case ClassOpener:
+		return "opener"
+	case ClassTransient:
+		return "transient"
+	case ClassCanceler:
+		return "canceler"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Outbound is the logged result of a call the component made to another
+// component while handling one inbound call. During encapsulated
+// restoration the replayer feeds these back instead of re-invoking the
+// other component (paper Fig. 3).
+type Outbound struct {
+	Target string
+	Fn     string
+	Err    string
+	rets   mem.Addr
+	retsN  int
+}
+
+// Record is one logged inbound call.
+type Record struct {
+	Seq       uint64
+	Fn        string
+	Session   SessionID
+	Class     Class
+	Err       string
+	Synthetic bool
+	Outbound  []Outbound
+	args      mem.Addr
+	argsN     int
+	rets      mem.Addr
+	retsN     int
+	open      bool // still in flight (EndInbound not yet called)
+}
+
+// LogStats summarises log activity for the Table III/IV experiments.
+type LogStats struct {
+	Appended  uint64
+	Removed   uint64
+	Compacted uint64 // entries removed by threshold compaction
+	Replayed  uint64
+}
+
+// Log is the function-call and return-value log of one component, stored
+// in its message domain.
+type Log struct {
+	d       *Domain
+	entries []*Record
+	closed  map[SessionID]bool
+	stats   LogStats
+	// ShrinkEnabled controls session-aware shrinking; the Table III
+	// "normal log entries" column is measured with it off.
+	ShrinkEnabled bool
+}
+
+func newLog(d *Domain) *Log {
+	return &Log{d: d, closed: make(map[SessionID]bool), ShrinkEnabled: true}
+}
+
+// Len returns the number of retained records.
+func (l *Log) Len() int { return len(l.entries) }
+
+// Stats returns a copy of the log counters.
+func (l *Log) Stats() LogStats { return l.stats }
+
+// BeginInbound appends an in-flight record for a call into the component.
+// The arguments are stored into domain memory before the component runs,
+// matching the paper's dispatch order (§V-C). Session and class are
+// applied at EndInbound, when return values (and hence opener session
+// ids) are known. Tracking of which record is currently being handled is
+// the runtime's job: the call may queue behind others in the mailbox.
+func (l *Log) BeginInbound(seq uint64, fn string, args Args) (*Record, error) {
+	addr, n, err := l.d.store(args)
+	if err != nil {
+		return nil, err
+	}
+	r := &Record{Seq: seq, Fn: fn, args: addr, argsN: n, open: true, Class: ClassDurable}
+	l.entries = append(l.entries, r)
+	l.stats.Appended++
+	return r, nil
+}
+
+// AppendOutboundTo attaches the logged return values of an outbound call
+// to the record whose handling produced it.
+func (l *Log) AppendOutboundTo(r *Record, target, fn string, rets Args, callErr string) error {
+	if r == nil {
+		return nil
+	}
+	addr, n, err := l.d.store(rets)
+	if err != nil {
+		return err
+	}
+	r.Outbound = append(r.Outbound, Outbound{
+		Target: target, Fn: fn, Err: callErr, rets: addr, retsN: n,
+	})
+	return nil
+}
+
+// EndInbound finalises the in-flight record with its results, session,
+// class and error outcome, then applies the session-aware shrinking
+// rules. The results are stored so that a replaying handler can
+// reproduce the exact resource numbers (fds, fids) the original call
+// returned, independent of how the log has been shrunk since.
+func (l *Log) EndInbound(r *Record, session SessionID, class Class, rets Args, callErr string) error {
+	if r == nil {
+		return nil
+	}
+	addr, n, err := l.d.store(rets)
+	if err != nil {
+		return err
+	}
+	r.rets, r.retsN = addr, n
+	r.open = false
+	r.Session = session
+	r.Class = class
+	r.Err = callErr
+	if !l.ShrinkEnabled || session == "" {
+		return nil
+	}
+	switch class {
+	case ClassCanceler:
+		// Drop the session's transient entries now; keep opener/durables
+		// (and this canceler) so replay reproduces resource numbering.
+		l.removeWhere(func(e *Record) bool {
+			return e != r && e.Session == session && e.Class == ClassTransient
+		})
+		l.closed[session] = true
+	case ClassOpener:
+		if l.closed[session] {
+			// The resource number is being reused: the previous,
+			// fully-closed session is now unnecessary for restoration.
+			l.removeWhere(func(e *Record) bool {
+				return e != r && e.Session == session
+			})
+			delete(l.closed, session)
+		}
+	}
+	return nil
+}
+
+// DropRecord removes a record, typically one whose call never completed
+// because the component crashed while handling it. Replaying it would
+// re-execute the crashing input with no logged outbound results, so the
+// reboot manager discards it (the caller sees the call fail and retry).
+func (l *Log) DropRecord(r *Record) {
+	if r == nil {
+		return
+	}
+	l.removeWhere(func(e *Record) bool { return e == r })
+}
+
+// AppendSynthetic appends a compaction-produced record that replays as a
+// direct state-install call on the component (e.g. __vfs_set_offset).
+// The record inherits the log's current maximum sequence number so that
+// replay ordering places it after everything it summarises and before
+// everything that follows.
+func (l *Log) AppendSynthetic(fn string, args Args, session SessionID) error {
+	addr, n, err := l.d.store(args)
+	if err != nil {
+		return err
+	}
+	var seq uint64
+	for _, e := range l.entries {
+		if e.Seq > seq {
+			seq = e.Seq
+		}
+	}
+	l.entries = append(l.entries, &Record{
+		Seq: seq, Fn: fn, args: addr, argsN: n, Session: session,
+		Class: ClassDurable, Synthetic: true,
+	})
+	l.stats.Appended++
+	return nil
+}
+
+// RemoveSession removes every record of the session, counting the
+// removals as compaction. Component compactors call this before
+// appending a synthetic replacement.
+func (l *Log) RemoveSession(session SessionID) int {
+	before := l.stats.Removed
+	l.removeWhere(func(e *Record) bool { return e.Session == session && !e.open })
+	n := int(l.stats.Removed - before)
+	l.stats.Compacted += uint64(n)
+	return n
+}
+
+// RemoveWhere removes completed records matching the predicate, counting
+// them as compaction, and returns how many were removed.
+func (l *Log) RemoveWhere(pred func(RecordView) bool) int {
+	before := l.stats.Removed
+	l.removeWhere(func(e *Record) bool { return !e.open && pred(viewOf(e)) })
+	n := int(l.stats.Removed - before)
+	l.stats.Compacted += uint64(n)
+	return n
+}
+
+func (l *Log) removeWhere(pred func(*Record) bool) {
+	kept := l.entries[:0]
+	for _, e := range l.entries {
+		if pred(e) {
+			l.freeRecord(e)
+			l.stats.Removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	// Clear the tail so freed records are not retained by the backing array.
+	for i := len(kept); i < len(l.entries); i++ {
+		l.entries[i] = nil
+	}
+	l.entries = kept
+}
+
+func (l *Log) freeRecord(e *Record) {
+	l.d.release(e.args, e.argsN)
+	l.d.release(e.rets, e.retsN)
+	for _, o := range e.Outbound {
+		l.d.release(o.rets, o.retsN)
+	}
+}
+
+// Reset discards every record and closed-session mark. Used by tests and
+// by full-reboot paths where the log is moot.
+func (l *Log) Reset() {
+	l.removeWhere(func(*Record) bool { return true })
+	l.closed = make(map[SessionID]bool)
+}
+
+// RecordView is a decoded, read-only view of a log record handed to
+// replayers and compactors.
+type RecordView struct {
+	Seq       uint64
+	Fn        string
+	Session   SessionID
+	Class     Class
+	Err       string
+	Synthetic bool
+	Args      Args
+	Rets      Args
+	Outbound  []OutboundView
+}
+
+// OutboundView is a decoded outbound result.
+type OutboundView struct {
+	Target string
+	Fn     string
+	Err    string
+	Rets   Args
+}
+
+func viewOf(e *Record) RecordView {
+	return RecordView{
+		Seq: e.Seq, Fn: e.Fn, Session: e.Session, Class: e.Class,
+		Err: e.Err, Synthetic: e.Synthetic,
+	}
+}
+
+// Entries decodes and returns every completed record in append order.
+// The replayer walks this during encapsulated restoration.
+func (l *Log) Entries() ([]RecordView, error) {
+	out := make([]RecordView, 0, len(l.entries))
+	for _, e := range l.entries {
+		if e.open {
+			continue
+		}
+		v := viewOf(e)
+		args, err := l.d.load(e.args, e.argsN)
+		if err != nil {
+			return nil, fmt.Errorf("msg: log %q seq %d: %w", l.d.owner, e.Seq, err)
+		}
+		v.Args = args
+		rets, err := l.d.load(e.rets, e.retsN)
+		if err != nil {
+			return nil, fmt.Errorf("msg: log %q seq %d rets: %w", l.d.owner, e.Seq, err)
+		}
+		v.Rets = rets
+		for _, o := range e.Outbound {
+			rets, err := l.d.load(o.rets, o.retsN)
+			if err != nil {
+				return nil, fmt.Errorf("msg: log %q seq %d outbound: %w", l.d.owner, e.Seq, err)
+			}
+			v.Outbound = append(v.Outbound, OutboundView{
+				Target: o.Target, Fn: o.Fn, Err: o.Err, Rets: rets,
+			})
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// MarkReplayed counts n replayed records in the statistics.
+func (l *Log) MarkReplayed(n int) { l.stats.Replayed += uint64(n) }

@@ -1,0 +1,481 @@
+package ninep
+
+import (
+	"fmt"
+
+	"vampos/internal/core"
+	"vampos/internal/mem"
+	"vampos/internal/msg"
+)
+
+// Comp is the 9PFS component: the guest-side 9P client that Unikraft's
+// VFS mounts as its file system backend (paper Table I). It is stateful
+// (the fid table) but reboots by cold re-init plus log replay — the
+// paper applies checkpoint-based initialization only to VFS and LWIP,
+// because 9PFS's own initialisation touches nothing else.
+//
+// During the component's encapsulated restoration, the replayed
+// mount/open/lookup calls are fed their original p9_rpc results from the
+// log, so the host server (whose fid table survived) is not contacted
+// and the rebuilt client fids line up with the host's — the consistency
+// argument of §V-B.
+type Comp struct {
+	attached bool
+	rootFid  int
+	fids     map[int]*fidInfo
+	tag      uint16
+
+	// crashOn names an export that panics on its next invocation: the
+	// paper's Fig. 8 failure injection ("we force 9PFS to call panic()").
+	crashOn string
+
+	// Stats
+	RPCs uint64
+	// MountAttempts counts uk_9pfs_mount invocations — the restore
+	// side-effect the checkpoint ablation observes.
+	MountAttempts uint64
+}
+
+// InjectCrashOnce arms a one-shot fail-stop in the named export.
+func (c *Comp) InjectCrashOnce(fn string) { c.crashOn = fn }
+
+// maybeCrash fires an armed injection.
+func (c *Comp) maybeCrash(fn string) {
+	if c.crashOn == fn {
+		c.crashOn = ""
+		panic("injected fault in 9pfs." + fn)
+	}
+}
+
+type fidInfo struct {
+	Fid      int
+	Path     string
+	Open     bool
+	Mode     uint8
+	ctlBlock mem.Addr
+}
+
+// chunk is the largest payload per 9P read/write RPC (an msize stand-in).
+const chunk = 8192
+
+// NewFS creates the 9PFS component.
+func NewFS() *Comp { return &Comp{} }
+
+// Describe implements core.Component.
+func (c *Comp) Describe() core.Descriptor {
+	return core.Descriptor{
+		Name: "9pfs", Stateful: true, Checkpoint: false,
+		HeapPages: 256, DomainPages: 256,
+		Deps: []string{"virtio"},
+	}
+}
+
+// Init implements core.Component: 9PFS boots idle; the attach happens on
+// the first uk_9pfs_mount (replayed from the log after a reboot).
+func (c *Comp) Init(*core.Ctx) error {
+	if c.fids == nil {
+		c.Reset()
+	}
+	return nil
+}
+
+// Reset implements core.ColdResetter.
+func (c *Comp) Reset() {
+	c.attached = false
+	c.rootFid = 0
+	c.fids = make(map[int]*fidInfo)
+	c.tag = 0
+}
+
+// Exports implements core.Component, named per the paper's Table II.
+func (c *Comp) Exports() map[string]core.Handler {
+	return map[string]core.Handler{
+		"uk_9pfs_mount":   c.mount,
+		"uk_9pfs_open":    c.open,
+		"uk_9pfs_close":   c.close,
+		"uk_9pfs_read":    c.read,
+		"uk_9pfs_write":   c.write,
+		"uk_9pfs_fsync":   c.fsync,
+		"uk_9pfs_stat":    c.stat,
+		"uk_9pfs_lookup":  c.lookup,
+		"uk_9pfs_mkdir":   c.mkdir,
+		"uk_9pfs_remove":  c.remove,
+		"uk_9pfs_readdir": c.readdir,
+	}
+}
+
+// LogPolicies implements core.LogPolicyProvider (paper Table II: mount,
+// unmount, open, close, lookup, inactive, mkdir). Data-path reads and
+// writes keep no 9PFS state — the offsets live in VFS — so they are not
+// logged. Our lookup keeps no state either (no vnode cache), so it is
+// deliberately unlogged; DESIGN.md records the deviation.
+func (c *Comp) LogPolicies() map[string]core.LogPolicy {
+	fidOf := func(args msg.Args, idx int) msg.SessionID {
+		id, err := args.Int(idx)
+		if err != nil {
+			return ""
+		}
+		return msg.SessionID(fmt.Sprintf("fid:%d", id))
+	}
+	return map[string]core.LogPolicy{
+		"uk_9pfs_mount": {Classify: core.Durable},
+		"uk_9pfs_mkdir": {Classify: core.Durable},
+		"uk_9pfs_open": {Classify: func(args, rets msg.Args, callErr error) (msg.SessionID, msg.Class) {
+			return fidOf(rets, 0), msg.ClassOpener
+		}},
+		"uk_9pfs_close": {Classify: func(args, rets msg.Args, callErr error) (msg.SessionID, msg.Class) {
+			return fidOf(args, 0), msg.ClassCanceler
+		}},
+	}
+}
+
+// rpc performs one 9P round trip through the VIRTIO driver.
+func (c *Comp) rpc(ctx *core.Ctx, t *Fcall) (*Fcall, error) {
+	c.tag++
+	t.Tag = c.tag
+	req, err := Encode(t)
+	if err != nil {
+		return nil, core.Errno("EIO: " + err.Error())
+	}
+	rets, err := ctx.Call("virtio", "p9_rpc", req)
+	if err != nil {
+		return nil, err
+	}
+	respBytes, err := rets.Bytes(0)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := Decode(respBytes)
+	if err != nil {
+		return nil, core.Errno("EIO: " + err.Error())
+	}
+	c.RPCs++
+	if resp.Type == Rerror {
+		return nil, core.Errno(resp.Ename)
+	}
+	return resp, nil
+}
+
+// allocFid picks the lowest free fid (>= 1; 0 is the attach fid). Reuse
+// is what lets session shrinking prune stale open/close pairs. During
+// replay the original fid is reproduced from the logged return value.
+func (c *Comp) allocFid(ctx *core.Ctx) int {
+	if rets, ok := ctx.ReplayRets(); ok {
+		if fid, err := rets.Int(0); err == nil {
+			return fid
+		}
+	}
+	for fid := 1; ; fid++ {
+		if _, used := c.fids[fid]; !used {
+			return fid
+		}
+	}
+}
+
+func (c *Comp) mount(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	c.maybeCrash("uk_9pfs_mount")
+	c.MountAttempts++
+	if c.attached {
+		return nil, core.EEXIST
+	}
+	if _, err := c.rpc(ctx, &Fcall{Type: Tversion, Msize: 65536, Version: "9P2000"}); err != nil {
+		return nil, err
+	}
+	if _, err := c.rpc(ctx, &Fcall{Type: Tattach, Fid: 0, AFid: NoFid, Uname: "vampos", Aname: "/"}); err != nil {
+		return nil, err
+	}
+	c.attached = true
+	c.rootFid = 0
+	return nil, nil
+}
+
+// walkTo clones the root fid to newFid positioned at path.
+func (c *Comp) walkTo(ctx *core.Ctx, newFid int, parts []string) error {
+	resp, err := c.rpc(ctx, &Fcall{
+		Type: Twalk, Fid: uint32(c.rootFid), NewFid: uint32(newFid), Names: parts,
+	})
+	if err != nil {
+		return err
+	}
+	if len(resp.Qids) != len(parts) {
+		return core.ENOENT
+	}
+	return nil
+}
+
+func splitParts(path string) []string {
+	return splitPath(path)
+}
+
+// open resolves (and with O_CREATE, creates) path and returns a fid.
+// Flags use the VFS flag vocabulary re-encoded into 9P modes.
+func (c *Comp) open(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	c.maybeCrash("uk_9pfs_open")
+	path, err := args.Str(0)
+	if err != nil {
+		return nil, err
+	}
+	flags, err := args.Int(1)
+	if err != nil {
+		return nil, err
+	}
+	if !c.attached {
+		return nil, core.EIO
+	}
+	mode := uint8(flags & 3) // O_RDONLY/O_WRONLY/O_RDWR
+	if flags&0x200 != 0 {    // O_TRUNC
+		mode |= OTRUNC
+	}
+	parts := splitParts(path)
+	fid := c.allocFid(ctx)
+	// Reserve the fid before the first RPC: handlers yield inside RPCs,
+	// and a concurrent open (vanilla mode) must not pick the same fid.
+	info := &fidInfo{Fid: fid, Path: path}
+	c.fids[fid] = info
+	fail := func(err error, clunk bool) (msg.Args, error) {
+		if clunk {
+			c.clunkQuiet(ctx, fid)
+		}
+		delete(c.fids, fid)
+		return nil, err
+	}
+	if err := c.walkTo(ctx, fid, parts); err == nil {
+		if _, err := c.rpc(ctx, &Fcall{Type: Topen, Fid: uint32(fid), Mode: mode}); err != nil {
+			return fail(err, true)
+		}
+	} else {
+		if flags&0x40 == 0 { // no O_CREATE
+			return fail(core.ENOENT, false)
+		}
+		if len(parts) == 0 {
+			return fail(core.EISDIR, false)
+		}
+		if err := c.walkTo(ctx, fid, parts[:len(parts)-1]); err != nil {
+			return fail(err, false)
+		}
+		if _, err := c.rpc(ctx, &Fcall{
+			Type: Tcreate, Fid: uint32(fid), Name: parts[len(parts)-1], Perm: 0644, Mode: mode,
+		}); err != nil {
+			return fail(err, true)
+		}
+	}
+	info.Open = true
+	info.Mode = mode
+	if addr, err := ctx.Heap().Alloc(128); err == nil {
+		info.ctlBlock = addr
+	}
+	return msg.Args{fid}, nil
+}
+
+func (c *Comp) clunkQuiet(ctx *core.Ctx, fid int) {
+	_, _ = c.rpc(ctx, &Fcall{Type: Tclunk, Fid: uint32(fid)})
+}
+
+func (c *Comp) getFid(args msg.Args, idx int) (*fidInfo, error) {
+	fid, err := args.Int(idx)
+	if err != nil {
+		return nil, err
+	}
+	info, ok := c.fids[fid]
+	if !ok {
+		return nil, core.EBADF
+	}
+	return info, nil
+}
+
+func (c *Comp) close(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	c.maybeCrash("uk_9pfs_close")
+	info, err := c.getFid(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	c.clunkQuiet(ctx, info.Fid)
+	if info.ctlBlock != 0 {
+		_ = ctx.Heap().Free(info.ctlBlock)
+	}
+	delete(c.fids, info.Fid)
+	return nil, nil
+}
+
+func (c *Comp) read(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	c.maybeCrash("uk_9pfs_read")
+	info, err := c.getFid(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	offset, err := args.Int64(1)
+	if err != nil {
+		return nil, err
+	}
+	count, err := args.Int(2)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, count)
+	for count > 0 {
+		n := count
+		if n > chunk {
+			n = chunk
+		}
+		resp, err := c.rpc(ctx, &Fcall{
+			Type: Tread, Fid: uint32(info.Fid), Offset: uint64(offset), Count: uint32(n),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if len(resp.Data) == 0 {
+			break // EOF
+		}
+		out = append(out, resp.Data...)
+		offset += int64(len(resp.Data))
+		count -= len(resp.Data)
+		if len(resp.Data) < n {
+			break
+		}
+	}
+	return msg.Args{out}, nil
+}
+
+func (c *Comp) write(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	c.maybeCrash("uk_9pfs_write")
+	info, err := c.getFid(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	offset, err := args.Int64(1)
+	if err != nil {
+		return nil, err
+	}
+	data, err := args.Bytes(2)
+	if err != nil {
+		return nil, err
+	}
+	written := 0
+	for written < len(data) {
+		n := len(data) - written
+		if n > chunk {
+			n = chunk
+		}
+		resp, err := c.rpc(ctx, &Fcall{
+			Type: Twrite, Fid: uint32(info.Fid),
+			Offset: uint64(offset) + uint64(written),
+			Data:   data[written : written+n],
+		})
+		if err != nil {
+			return nil, err
+		}
+		if resp.Count == 0 {
+			return nil, core.EIO
+		}
+		written += int(resp.Count)
+	}
+	return msg.Args{written}, nil
+}
+
+func (c *Comp) fsync(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	c.maybeCrash("uk_9pfs_fsync")
+	info, err := c.getFid(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.rpc(ctx, &Fcall{Type: Tfsync, Fid: uint32(info.Fid)}); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+func (c *Comp) stat(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	info, err := c.getFid(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.rpc(ctx, &Fcall{Type: Tstat, Fid: uint32(info.Fid)})
+	if err != nil {
+		return nil, err
+	}
+	return msg.Args{int64(resp.Stat.Length), resp.Stat.Qid.IsDir()}, nil
+}
+
+// lookup resolves a path without keeping state: (exists, size, isdir).
+func (c *Comp) lookup(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	path, err := args.Str(0)
+	if err != nil {
+		return nil, err
+	}
+	if !c.attached {
+		return nil, core.EIO
+	}
+	fid := c.tempFid()
+	if err := c.walkTo(ctx, fid, splitParts(path)); err != nil {
+		return msg.Args{false, int64(0), false}, nil
+	}
+	resp, err := c.rpc(ctx, &Fcall{Type: Tstat, Fid: uint32(fid)})
+	c.clunkQuiet(ctx, fid)
+	if err != nil {
+		return nil, err
+	}
+	return msg.Args{true, int64(resp.Stat.Length), resp.Stat.Qid.IsDir()}, nil
+}
+
+// tempFid returns a fid for transient use, above the normal range so it
+// never collides with replay-reproduced fids.
+func (c *Comp) tempFid() int { return 1 << 20 }
+
+func (c *Comp) mkdir(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	path, err := args.Str(0)
+	if err != nil {
+		return nil, err
+	}
+	parts := splitParts(path)
+	if len(parts) == 0 {
+		return nil, core.EEXIST
+	}
+	fid := c.tempFid()
+	if err := c.walkTo(ctx, fid, parts[:len(parts)-1]); err != nil {
+		return nil, err
+	}
+	_, err = c.rpc(ctx, &Fcall{
+		Type: Tcreate, Fid: uint32(fid), Name: parts[len(parts)-1],
+		Perm: DMDIR | 0755, Mode: OREAD,
+	})
+	c.clunkQuiet(ctx, fid)
+	if err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+func (c *Comp) remove(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	path, err := args.Str(0)
+	if err != nil {
+		return nil, err
+	}
+	fid := c.tempFid()
+	if err := c.walkTo(ctx, fid, splitParts(path)); err != nil {
+		return nil, err
+	}
+	if _, err := c.rpc(ctx, &Fcall{Type: Tremove, Fid: uint32(fid)}); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+func (c *Comp) readdir(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	info, err := c.getFid(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.rpc(ctx, &Fcall{
+		Type: Tread, Fid: uint32(info.Fid), Offset: 0, Count: 1 << 20,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return msg.Args{resp.Data}, nil
+}
+
+var (
+	_ core.Component         = (*Comp)(nil)
+	_ core.LogPolicyProvider = (*Comp)(nil)
+	_ core.ColdResetter      = (*Comp)(nil)
+)

@@ -1,0 +1,402 @@
+// Package ninep implements the 9P-style file protocol connecting the
+// guest's 9PFS component to the host's export file system, mirroring how
+// Unikraft's 9PFS reaches a QEMU/virtio-9p share.
+//
+// The message set is a compact subset of 9P2000 (version, attach, walk,
+// open, create, read, write, clunk, remove, stat) plus 9P2000.L's fsync,
+// which the Redis AOF path needs. Wire format is the classic
+// size[4] type[1] tag[2] body, little-endian, so the transport between
+// the 9PFS component and the host server moves real encoded bytes
+// through the virtio ring.
+package ninep
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MsgType is the 9P message type byte. Values follow 9P2000 (and
+// 9P2000.L for fsync).
+type MsgType uint8
+
+// Message types.
+const (
+	Tfsync   MsgType = 50
+	Rfsync   MsgType = 51
+	Tversion MsgType = 100
+	Rversion MsgType = 101
+	Tattach  MsgType = 104
+	Rattach  MsgType = 105
+	Rerror   MsgType = 107
+	Twalk    MsgType = 110
+	Rwalk    MsgType = 111
+	Topen    MsgType = 112
+	Ropen    MsgType = 113
+	Tcreate  MsgType = 114
+	Rcreate  MsgType = 115
+	Tread    MsgType = 116
+	Rread    MsgType = 117
+	Twrite   MsgType = 118
+	Rwrite   MsgType = 119
+	Tclunk   MsgType = 120
+	Rclunk   MsgType = 121
+	Tremove  MsgType = 122
+	Rremove  MsgType = 123
+	Tstat    MsgType = 124
+	Rstat    MsgType = 125
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case Tfsync:
+		return "Tfsync"
+	case Rfsync:
+		return "Rfsync"
+	case Tversion:
+		return "Tversion"
+	case Rversion:
+		return "Rversion"
+	case Tattach:
+		return "Tattach"
+	case Rattach:
+		return "Rattach"
+	case Rerror:
+		return "Rerror"
+	case Twalk:
+		return "Twalk"
+	case Rwalk:
+		return "Rwalk"
+	case Topen:
+		return "Topen"
+	case Ropen:
+		return "Ropen"
+	case Tcreate:
+		return "Tcreate"
+	case Rcreate:
+		return "Rcreate"
+	case Tread:
+		return "Tread"
+	case Rread:
+		return "Rread"
+	case Twrite:
+		return "Twrite"
+	case Rwrite:
+		return "Rwrite"
+	case Tclunk:
+		return "Tclunk"
+	case Rclunk:
+		return "Rclunk"
+	case Tremove:
+		return "Tremove"
+	case Rremove:
+		return "Rremove"
+	case Tstat:
+		return "Tstat"
+	case Rstat:
+		return "Rstat"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// Open/create modes.
+const (
+	OREAD  uint8 = 0
+	OWRITE uint8 = 1
+	ORDWR  uint8 = 2
+	OTRUNC uint8 = 0x10
+)
+
+// DMDIR marks a directory in create permissions, as in 9P2000.
+const DMDIR uint32 = 0x80000000
+
+// QTDir is the Qid type bit for directories.
+const QTDir uint8 = 0x80
+
+// NoFid is the fid wildcard.
+const NoFid uint32 = ^uint32(0)
+
+// Qid identifies a file system object.
+type Qid struct {
+	Type    uint8
+	Version uint32
+	Path    uint64
+}
+
+// IsDir reports whether the qid names a directory.
+func (q Qid) IsDir() bool { return q.Type&QTDir != 0 }
+
+// Stat is the subset of the 9P stat structure the model needs.
+type Stat struct {
+	Qid    Qid
+	Name   string
+	Length uint64
+	Mode   uint32
+}
+
+// Fcall is one 9P message (T or R). Fields are a union over all message
+// types; each type touches only its own fields.
+type Fcall struct {
+	Type    MsgType
+	Tag     uint16
+	Msize   uint32   // version
+	Version string   // version
+	Fid     uint32   // most T messages
+	AFid    uint32   // attach (unused auth fid, NoFid)
+	Uname   string   // attach
+	Aname   string   // attach
+	NewFid  uint32   // walk
+	Names   []string // walk
+	Qid     Qid      // Rattach, Ropen, Rcreate
+	Qids    []Qid    // Rwalk
+	Mode    uint8    // open, create
+	Perm    uint32   // create
+	Name    string   // create
+	Offset  uint64   // read, write
+	Count   uint32   // read, Rread/Rwrite count
+	Data    []byte   // Twrite, Rread
+	Ename   string   // Rerror
+	Stat    Stat     // Rstat
+}
+
+func (f *Fcall) String() string {
+	return fmt.Sprintf("%v tag=%d fid=%d", f.Type, f.Tag, f.Fid)
+}
+
+// enc is a little-endian byte-string builder.
+type enc struct{ p []byte }
+
+func (e *enc) u8(v uint8)   { e.p = append(e.p, v) }
+func (e *enc) u16(v uint16) { e.p = binary.LittleEndian.AppendUint16(e.p, v) }
+func (e *enc) u32(v uint32) { e.p = binary.LittleEndian.AppendUint32(e.p, v) }
+func (e *enc) u64(v uint64) { e.p = binary.LittleEndian.AppendUint64(e.p, v) }
+func (e *enc) str(s string) { e.u16(uint16(len(s))); e.p = append(e.p, s...) }
+func (e *enc) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.p = append(e.p, b...)
+}
+func (e *enc) qid(q Qid) { e.u8(q.Type); e.u32(q.Version); e.u64(q.Path) }
+
+type dec struct {
+	p   []byte
+	err error
+}
+
+func (d *dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("ninep: truncated %s", what)
+	}
+}
+
+func (d *dec) u8() uint8 {
+	if d.err != nil || len(d.p) < 1 {
+		d.fail("u8")
+		return 0
+	}
+	v := d.p[0]
+	d.p = d.p[1:]
+	return v
+}
+
+func (d *dec) u16() uint16 {
+	if d.err != nil || len(d.p) < 2 {
+		d.fail("u16")
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.p)
+	d.p = d.p[2:]
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil || len(d.p) < 4 {
+		d.fail("u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.p)
+	d.p = d.p[4:]
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil || len(d.p) < 8 {
+		d.fail("u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.p)
+	d.p = d.p[8:]
+	return v
+}
+
+func (d *dec) str() string {
+	n := int(d.u16())
+	if d.err != nil || len(d.p) < n {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.p[:n])
+	d.p = d.p[n:]
+	return s
+}
+
+func (d *dec) bytes() []byte {
+	n := int(d.u32())
+	if d.err != nil || len(d.p) < n {
+		d.fail("bytes")
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, d.p[:n])
+	d.p = d.p[n:]
+	return b
+}
+
+func (d *dec) qid() Qid {
+	return Qid{Type: d.u8(), Version: d.u32(), Path: d.u64()}
+}
+
+// Encode serialises an Fcall with its size[4] type[1] tag[2] header.
+func Encode(f *Fcall) ([]byte, error) {
+	var e enc
+	e.u32(0) // size placeholder
+	e.u8(uint8(f.Type))
+	e.u16(f.Tag)
+	switch f.Type {
+	case Tversion, Rversion:
+		e.u32(f.Msize)
+		e.str(f.Version)
+	case Tattach:
+		e.u32(f.Fid)
+		e.u32(f.AFid)
+		e.str(f.Uname)
+		e.str(f.Aname)
+	case Rattach:
+		e.qid(f.Qid)
+	case Rerror:
+		e.str(f.Ename)
+	case Twalk:
+		e.u32(f.Fid)
+		e.u32(f.NewFid)
+		e.u16(uint16(len(f.Names)))
+		for _, n := range f.Names {
+			e.str(n)
+		}
+	case Rwalk:
+		e.u16(uint16(len(f.Qids)))
+		for _, q := range f.Qids {
+			e.qid(q)
+		}
+	case Topen:
+		e.u32(f.Fid)
+		e.u8(f.Mode)
+	case Ropen, Rcreate:
+		e.qid(f.Qid)
+		e.u32(0) // iounit, unused
+	case Tcreate:
+		e.u32(f.Fid)
+		e.str(f.Name)
+		e.u32(f.Perm)
+		e.u8(f.Mode)
+	case Tread:
+		e.u32(f.Fid)
+		e.u64(f.Offset)
+		e.u32(f.Count)
+	case Rread:
+		e.bytes(f.Data)
+	case Twrite:
+		e.u32(f.Fid)
+		e.u64(f.Offset)
+		e.bytes(f.Data)
+	case Rwrite:
+		e.u32(f.Count)
+	case Tclunk, Tremove, Tstat, Tfsync:
+		e.u32(f.Fid)
+	case Rclunk, Rremove, Rfsync:
+		// no body
+	case Rstat:
+		e.qid(f.Stat.Qid)
+		e.str(f.Stat.Name)
+		e.u64(f.Stat.Length)
+		e.u32(f.Stat.Mode)
+	default:
+		return nil, fmt.Errorf("ninep: encode: unknown type %v", f.Type)
+	}
+	binary.LittleEndian.PutUint32(e.p[0:], uint32(len(e.p)))
+	return e.p, nil
+}
+
+// Decode parses a message produced by Encode.
+func Decode(p []byte) (*Fcall, error) {
+	if len(p) < 7 {
+		return nil, fmt.Errorf("ninep: message shorter than header: %d bytes", len(p))
+	}
+	size := binary.LittleEndian.Uint32(p)
+	if int(size) != len(p) {
+		return nil, fmt.Errorf("ninep: size field %d != buffer %d", size, len(p))
+	}
+	f := &Fcall{Type: MsgType(p[4]), Tag: binary.LittleEndian.Uint16(p[5:])}
+	d := &dec{p: p[7:]}
+	switch f.Type {
+	case Tversion, Rversion:
+		f.Msize = d.u32()
+		f.Version = d.str()
+	case Tattach:
+		f.Fid = d.u32()
+		f.AFid = d.u32()
+		f.Uname = d.str()
+		f.Aname = d.str()
+	case Rattach:
+		f.Qid = d.qid()
+	case Rerror:
+		f.Ename = d.str()
+	case Twalk:
+		f.Fid = d.u32()
+		f.NewFid = d.u32()
+		n := int(d.u16())
+		for i := 0; i < n && d.err == nil; i++ {
+			f.Names = append(f.Names, d.str())
+		}
+	case Rwalk:
+		n := int(d.u16())
+		for i := 0; i < n && d.err == nil; i++ {
+			f.Qids = append(f.Qids, d.qid())
+		}
+	case Topen:
+		f.Fid = d.u32()
+		f.Mode = d.u8()
+	case Ropen, Rcreate:
+		f.Qid = d.qid()
+		d.u32() // iounit
+	case Tcreate:
+		f.Fid = d.u32()
+		f.Name = d.str()
+		f.Perm = d.u32()
+		f.Mode = d.u8()
+	case Tread:
+		f.Fid = d.u32()
+		f.Offset = d.u64()
+		f.Count = d.u32()
+	case Rread:
+		f.Data = d.bytes()
+	case Twrite:
+		f.Fid = d.u32()
+		f.Offset = d.u64()
+		f.Data = d.bytes()
+	case Rwrite:
+		f.Count = d.u32()
+	case Tclunk, Tremove, Tstat, Tfsync:
+		f.Fid = d.u32()
+	case Rclunk, Rremove, Rfsync:
+	case Rstat:
+		f.Stat.Qid = d.qid()
+		f.Stat.Name = d.str()
+		f.Stat.Length = d.u64()
+		f.Stat.Mode = d.u32()
+	default:
+		return nil, fmt.Errorf("ninep: decode: unknown type %d", uint8(f.Type))
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("ninep: decode %v: %w", f.Type, d.err)
+	}
+	return f, nil
+}

@@ -1,0 +1,142 @@
+package sched
+
+// Policy decides dispatch order. Implementations need not be
+// goroutine-safe: the scheduler serialises all calls.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Enqueue adds a thread that just became ready. Enqueueing a thread
+	// that is already queued is a no-op.
+	Enqueue(t *Thread)
+	// Next removes and returns the thread to dispatch, or nil when no
+	// thread is queued.
+	Next() *Thread
+	// Hint expresses that target should run soon. Policies that do not
+	// exploit dependencies ignore it.
+	Hint(target *Thread)
+}
+
+// RoundRobin is the baseline FIFO policy: every ready thread waits its
+// turn. With message-passing components this is the paper's
+// VampOS-Noop configuration, where a message may sit until the queue
+// rotates past every other polling component.
+type RoundRobin struct {
+	q      []*Thread
+	queued map[*Thread]bool
+}
+
+// NewRoundRobin returns an empty round-robin queue.
+func NewRoundRobin() *RoundRobin {
+	return &RoundRobin{queued: make(map[*Thread]bool)}
+}
+
+// Name implements Policy.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Enqueue implements Policy.
+func (p *RoundRobin) Enqueue(t *Thread) {
+	if p.queued[t] {
+		return
+	}
+	p.queued[t] = true
+	p.q = append(p.q, t)
+}
+
+// Next implements Policy.
+func (p *RoundRobin) Next() *Thread {
+	for len(p.q) > 0 {
+		t := p.q[0]
+		p.q = p.q[1:]
+		delete(p.queued, t)
+		return t
+	}
+	return nil
+}
+
+// Hint implements Policy; round-robin ignores dependency hints.
+func (*RoundRobin) Hint(*Thread) {}
+
+// DependencyAware prefers threads named by Hint over the FIFO order. The
+// VampOS runtime hints the message thread and then the receiving
+// component whenever a message is pushed, so a cross-component call takes
+// a constant number of dispatches instead of a full queue rotation
+// (paper §V-C, the VampOS-DaS configuration).
+type DependencyAware struct {
+	q      []*Thread
+	queued map[*Thread]bool
+	hints  []*Thread
+	hinted map[*Thread]bool
+}
+
+// NewDependencyAware returns an empty dependency-aware queue.
+func NewDependencyAware() *DependencyAware {
+	return &DependencyAware{
+		queued: make(map[*Thread]bool),
+		hinted: make(map[*Thread]bool),
+	}
+}
+
+// Name implements Policy.
+func (*DependencyAware) Name() string { return "dependency-aware" }
+
+// Enqueue implements Policy.
+func (p *DependencyAware) Enqueue(t *Thread) {
+	if p.queued[t] {
+		return
+	}
+	p.queued[t] = true
+	p.q = append(p.q, t)
+}
+
+// Hint implements Policy: target jumps ahead of the FIFO order the next
+// time it is ready.
+func (p *DependencyAware) Hint(target *Thread) {
+	if target == nil || p.hinted[target] {
+		return
+	}
+	p.hinted[target] = true
+	p.hints = append(p.hints, target)
+}
+
+// Next implements Policy: the oldest hinted-and-ready thread wins,
+// otherwise FIFO order applies.
+func (p *DependencyAware) Next() *Thread {
+	// Prune finished threads from the hint list so it cannot grow without
+	// bound, then look for a hinted thread that is actually queued.
+	kept := p.hints[:0]
+	var pick *Thread
+	for _, h := range p.hints {
+		if h.State() == StateDone {
+			delete(p.hinted, h)
+			continue
+		}
+		if pick == nil && p.queued[h] {
+			pick = h
+			delete(p.hinted, h)
+			continue
+		}
+		kept = append(kept, h)
+	}
+	p.hints = kept
+	if pick != nil {
+		p.removeQueued(pick)
+		return pick
+	}
+	if len(p.q) == 0 {
+		return nil
+	}
+	t := p.q[0]
+	p.q = p.q[1:]
+	delete(p.queued, t)
+	return t
+}
+
+func (p *DependencyAware) removeQueued(t *Thread) {
+	delete(p.queued, t)
+	for i, v := range p.q {
+		if v == t {
+			p.q = append(p.q[:i], p.q[i+1:]...)
+			return
+		}
+	}
+}

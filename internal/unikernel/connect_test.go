@@ -1,0 +1,155 @@
+package unikernel
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"vampos/internal/core"
+	"vampos/internal/host"
+	"vampos/internal/sched"
+)
+
+// TestGuestInitiatedConnection exercises the guest-as-client path: the
+// guest dials a host peer's listener (the connect() row of Table II).
+func TestGuestInitiatedConnection(t *testing.T) {
+	for name, cc := range map[string]core.Config{
+		"vanilla": core.VanillaConfig(),
+		"das":     core.DaSConfig(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			runInstance(t, fullConfig(cc), func(s *Sys) {
+				peer := s.NewPeer()
+				lst, err := peer.Listen(9100)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Host-side server: accept, read one line, answer.
+				serverDone := false
+				s.GoHost("server", func(th *sched.Thread) {
+					defer func() { serverDone = true }()
+					conn, err := lst.Accept(th, 2*time.Second)
+					if err != nil {
+						t.Errorf("accept: %v", err)
+						return
+					}
+					req, err := conn.RecvExactly(th, 4, 2*time.Second)
+					if err != nil || string(req) != "ping" {
+						t.Errorf("server got %q, %v", req, err)
+						return
+					}
+					if err := conn.Send(th, []byte("pong")); err != nil {
+						t.Errorf("server send: %v", err)
+					}
+				})
+				fd, err := s.Socket()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := s.Connect(fd, peer.IP(), 9100, 2*time.Second); err != nil {
+					t.Fatalf("connect: %v", err)
+				}
+				if _, err := s.Send(fd, []byte("ping")); err != nil {
+					t.Fatalf("send: %v", err)
+				}
+				data, _, err := s.Recv(fd, 4)
+				if err != nil || string(data) != "pong" {
+					t.Fatalf("recv = %q, %v", data, err)
+				}
+				if err := s.Close(fd); err != nil {
+					t.Fatal(err)
+				}
+				for !serverDone {
+					s.Sleep(time.Millisecond)
+				}
+			})
+		})
+	}
+}
+
+// TestGuestConnectRefusedOrTimesOut covers the failure paths.
+func TestGuestConnectRefusedOrTimesOut(t *testing.T) {
+	runInstance(t, fullConfig(core.DaSConfig()), func(s *Sys) {
+		peer := s.NewPeer()
+		fd, err := s.Socket()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// No listener at the target: the peer drops the SYN and the
+		// connect times out.
+		err = s.Connect(fd, peer.IP(), 9999, 50*time.Millisecond)
+		if err == nil {
+			t.Fatal("connect to silent port succeeded")
+		}
+		// Unknown host: frames are dropped by the switch, same outcome.
+		fd2, err := s.Socket()
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = s.Connect(fd2, host.GuestIP+1, 9999, 50*time.Millisecond)
+		if err == nil {
+			t.Fatal("connect to unknown host succeeded")
+		}
+	})
+}
+
+// TestGuestConnectionSurvivesLWIPReboot: an outbound connection's
+// seq/ACK state is restored just like an inbound one's.
+func TestGuestConnectionSurvivesLWIPReboot(t *testing.T) {
+	runInstance(t, fullConfig(core.DaSConfig()), func(s *Sys) {
+		peer := s.NewPeer()
+		lst, err := peer.Listen(9100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var serverErr error
+		serverDone := false
+		s.GoHost("server", func(th *sched.Thread) {
+			defer func() { serverDone = true }()
+			conn, err := lst.Accept(th, 2*time.Second)
+			if err != nil {
+				serverErr = err
+				return
+			}
+			for i := 0; i < 2; i++ {
+				req, err := conn.RecvExactly(th, 5, 2*time.Second)
+				if err != nil {
+					serverErr = err
+					return
+				}
+				if err := conn.Send(th, req); err != nil {
+					serverErr = err
+					return
+				}
+			}
+		})
+		fd, err := s.Socket()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Connect(fd, peer.IP(), 9100, 2*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Send(fd, []byte("round")); err != nil {
+			t.Fatal(err)
+		}
+		if data, _, err := s.Recv(fd, 5); err != nil || string(data) != "round" {
+			t.Fatalf("pre-reboot echo = %q, %v", data, err)
+		}
+		if err := s.Reboot("lwip"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Send(fd, []byte("again")); err != nil {
+			t.Fatalf("send after reboot: %v", err)
+		}
+		if data, _, err := s.Recv(fd, 5); err != nil || string(data) != "again" {
+			t.Fatalf("post-reboot echo = %q, %v", data, err)
+		}
+		for !serverDone {
+			s.Sleep(time.Millisecond)
+		}
+		if serverErr != nil && !errors.Is(serverErr, host.ErrTimeout) {
+			t.Fatalf("server: %v", serverErr)
+		}
+	})
+}

@@ -1,0 +1,417 @@
+package unikernel
+
+import (
+	"errors"
+	"strings"
+	"time"
+
+	"vampos/internal/core"
+	"vampos/internal/host"
+	"vampos/internal/lwip"
+	"vampos/internal/msg"
+	"vampos/internal/sched"
+)
+
+// Re-exported open flags and whence values for application code.
+const (
+	ORdonly = 0x0
+	OWronly = 0x1
+	ORdwr   = 0x2
+	OCreate = 0x40
+	OTrunc  = 0x200
+	OAppend = 0x400
+
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+// Sys is the system-call surface one application thread sees. Blocking
+// calls (Accept, Recv with no data, Connect) poll the nonblocking
+// component interfaces, sleeping the configured poll interval between
+// attempts — the cooperative-unikernel idiom for waiting on I/O.
+type Sys struct {
+	ctx  *core.Ctx
+	inst *Instance
+}
+
+// Ctx exposes the underlying runtime context.
+func (s *Sys) Ctx() *core.Ctx { return s.ctx }
+
+// Instance returns the owning instance.
+func (s *Sys) Instance() *Instance { return s.inst }
+
+// Go spawns another application thread, tracked for full-reboot teardown.
+func (s *Sys) Go(name string, fn func(*Sys)) {
+	t := s.ctx.Go(name, func(c *core.Ctx) {
+		fn(&Sys{ctx: c, inst: s.inst})
+	})
+	s.inst.appThreads = append(s.inst.appThreads, t)
+}
+
+// GoHost spawns a host-side thread (workload clients), untracked: it
+// survives guest reboots, as real clients do.
+func (s *Sys) GoHost(name string, fn func(t *sched.Thread)) *sched.Thread {
+	return s.inst.rt.Scheduler().Spawn(name, 0, fn)
+}
+
+// Sleep suspends the calling thread in virtual time.
+func (s *Sys) Sleep(d time.Duration) { s.ctx.Sleep(d) }
+
+// Now returns the current virtual time.
+func (s *Sys) Now() time.Time { return s.ctx.Now() }
+
+// Elapsed returns virtual time since boot.
+func (s *Sys) Elapsed() time.Duration { return s.ctx.Elapsed() }
+
+// call invokes a component function.
+func (s *Sys) call(target, fn string, args ...any) (msg.Args, error) {
+	return s.ctx.Call(target, fn, args...)
+}
+
+// --- process / identity / time ---
+
+// Getpid returns the process id from the PROCESS component.
+func (s *Sys) Getpid() (int, error) {
+	rets, err := s.call("process", "getpid")
+	if err != nil {
+		return 0, err
+	}
+	return rets.Int(0)
+}
+
+// Getuid returns the user id from the USER component.
+func (s *Sys) Getuid() (int, error) {
+	rets, err := s.call("user", "getuid")
+	if err != nil {
+		return 0, err
+	}
+	return rets.Int(0)
+}
+
+// Uname returns the system identification string.
+func (s *Sys) Uname() (string, error) {
+	rets, err := s.call("sysinfo", "uname")
+	if err != nil {
+		return "", err
+	}
+	parts := make([]string, 0, len(rets))
+	for i := range rets {
+		p, err := rets.Str(i)
+		if err != nil {
+			return "", err
+		}
+		parts = append(parts, p)
+	}
+	return strings.Join(parts, " "), nil
+}
+
+// ClockGettime reads the TIMER component's clock.
+func (s *Sys) ClockGettime() (time.Time, error) {
+	rets, err := s.call("timer", "clock_gettime")
+	if err != nil {
+		return time.Time{}, err
+	}
+	sec, err := rets.Int64(0)
+	if err != nil {
+		return time.Time{}, err
+	}
+	nsec, err := rets.Int64(1)
+	if err != nil {
+		return time.Time{}, err
+	}
+	return time.Unix(sec, nsec), nil
+}
+
+// --- files ---
+
+// Open opens (or with OCreate creates) a file.
+func (s *Sys) Open(path string, flags int) (int, error) {
+	rets, err := s.call("vfs", "open", path, flags)
+	if err != nil {
+		return -1, err
+	}
+	return rets.Int(0)
+}
+
+// Create creates/truncates a file for writing (Table II's create()).
+func (s *Sys) Create(path string) (int, error) {
+	rets, err := s.call("vfs", "create", path)
+	if err != nil {
+		return -1, err
+	}
+	return rets.Int(0)
+}
+
+// Read reads up to n bytes at the file offset (or from a socket/pipe),
+// blocking until data, EOF, or error.
+func (s *Sys) Read(fd, n int) (data []byte, eof bool, err error) {
+	for {
+		data, eof, err = s.ReadNB(fd, n)
+		if !errors.Is(err, core.EAGAIN) {
+			return data, eof, err
+		}
+		s.ctx.Sleep(s.inst.cfg.PollInterval)
+	}
+}
+
+// ReadNB is the nonblocking read: EAGAIN when nothing is available.
+func (s *Sys) ReadNB(fd, n int) (data []byte, eof bool, err error) {
+	rets, err := s.call("vfs", "read", fd, n)
+	if err != nil {
+		return nil, false, err
+	}
+	data, err = rets.Bytes(0)
+	if err != nil {
+		return nil, false, err
+	}
+	eof, err = rets.Bool(1)
+	return data, eof, err
+}
+
+// Pread reads n bytes at an explicit offset without moving the cursor.
+func (s *Sys) Pread(fd, n int, off int64) ([]byte, error) {
+	rets, err := s.call("vfs", "pread", fd, n, off)
+	if err != nil {
+		return nil, err
+	}
+	return rets.Bytes(0)
+}
+
+// Write writes data at the file offset (or to a socket/pipe).
+func (s *Sys) Write(fd int, data []byte) (int, error) {
+	rets, err := s.call("vfs", "write", fd, data)
+	if err != nil {
+		return 0, err
+	}
+	return rets.Int(0)
+}
+
+// Pwrite writes data at an explicit offset.
+func (s *Sys) Pwrite(fd int, data []byte, off int64) (int, error) {
+	rets, err := s.call("vfs", "pwrite", fd, data, off)
+	if err != nil {
+		return 0, err
+	}
+	return rets.Int(0)
+}
+
+// Writev writes multiple buffers (concatenated, per the VFS contract).
+func (s *Sys) Writev(fd int, bufs ...[]byte) (int, error) {
+	var total []byte
+	for _, b := range bufs {
+		total = append(total, b...)
+	}
+	rets, err := s.call("vfs", "writev", fd, total)
+	if err != nil {
+		return 0, err
+	}
+	return rets.Int(0)
+}
+
+// Lseek moves the file offset.
+func (s *Sys) Lseek(fd int, off int64, whence int) (int64, error) {
+	rets, err := s.call("vfs", "lseek", fd, off, whence)
+	if err != nil {
+		return 0, err
+	}
+	return rets.Int64(0)
+}
+
+// Close closes a descriptor.
+func (s *Sys) Close(fd int) error {
+	_, err := s.call("vfs", "close", fd)
+	return err
+}
+
+// Fsync flushes a file to host storage.
+func (s *Sys) Fsync(fd int) error {
+	_, err := s.call("vfs", "fsync", fd)
+	return err
+}
+
+// Stat returns a path's size and directory flag.
+func (s *Sys) Stat(path string) (size int64, isDir bool, err error) {
+	rets, err := s.call("vfs", "stat", path)
+	if err != nil {
+		return 0, false, err
+	}
+	size, err = rets.Int64(0)
+	if err != nil {
+		return 0, false, err
+	}
+	isDir, err = rets.Bool(1)
+	return size, isDir, err
+}
+
+// Mkdir creates a directory.
+func (s *Sys) Mkdir(path string) error {
+	_, err := s.call("vfs", "mkdir", path)
+	return err
+}
+
+// Unlink removes a file.
+func (s *Sys) Unlink(path string) error {
+	_, err := s.call("vfs", "unlink", path)
+	return err
+}
+
+// ReadDir lists a directory.
+func (s *Sys) ReadDir(path string) ([]string, error) {
+	fd, err := s.Open(path, ORdonly)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = s.Close(fd) }()
+	rets, err := s.call("vfs", "readdir", fd)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := rets.Bytes(0)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line != "" {
+			names = append(names, line)
+		}
+	}
+	return names, nil
+}
+
+// Pipe creates a pipe and returns (readFD, writeFD).
+func (s *Sys) Pipe() (int, int, error) {
+	rets, err := s.call("vfs", "pipe")
+	if err != nil {
+		return -1, -1, err
+	}
+	r, err := rets.Int(0)
+	if err != nil {
+		return -1, -1, err
+	}
+	w, err := rets.Int(1)
+	if err != nil {
+		return -1, -1, err
+	}
+	return r, w, nil
+}
+
+// Fcntl performs a descriptor control operation.
+func (s *Sys) Fcntl(fd, cmd int) (int, error) {
+	rets, err := s.call("vfs", "fcntl", fd, cmd)
+	if err != nil {
+		return 0, err
+	}
+	return rets.Int(0)
+}
+
+// --- sockets ---
+
+// Socket allocates a TCP socket descriptor.
+func (s *Sys) Socket() (int, error) {
+	rets, err := s.call("vfs", "vfs_alloc_socket")
+	if err != nil {
+		return -1, err
+	}
+	return rets.Int(0)
+}
+
+// Bind binds a socket to a local port.
+func (s *Sys) Bind(fd, port int) error {
+	_, err := s.call("vfs", "sock_bind", fd, port)
+	return err
+}
+
+// Listen starts accepting connections.
+func (s *Sys) Listen(fd, backlog int) error {
+	_, err := s.call("vfs", "sock_listen", fd, backlog)
+	return err
+}
+
+// Accept blocks until a connection is ready and returns its descriptor.
+func (s *Sys) Accept(fd int) (int, error) {
+	for {
+		nfd, err := s.AcceptNB(fd)
+		if !errors.Is(err, core.EAGAIN) {
+			return nfd, err
+		}
+		s.ctx.Sleep(s.inst.cfg.PollInterval)
+	}
+}
+
+// AcceptNB is the nonblocking accept: EAGAIN when no connection waits.
+func (s *Sys) AcceptNB(fd int) (int, error) {
+	rets, err := s.call("vfs", "sock_accept", fd)
+	if err != nil {
+		return -1, err
+	}
+	return rets.Int(0)
+}
+
+// Connect dials addr:port and blocks until established or failed.
+func (s *Sys) Connect(fd int, addr lwip.Addr, port int, timeout time.Duration) error {
+	if _, err := s.call("vfs", "sock_connect", fd, uint64(addr), port); err != nil {
+		return err
+	}
+	deadline := s.ctx.Elapsed() + timeout
+	for {
+		rets, err := s.call("vfs", "sock_state", fd)
+		if err != nil {
+			return err
+		}
+		st, err := rets.Int(0)
+		if err != nil {
+			return err
+		}
+		switch lwip.ConnState(st) {
+		case lwip.StateEstablished:
+			return nil
+		case lwip.StateDone, lwip.StateClosed:
+			return core.ECONNREFUSED
+		}
+		if s.ctx.Elapsed() >= deadline {
+			return core.Errno("ETIMEDOUT")
+		}
+		s.ctx.Sleep(s.inst.cfg.PollInterval)
+	}
+}
+
+// Send writes to a socket (alias of Write, the paper's socket_write).
+func (s *Sys) Send(fd int, data []byte) (int, error) { return s.Write(fd, data) }
+
+// Recv reads from a socket, blocking (the paper's socket_read).
+func (s *Sys) Recv(fd, n int) ([]byte, bool, error) { return s.Read(fd, n) }
+
+// SetSockOpt sets a socket option.
+func (s *Sys) SetSockOpt(fd, opt, val int) error {
+	_, err := s.call("vfs", "setsockopt", fd, opt, val)
+	return err
+}
+
+// Shutdown half-closes a socket.
+func (s *Sys) Shutdown(fd int) error {
+	_, err := s.call("vfs", "sock_shutdown", fd)
+	return err
+}
+
+// --- host-side conveniences for experiments ---
+
+// HostFS returns the host export file system.
+func (s *Sys) HostFS() *ExportFSRef { return &ExportFSRef{s.inst} }
+
+// ExportFSRef wraps host file operations for workload setup.
+type ExportFSRef struct{ inst *Instance }
+
+// WriteFile writes a host-side file into the export.
+func (r *ExportFSRef) WriteFile(path string, data []byte) error {
+	return r.inst.host.FS().WriteFile(path, data)
+}
+
+// ReadFile reads a host-side file from the export.
+func (r *ExportFSRef) ReadFile(path string) ([]byte, error) {
+	return r.inst.host.FS().ReadFile(path)
+}
+
+// NewPeer registers a workload client machine on the virtual network.
+func (s *Sys) NewPeer() *host.Peer { return s.inst.host.NewPeer() }

@@ -1,0 +1,909 @@
+// Package vfs implements the VFS component: the POSIX-facing file and
+// socket layer of the unikernel (paper Table I). It owns the file
+// descriptor table — the offsets the paper's encapsulated restoration
+// discussion revolves around — and dispatches file operations to 9PFS
+// and socket operations to LWIP.
+//
+// VFS is stateful and uses checkpoint-based initialization (§V-E): its
+// Init mounts the root file system, which touches 9PFS, so a reboot must
+// restore the post-init image instead of re-running Init.
+package vfs
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"vampos/internal/core"
+	"vampos/internal/mem"
+	"vampos/internal/msg"
+)
+
+// Open flags, following the Linux numeric convention.
+const (
+	ORdonly = 0x0
+	OWronly = 0x1
+	ORdwr   = 0x2
+	OCreate = 0x40
+	OTrunc  = 0x200
+	OAppend = 0x400
+)
+
+// Whence values for Lseek.
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+// file kinds
+type kind uint8
+
+const (
+	kindFile kind = iota + 1
+	kindSock
+	kindPipeR
+	kindPipeW
+)
+
+// file is one fd-table entry. Fields are exported for gob.
+type file struct {
+	FD       int
+	Kind     kind
+	Path     string
+	Fid      int // 9pfs fid
+	Offset   int64
+	Append   bool
+	Sock     int // lwip socket id
+	Pipe     int // pipe id
+	ctlBlock mem.Addr
+}
+
+// pipeBuf is an in-kernel pipe.
+type pipeBuf struct {
+	Data        []byte
+	ReadersGone bool
+	WritersGone bool
+}
+
+// Comp is the VFS component.
+type Comp struct {
+	// MountRoot controls whether Init mounts "/" on 9PFS. Configurations
+	// without a file system backend (the Echo application) disable it.
+	MountRoot bool
+	// DisableCheckpoint forces cold re-init + full replay on reboot
+	// instead of checkpoint-based initialization — the ablation knob for
+	// measuring what §V-E buys.
+	DisableCheckpoint bool
+
+	mounts   map[string]string
+	fds      map[int]*file
+	pipes    map[int]*pipeBuf
+	nextPipe int
+	maxFDs   int
+}
+
+// New creates the VFS component with the root mount enabled.
+func New() *Comp { return &Comp{MountRoot: true, maxFDs: 1024} }
+
+// Describe implements core.Component.
+func (c *Comp) Describe() core.Descriptor {
+	return core.Descriptor{
+		Name: "vfs", Stateful: true, Checkpoint: !c.DisableCheckpoint,
+		HeapPages: 512, DomainPages: 512,
+		Deps: []string{"9pfs", "lwip"},
+	}
+}
+
+// Init implements core.Component: mount the root file system. This is
+// exactly the cross-component side effect that makes VFS need
+// checkpoint-based initialization.
+func (c *Comp) Init(ctx *core.Ctx) error {
+	c.mounts = make(map[string]string)
+	c.fds = make(map[int]*file)
+	c.pipes = make(map[int]*pipeBuf)
+	c.nextPipe = 0
+	if !c.MountRoot {
+		return nil
+	}
+	// EEXIST means 9PFS is already attached: the cold re-init path of a
+	// VFS-only reboot hits it, since 9PFS kept running. This tolerance is
+	// what makes cold re-init *possible*; checkpoint-based initialization
+	// is what makes it *unnecessary* (§V-E) — see the ablation bench.
+	if _, err := ctx.Call("9pfs", "uk_9pfs_mount"); err != nil && !errors.Is(err, core.EEXIST) {
+		return fmt.Errorf("vfs: mount root: %w", err)
+	}
+	c.mounts["/"] = "9pfs"
+	return nil
+}
+
+// Exports implements core.Component (paper Table II's VFS row, plus the
+// socket dispatch entry points).
+func (c *Comp) Exports() map[string]core.Handler {
+	return map[string]core.Handler{
+		"mount":            c.mount,
+		"open":             c.open,
+		"create":           c.create,
+		"read":             c.read,
+		"pread":            c.pread,
+		"write":            c.write,
+		"pwrite":           c.pwrite,
+		"writev":           c.writev,
+		"lseek":            c.lseek,
+		"close":            c.close,
+		"fsync":            c.fsync,
+		"fcntl":            c.fcntl,
+		"ioctl":            c.ioctl,
+		"pipe":             c.pipe,
+		"stat":             c.stat,
+		"mkdir":            c.mkdir,
+		"unlink":           c.unlink,
+		"readdir":          c.readdir,
+		"vfscore_vget":     c.vget,
+		"vfs_alloc_socket": c.allocSocket,
+		"sock_bind":        c.sockBind,
+		"sock_listen":      c.sockListen,
+		"sock_accept":      c.sockAccept,
+		"sock_connect":     c.sockConnect,
+		"sock_state":       c.sockState,
+		"setsockopt":       c.setsockopt,
+		"getsockopt":       c.getsockopt,
+		"sock_shutdown":    c.sockShutdown,
+		"__vfs_set_offset": c.setOffsetSynthetic,
+	}
+}
+
+func fdSession(args msg.Args, idx int) msg.SessionID {
+	fd, err := args.Int(idx)
+	if err != nil {
+		return ""
+	}
+	return msg.SessionID(fmt.Sprintf("fd:%d", fd))
+}
+
+// LogPolicies implements core.LogPolicyProvider: the Table II VFS row.
+// stat/vget/readdir change no VFS state and are unlogged.
+func (c *Comp) LogPolicies() map[string]core.LogPolicy {
+	opener := core.LogPolicy{Classify: func(args, rets msg.Args, callErr error) (msg.SessionID, msg.Class) {
+		return fdSession(rets, 0), msg.ClassOpener
+	}}
+	transient := core.LogPolicy{Classify: func(args, rets msg.Args, callErr error) (msg.SessionID, msg.Class) {
+		return fdSession(args, 0), msg.ClassTransient
+	}}
+	durableFD := core.LogPolicy{Classify: func(args, rets msg.Args, callErr error) (msg.SessionID, msg.Class) {
+		return fdSession(args, 0), msg.ClassDurable
+	}}
+	return map[string]core.LogPolicy{
+		"mount":            {Classify: core.Durable},
+		"mkdir":            {Classify: core.Durable},
+		"unlink":           {Classify: core.Durable},
+		"open":             opener,
+		"create":           opener,
+		"vfs_alloc_socket": opener,
+		"sock_accept":      opener,
+		"pipe": {Classify: func(args, rets msg.Args, callErr error) (msg.SessionID, msg.Class) {
+			return fdSession(rets, 0), msg.ClassOpener
+		}},
+		"read":          transient,
+		"pread":         transient,
+		"write":         transient,
+		"pwrite":        transient,
+		"writev":        transient,
+		"lseek":         transient,
+		"fsync":         transient,
+		"fcntl":         durableFD,
+		"ioctl":         durableFD,
+		"sock_bind":     durableFD,
+		"sock_listen":   durableFD,
+		"sock_connect":  durableFD,
+		"setsockopt":    durableFD,
+		"getsockopt":    durableFD,
+		"sock_shutdown": durableFD,
+		"close": {Classify: func(args, rets msg.Args, callErr error) (msg.SessionID, msg.Class) {
+			return fdSession(args, 0), msg.ClassCanceler
+		}},
+	}
+}
+
+// allocFD returns the lowest free descriptor (>= 3, POSIX-style). The
+// reuse is what the session shrinker keys on; during replay the original
+// number is reproduced from the logged return value.
+func (c *Comp) allocFD(ctx *core.Ctx) (int, error) {
+	if rets, ok := ctx.ReplayRets(); ok {
+		if fd, err := rets.Int(0); err == nil {
+			return fd, nil
+		}
+	}
+	for fd := 3; fd < c.maxFDs; fd++ {
+		if _, used := c.fds[fd]; !used {
+			return fd, nil
+		}
+	}
+	return 0, core.ENFILE
+}
+
+func (c *Comp) getFD(args msg.Args, idx int) (*file, error) {
+	fd, err := args.Int(idx)
+	if err != nil {
+		return nil, err
+	}
+	f, ok := c.fds[fd]
+	if !ok {
+		return nil, core.EBADF
+	}
+	return f, nil
+}
+
+func (c *Comp) installFD(ctx *core.Ctx, f *file) {
+	if addr, err := ctx.Heap().Alloc(192); err == nil {
+		f.ctlBlock = addr
+	}
+	c.fds[f.FD] = f
+}
+
+func (c *Comp) dropFD(ctx *core.Ctx, f *file) {
+	if f.ctlBlock != 0 {
+		_ = ctx.Heap().Free(f.ctlBlock)
+		f.ctlBlock = 0
+	}
+	delete(c.fds, f.FD)
+}
+
+func (c *Comp) mount(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	point, err := args.Str(0)
+	if err != nil {
+		return nil, err
+	}
+	fstype, err := args.Str(1)
+	if err != nil {
+		return nil, err
+	}
+	if _, dup := c.mounts[point]; dup {
+		return nil, core.EEXIST
+	}
+	if fstype != "9pfs" {
+		return nil, core.ENOSYS
+	}
+	if point != "/" {
+		// Additional mounts share the single 9P attach in this model.
+		c.mounts[point] = fstype
+		return nil, nil
+	}
+	if _, err := ctx.Call("9pfs", "uk_9pfs_mount"); err != nil {
+		return nil, err
+	}
+	c.mounts[point] = fstype
+	return nil, nil
+}
+
+func (c *Comp) open(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	path, err := args.Str(0)
+	if err != nil {
+		return nil, err
+	}
+	flags, err := args.Int(1)
+	if err != nil {
+		return nil, err
+	}
+	fd, err := c.allocFD(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// Reserve the descriptor before calling out: the 9PFS call yields,
+	// and a concurrent open must not pick the same fd.
+	placeholder := &file{FD: fd, Kind: kindFile}
+	c.fds[fd] = placeholder
+	rets, err := ctx.Call("9pfs", "uk_9pfs_open", path, flags)
+	if err != nil {
+		delete(c.fds, fd)
+		return nil, err
+	}
+	fid, err := rets.Int(0)
+	if err != nil {
+		delete(c.fds, fd)
+		return nil, err
+	}
+	f := &file{FD: fd, Kind: kindFile, Path: path, Fid: fid, Append: flags&OAppend != 0}
+	if f.Append {
+		srets, err := ctx.Call("9pfs", "uk_9pfs_stat", fid)
+		if err == nil {
+			if size, err := srets.Int64(0); err == nil {
+				f.Offset = size
+			}
+		}
+	}
+	c.installFD(ctx, f)
+	return msg.Args{fd}, nil
+}
+
+// create is open(path, O_CREATE|O_WRONLY|O_TRUNC) under its Table II name.
+func (c *Comp) create(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	path, err := args.Str(0)
+	if err != nil {
+		return nil, err
+	}
+	return c.open(ctx, msg.Args{path, OCreate | OWronly | OTrunc})
+}
+
+func (c *Comp) read(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	f, err := c.getFD(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	n, err := args.Int(1)
+	if err != nil {
+		return nil, err
+	}
+	switch f.Kind {
+	case kindFile:
+		rets, err := ctx.Call("9pfs", "uk_9pfs_read", f.Fid, f.Offset, n)
+		if err != nil {
+			return nil, err
+		}
+		data, err := rets.Bytes(0)
+		if err != nil {
+			return nil, err
+		}
+		f.Offset += int64(len(data))
+		return msg.Args{data, len(data) == 0}, nil
+	case kindSock:
+		rets, err := ctx.Call("lwip", "recv", f.Sock, n)
+		if err != nil {
+			return nil, err
+		}
+		return rets, nil // (data, eof)
+	case kindPipeR:
+		p := c.pipes[f.Pipe]
+		if p == nil {
+			return nil, core.EBADF
+		}
+		if len(p.Data) == 0 {
+			if p.WritersGone {
+				return msg.Args{[]byte{}, true}, nil
+			}
+			return nil, core.EAGAIN
+		}
+		if n > len(p.Data) {
+			n = len(p.Data)
+		}
+		out := append([]byte(nil), p.Data[:n]...)
+		p.Data = p.Data[n:]
+		return msg.Args{out, false}, nil
+	default:
+		return nil, core.EBADF
+	}
+}
+
+func (c *Comp) pread(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	f, err := c.getFD(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	n, err := args.Int(1)
+	if err != nil {
+		return nil, err
+	}
+	off, err := args.Int64(2)
+	if err != nil {
+		return nil, err
+	}
+	if f.Kind != kindFile {
+		return nil, core.EINVAL
+	}
+	rets, err := ctx.Call("9pfs", "uk_9pfs_read", f.Fid, off, n)
+	if err != nil {
+		return nil, err
+	}
+	data, err := rets.Bytes(0)
+	if err != nil {
+		return nil, err
+	}
+	return msg.Args{data, len(data) == 0}, nil
+}
+
+func (c *Comp) write(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	f, err := c.getFD(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	data, err := args.Bytes(1)
+	if err != nil {
+		return nil, err
+	}
+	switch f.Kind {
+	case kindFile:
+		rets, err := ctx.Call("9pfs", "uk_9pfs_write", f.Fid, f.Offset, data)
+		if err != nil {
+			return nil, err
+		}
+		n, err := rets.Int(0)
+		if err != nil {
+			return nil, err
+		}
+		f.Offset += int64(n)
+		return msg.Args{n}, nil
+	case kindSock:
+		rets, err := ctx.Call("lwip", "send", f.Sock, data)
+		if err != nil {
+			return nil, err
+		}
+		return rets, nil
+	case kindPipeW:
+		p := c.pipes[f.Pipe]
+		if p == nil {
+			return nil, core.EBADF
+		}
+		if p.ReadersGone {
+			return nil, core.EPIPE
+		}
+		p.Data = append(p.Data, data...)
+		return msg.Args{len(data)}, nil
+	default:
+		return nil, core.EBADF
+	}
+}
+
+func (c *Comp) pwrite(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	f, err := c.getFD(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	data, err := args.Bytes(1)
+	if err != nil {
+		return nil, err
+	}
+	off, err := args.Int64(2)
+	if err != nil {
+		return nil, err
+	}
+	if f.Kind != kindFile {
+		return nil, core.EINVAL
+	}
+	rets, err := ctx.Call("9pfs", "uk_9pfs_write", f.Fid, off, data)
+	if err != nil {
+		return nil, err
+	}
+	return rets, nil
+}
+
+// writev concatenated at the syscall layer: one buffer here.
+func (c *Comp) writev(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	return c.write(ctx, args)
+}
+
+func (c *Comp) lseek(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	f, err := c.getFD(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	off, err := args.Int64(1)
+	if err != nil {
+		return nil, err
+	}
+	whence, err := args.Int(2)
+	if err != nil {
+		return nil, err
+	}
+	if f.Kind != kindFile {
+		return nil, core.EINVAL
+	}
+	switch whence {
+	case SeekSet:
+		f.Offset = off
+	case SeekCur:
+		f.Offset += off
+	case SeekEnd:
+		rets, err := ctx.Call("9pfs", "uk_9pfs_stat", f.Fid)
+		if err != nil {
+			return nil, err
+		}
+		size, err := rets.Int64(0)
+		if err != nil {
+			return nil, err
+		}
+		f.Offset = size + off
+	default:
+		return nil, core.EINVAL
+	}
+	if f.Offset < 0 {
+		f.Offset = 0
+		return nil, core.EINVAL
+	}
+	return msg.Args{f.Offset}, nil
+}
+
+func (c *Comp) close(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	f, err := c.getFD(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	switch f.Kind {
+	case kindFile:
+		if _, err := ctx.Call("9pfs", "uk_9pfs_close", f.Fid); err != nil {
+			// The fd dies regardless; 9PFS may have already dropped it.
+			_ = err
+		}
+	case kindSock:
+		if _, err := ctx.Call("lwip", "sock_net_close", f.Sock); err != nil {
+			_ = err
+		}
+	case kindPipeR:
+		if p := c.pipes[f.Pipe]; p != nil {
+			p.ReadersGone = true
+			if p.WritersGone {
+				delete(c.pipes, f.Pipe)
+			}
+		}
+	case kindPipeW:
+		if p := c.pipes[f.Pipe]; p != nil {
+			p.WritersGone = true
+			if p.ReadersGone {
+				delete(c.pipes, f.Pipe)
+			}
+		}
+	}
+	c.dropFD(ctx, f)
+	return nil, nil
+}
+
+func (c *Comp) fsync(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	f, err := c.getFD(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	if f.Kind != kindFile {
+		return nil, core.EINVAL
+	}
+	if _, err := ctx.Call("9pfs", "uk_9pfs_fsync", f.Fid); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+func (c *Comp) fcntl(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	f, err := c.getFD(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	cmd, err := args.Int(1)
+	if err != nil {
+		return nil, err
+	}
+	switch cmd {
+	case 1: // F_GETFD-ish
+		return msg.Args{0}, nil
+	case 1024 + 7: // F_SETFL O_APPEND toggle stand-in
+		f.Append = true
+		return msg.Args{0}, nil
+	default:
+		return msg.Args{0}, nil
+	}
+}
+
+func (c *Comp) ioctl(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	f, err := c.getFD(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	if f.Kind == kindSock {
+		return ctx.Call("lwip", "sock_net_ioctl", f.Sock)
+	}
+	return msg.Args{0}, nil
+}
+
+func (c *Comp) pipe(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	rfd, err := c.allocFD(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// Reserve rfd before allocating wfd so they differ; during replay
+	// both come from the logged results.
+	rf := &file{FD: rfd, Kind: kindPipeR}
+	c.installFD(ctx, rf)
+	wfd, err := c.allocFD(ctx)
+	if err == nil && wfd == rfd {
+		// Replay path: second result slot.
+		if rets, ok := ctx.ReplayRets(); ok {
+			wfd, err = rets.Int(1)
+		}
+	}
+	if err != nil {
+		c.dropFD(ctx, rf)
+		return nil, err
+	}
+	c.nextPipe++
+	c.pipes[c.nextPipe] = &pipeBuf{}
+	rf.Pipe = c.nextPipe
+	wf := &file{FD: wfd, Kind: kindPipeW, Pipe: c.nextPipe}
+	c.installFD(ctx, wf)
+	return msg.Args{rfd, wfd}, nil
+}
+
+func (c *Comp) stat(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	path, err := args.Str(0)
+	if err != nil {
+		return nil, err
+	}
+	rets, err := ctx.Call("9pfs", "uk_9pfs_lookup", path)
+	if err != nil {
+		return nil, err
+	}
+	exists, err := rets.Bool(0)
+	if err != nil {
+		return nil, err
+	}
+	if !exists {
+		return nil, core.ENOENT
+	}
+	return msg.Args{rets[1], rets[2]}, nil // size, isdir
+}
+
+func (c *Comp) mkdir(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	path, err := args.Str(0)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.Call("9pfs", "uk_9pfs_mkdir", path)
+}
+
+func (c *Comp) unlink(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	path, err := args.Str(0)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.Call("9pfs", "uk_9pfs_remove", path)
+}
+
+func (c *Comp) readdir(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	f, err := c.getFD(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	if f.Kind != kindFile {
+		return nil, core.ENOTDIR
+	}
+	return ctx.Call("9pfs", "uk_9pfs_readdir", f.Fid)
+}
+
+// vget resolves a path like the vnode-cache hook in Unikraft's vfscore;
+// stateless here (no vnode cache), so unlogged.
+func (c *Comp) vget(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	return c.stat(ctx, args)
+}
+
+func (c *Comp) allocSocket(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	fd, err := c.allocFD(ctx)
+	if err != nil {
+		return nil, err
+	}
+	c.fds[fd] = &file{FD: fd, Kind: kindSock}
+	rets, err := ctx.Call("lwip", "socket")
+	if err != nil {
+		delete(c.fds, fd)
+		return nil, err
+	}
+	sockID, err := rets.Int(0)
+	if err != nil {
+		return nil, err
+	}
+	f := &file{FD: fd, Kind: kindSock, Sock: sockID}
+	c.installFD(ctx, f)
+	return msg.Args{fd}, nil
+}
+
+func (c *Comp) sockFD(args msg.Args) (*file, error) {
+	f, err := c.getFD(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	if f.Kind != kindSock {
+		return nil, core.EINVAL
+	}
+	return f, nil
+}
+
+func (c *Comp) sockBind(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	f, err := c.sockFD(args)
+	if err != nil {
+		return nil, err
+	}
+	port, err := args.Int(1)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.Call("lwip", "bind", f.Sock, port)
+}
+
+func (c *Comp) sockListen(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	f, err := c.sockFD(args)
+	if err != nil {
+		return nil, err
+	}
+	backlog, err := args.Int(1)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.Call("lwip", "listen", f.Sock, backlog)
+}
+
+// sockAccept pops one ready connection and wraps it in a new fd.
+func (c *Comp) sockAccept(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	f, err := c.sockFD(args)
+	if err != nil {
+		return nil, err
+	}
+	rets, err := ctx.Call("lwip", "accept", f.Sock)
+	if err != nil {
+		return nil, err // EAGAIN propagates; the syscall layer polls
+	}
+	sockID, err := rets.Int(0)
+	if err != nil {
+		return nil, err
+	}
+	fd, err := c.allocFD(ctx)
+	if err != nil {
+		// Undo the accept so the connection is not leaked.
+		_, _ = ctx.Call("lwip", "sock_net_close", sockID)
+		return nil, err
+	}
+	nf := &file{FD: fd, Kind: kindSock, Sock: sockID}
+	c.installFD(ctx, nf)
+	return msg.Args{fd, rets[1], rets[2]}, nil // fd, raddr, rport
+}
+
+func (c *Comp) sockConnect(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	f, err := c.sockFD(args)
+	if err != nil {
+		return nil, err
+	}
+	raddr, err := args.Uint64(1)
+	if err != nil {
+		return nil, err
+	}
+	port, err := args.Int(2)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.Call("lwip", "connect", f.Sock, raddr, port)
+}
+
+func (c *Comp) sockState(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	f, err := c.sockFD(args)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.Call("lwip", "conn_state", f.Sock)
+}
+
+func (c *Comp) setsockopt(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	f, err := c.sockFD(args)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := args.Int(1)
+	if err != nil {
+		return nil, err
+	}
+	val, err := args.Int(2)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.Call("lwip", "setsockopt", f.Sock, opt, val)
+}
+
+func (c *Comp) getsockopt(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	f, err := c.sockFD(args)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := args.Int(1)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.Call("lwip", "getsockopt", f.Sock, opt)
+}
+
+func (c *Comp) sockShutdown(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	f, err := c.sockFD(args)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.Call("lwip", "shutdown", f.Sock)
+}
+
+// setOffsetSynthetic is the compaction target: it replays as a direct
+// offset install, replacing a run of read/write/lseek records (§V-F).
+func (c *Comp) setOffsetSynthetic(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
+	f, err := c.getFD(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	off, err := args.Int64(1)
+	if err != nil {
+		return nil, err
+	}
+	f.Offset = off
+	return nil, nil
+}
+
+// CompactLog implements core.Compactor: replace each open file's
+// transient records with one synthetic offset-install record (the
+// paper's "extracts and resets the offset value in VFS").
+func (c *Comp) CompactLog(log *msg.Log) error {
+	for fd, f := range c.fds {
+		if f.Kind != kindFile {
+			// Socket transients carry no offset; just drop them.
+			sess := msg.SessionID(fmt.Sprintf("fd:%d", fd))
+			log.RemoveWhere(func(r msg.RecordView) bool {
+				return r.Session == sess && r.Class == msg.ClassTransient
+			})
+			continue
+		}
+		sess := msg.SessionID(fmt.Sprintf("fd:%d", fd))
+		removed := log.RemoveWhere(func(r msg.RecordView) bool {
+			return r.Session == sess && (r.Class == msg.ClassTransient || r.Synthetic)
+		})
+		if removed > 0 {
+			if err := log.AppendSynthetic("__vfs_set_offset", msg.Args{fd, f.Offset}, sess); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Reset implements core.ColdResetter for the checkpoint-ablation path.
+func (c *Comp) Reset() {
+	c.mounts = nil
+	c.fds = nil
+	c.pipes = nil
+	c.nextPipe = 0
+}
+
+// SaveState / RestoreState serialise the fd table and mounts for the
+// post-init checkpoint.
+func (c *Comp) SaveState() ([]byte, error) {
+	var buf bytes.Buffer
+	st := struct {
+		Mounts   map[string]string
+		FDs      map[int]*file
+		Pipes    map[int]*pipeBuf
+		NextPipe int
+	}{c.mounts, c.fds, c.pipes, c.nextPipe}
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements core.StateSaver.
+func (c *Comp) RestoreState(p []byte) error {
+	var st struct {
+		Mounts   map[string]string
+		FDs      map[int]*file
+		Pipes    map[int]*pipeBuf
+		NextPipe int
+	}
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&st); err != nil {
+		return err
+	}
+	c.mounts = st.Mounts
+	c.fds = st.FDs
+	c.pipes = st.Pipes
+	c.nextPipe = st.NextPipe
+	if c.fds == nil {
+		c.fds = make(map[int]*file)
+	}
+	if c.pipes == nil {
+		c.pipes = make(map[int]*pipeBuf)
+	}
+	return nil
+}
+
+var (
+	_ core.Component         = (*Comp)(nil)
+	_ core.LogPolicyProvider = (*Comp)(nil)
+	_ core.Compactor         = (*Comp)(nil)
+	_ core.StateSaver        = (*Comp)(nil)
+)

@@ -1,0 +1,244 @@
+package virtio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vampos/internal/mem"
+)
+
+func newRingPair(t *testing.T, slots, slotSize int) (*mem.Memory, *Ring) {
+	t.Helper()
+	m := mem.New(64 * mem.PageSize)
+	pages := (RingBytes(slots, slotSize) + mem.PageSize - 1) / mem.PageSize
+	base, err := m.AllocPages(pages, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRing(m, base, slots, slotSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, r
+}
+
+func TestRingGuestToHostRoundTrip(t *testing.T) {
+	m, r := newRingPair(t, 8, 256)
+	acc := mem.NewAccessor(m, mem.Allow(5))
+	for i := 0; i < 20; i++ {
+		payload := bytes.Repeat([]byte{byte(i)}, i+1)
+		if err := r.GuestPush(acc, payload); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+		got, ok, err := r.HostPop()
+		if err != nil || !ok {
+			t.Fatalf("pop %d: ok=%v err=%v", i, ok, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("pop %d: got % x", i, got)
+		}
+	}
+}
+
+func TestRingFullAndEmpty(t *testing.T) {
+	m, r := newRingPair(t, 4, 64)
+	acc := mem.NewAccessor(m, mem.Allow(5))
+	if _, ok, err := r.GuestPop(acc); ok || err != nil {
+		t.Fatalf("pop from empty: ok=%v err=%v", ok, err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := r.HostPush([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.HostPush([]byte{9}); err != ErrRingFull {
+		t.Fatalf("push into full ring = %v, want ErrRingFull", err)
+	}
+	// Draining one slot makes room again.
+	if _, ok, _ := r.GuestPop(acc); !ok {
+		t.Fatal("drain failed")
+	}
+	if err := r.HostPush([]byte{9}); err != nil {
+		t.Fatalf("push after drain: %v", err)
+	}
+}
+
+func TestRingRejectsOversizedPayload(t *testing.T) {
+	_, r := newRingPair(t, 4, 64)
+	if err := r.HostPush(make([]byte, 65)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestRingGuestAccessChecked(t *testing.T) {
+	m, r := newRingPair(t, 4, 64)
+	// Wrong key: the guest access must fault.
+	intruder := mem.NewAccessor(m, mem.Allow(9))
+	if err := r.GuestPush(intruder, []byte{1}); err == nil {
+		t.Fatal("guest push with wrong key succeeded")
+	}
+}
+
+// Property: any interleaving of pushes and pops preserves FIFO order.
+func TestRingFIFOProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := mem.New(64 * mem.PageSize)
+		base, err := m.AllocPages(4, 1)
+		if err != nil {
+			return false
+		}
+		r, err := NewRing(m, base, 8, 32)
+		if err != nil {
+			return false
+		}
+		next := byte(0)
+		var queue []byte
+		for step := 0; step < 200; step++ {
+			if rng.Intn(2) == 0 {
+				if err := r.HostPush([]byte{next}); err == nil {
+					queue = append(queue, next)
+					next++
+				}
+			} else {
+				got, ok, err := r.HostPop()
+				if err != nil {
+					return false
+				}
+				if !ok {
+					if len(queue) != 0 {
+						return false
+					}
+					continue
+				}
+				if len(queue) == 0 || got[0] != queue[0] {
+					return false
+				}
+				queue = queue[1:]
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newTestDevice(t *testing.T) (*mem.Memory, *Device) {
+	t.Helper()
+	m := mem.New(64 * mem.PageSize)
+	txBase, err := m.AllocPages(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rxBase, err := m.AllocPages(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewDevice("test", m, txBase, rxBase, 8, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, dev
+}
+
+func TestDeviceNotifyAndIRQ(t *testing.T) {
+	m, dev := newTestDevice(t)
+	acc := mem.NewAccessor(m, mem.Allow(5))
+	doorbells, irqs := 0, 0
+	dev.HostNotify = func() { doorbells++ }
+	dev.GuestIRQ = func() { irqs++ }
+	if err := dev.GuestSend(acc, []byte("tx")); err != nil {
+		t.Fatal(err)
+	}
+	if doorbells != 1 {
+		t.Fatalf("doorbells = %d", doorbells)
+	}
+	if err := dev.HostSend([]byte("rx")); err != nil {
+		t.Fatal(err)
+	}
+	if irqs != 1 {
+		t.Fatalf("irqs = %d", irqs)
+	}
+	got, ok, err := dev.GuestRecv(acc)
+	if err != nil || !ok || string(got) != "rx" {
+		t.Fatalf("GuestRecv = %q ok=%v err=%v", got, ok, err)
+	}
+	got, ok, err = dev.HostRecv()
+	if err != nil || !ok || string(got) != "tx" {
+		t.Fatalf("HostRecv = %q ok=%v err=%v", got, ok, err)
+	}
+}
+
+// TestUncoordinatedResetDesyncsDevice demonstrates the paper's §VIII
+// argument: a guest-side ring reset behind the device's back loses I/O,
+// which is why VampOS never reboots VIRTIO.
+func TestUncoordinatedResetDesyncsDevice(t *testing.T) {
+	m, dev := newTestDevice(t)
+	acc := mem.NewAccessor(m, mem.Allow(5))
+	// Normal traffic advances the host's private shadow index.
+	for i := 0; i < 3; i++ {
+		if err := dev.GuestSend(acc, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, _ := dev.HostRecv(); !ok {
+			t.Fatal("host missed a frame")
+		}
+	}
+	// An uncoordinated "component reboot" zeroes the rings guest-side.
+	if err := dev.tx.reset(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.GuestSend(acc, []byte("after reset")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := dev.HostRecv(); ok {
+		t.Fatal("host accepted a frame from a desynced ring")
+	}
+	if !dev.Desynced() {
+		t.Fatal("device did not detect the uncoordinated reset")
+	}
+	if err := dev.HostSend([]byte("x")); err == nil {
+		t.Fatal("desynced device still transmitting")
+	}
+	if dev.DroppedDesync == 0 {
+		t.Fatal("no drops recorded")
+	}
+}
+
+// TestCoordinatedResetRecovers shows the contrast: a full VM reboot
+// resets both sides together and the device works again.
+func TestCoordinatedResetRecovers(t *testing.T) {
+	m, dev := newTestDevice(t)
+	acc := mem.NewAccessor(m, mem.Allow(5))
+	for i := 0; i < 3; i++ {
+		if err := dev.GuestSend(acc, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, _ := dev.HostRecv(); !ok {
+			t.Fatal("host missed a frame")
+		}
+	}
+	if err := dev.tx.reset(); err != nil { // uncoordinated damage first
+		t.Fatal(err)
+	}
+	_, _, _ = dev.HostRecv()
+	if !dev.Desynced() {
+		t.Fatal("setup: device should be desynced")
+	}
+	if err := dev.Reset(); err != nil { // coordinated reset
+		t.Fatal(err)
+	}
+	if dev.Desynced() {
+		t.Fatal("coordinated reset left device desynced")
+	}
+	if err := dev.GuestSend(acc, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := dev.HostRecv()
+	if err != nil || !ok || string(got) != "ok" {
+		t.Fatalf("post-reset traffic = %q ok=%v err=%v", got, ok, err)
+	}
+}

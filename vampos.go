@@ -1,0 +1,129 @@
+// Package vampos is a Go reproduction of "Reboot-Based Recovery of
+// Unikernels at the Component Level" (Wada & Yamada, DSN 2024): a
+// unikernel model whose OS components — VFS, a 9P file system, a TCP/IP
+// stack, virtio drivers, and the small POSIX utility components —
+// interact by message passing so that a failed or aged component can be
+// rebooted alone, restored from a post-init checkpoint plus an
+// encapsulated replay of its call log, while the application and the
+// other components keep running.
+//
+// The package is a facade over the internal implementation:
+//
+//   - Instance / Sys / App: assemble and drive a unikernel (see
+//     internal/unikernel).
+//   - Vanilla/Noop/DaS/FSm/NETm configs: the paper's five experimental
+//     configurations (§VII-A).
+//   - Injector: fail-stop crash, hang, leak and fragmentation injection
+//     (§II-B fault model and the software-aging motivation).
+//   - The apps sub-packages (internal/apps/...): SQLite-, Nginx-, Redis-
+//     and Echo-analogue applications from §VI.
+//   - internal/bench: runners that regenerate every table and figure of
+//     the paper's evaluation; cmd/vampos-bench prints them.
+//
+// Quickstart:
+//
+//	inst, err := vampos.New(vampos.Config{Core: vampos.DaSConfig(), FS: true, Net: true, Sysinfo: true})
+//	if err != nil { ... }
+//	err = inst.Run(func(s *vampos.Sys) {
+//		defer s.Stop()
+//		fd, _ := s.Open("/hello.txt", vampos.OCreate|vampos.ORdwr)
+//		s.Write(fd, []byte("hi"))
+//		s.Reboot("vfs") // component-level reboot; the fd survives
+//		data, _ := s.Pread(fd, 2, 0)
+//		fmt.Println(string(data))
+//	})
+package vampos
+
+import (
+	"vampos/internal/core"
+	"vampos/internal/faults"
+	"vampos/internal/unikernel"
+)
+
+// Core runtime types.
+type (
+	// Instance is one assembled unikernel plus its host-side world.
+	Instance = unikernel.Instance
+	// Sys is the system-call surface application threads use.
+	Sys = unikernel.Sys
+	// App is an application linked against the unikernel.
+	App = unikernel.App
+	// Config selects components and runtime behaviour for an instance.
+	Config = unikernel.Config
+	// CoreConfig is the VampOS runtime configuration.
+	CoreConfig = core.Config
+	// Runtime exposes stats, reboot records and fault arming.
+	Runtime = core.Runtime
+	// Injector arms crashes, hangs, leaks and fragmentation.
+	Injector = faults.Injector
+	// Errno is the POSIX-flavoured error type used across components.
+	Errno = core.Errno
+	// FaultKind selects an injected failure mode.
+	FaultKind = core.FaultKind
+	// Rejuvenator drives periodic proactive component reboots (§VII-D).
+	Rejuvenator = core.Rejuvenator
+)
+
+// Injectable fault kinds (§II-B fault model).
+const (
+	FaultCrash = core.FaultCrash
+	FaultHang  = core.FaultHang
+)
+
+// New assembles an instance from a configuration.
+func New(cfg Config) (*Instance, error) { return unikernel.New(cfg) }
+
+// NewInjector creates a fault injector for an instance's runtime.
+func NewInjector(rt *Runtime) *Injector { return faults.NewInjector(rt) }
+
+// The five experimental configurations of the paper (§VII-A).
+var (
+	// VanillaConfig models unmodified Unikraft: direct function calls,
+	// no logging, no isolation, whole-image reboots only.
+	VanillaConfig = core.VanillaConfig
+	// NoopConfig is message passing under round-robin scheduling.
+	NoopConfig = core.NoopConfig
+	// DaSConfig adds dependency-aware scheduling (the default VampOS).
+	DaSConfig = core.DaSConfig
+	// FSmConfig merges the file-system components VFS and 9PFS.
+	FSmConfig = core.FSmConfig
+	// NETmConfig merges the network components LWIP and NETDEV.
+	NETmConfig = core.NETmConfig
+)
+
+// File open flags and whence values (Linux numeric convention).
+const (
+	ORdonly = unikernel.ORdonly
+	OWronly = unikernel.OWronly
+	ORdwr   = unikernel.ORdwr
+	OCreate = unikernel.OCreate
+	OTrunc  = unikernel.OTrunc
+	OAppend = unikernel.OAppend
+
+	SeekSet = unikernel.SeekSet
+	SeekCur = unikernel.SeekCur
+	SeekEnd = unikernel.SeekEnd
+)
+
+// Common errnos.
+const (
+	EAGAIN     = core.EAGAIN
+	EBADF      = core.EBADF
+	ENOENT     = core.ENOENT
+	EEXIST     = core.EEXIST
+	EINVAL     = core.EINVAL
+	EPIPE      = core.EPIPE
+	ECONNRESET = core.ECONNRESET
+)
+
+// Sentinel errors from the runtime.
+var (
+	// ErrComponentRebooted reports a call interrupted by the target's
+	// reboot (retried transparently once before surfacing).
+	ErrComponentRebooted = core.ErrComponentRebooted
+	// ErrComponentFailed reports a deterministic-fault fail-stop.
+	ErrComponentFailed = core.ErrComponentFailed
+	// ErrUnrebootable reports a reboot attempt on a component whose
+	// state is shared with the host (VIRTIO).
+	ErrUnrebootable = core.ErrUnrebootable
+)
