@@ -4,6 +4,7 @@
 // Usage:
 //
 //	vampos-bench [-exp all|fig5|table3|fig6|fig7|table4|table5|fig8] [-scale default|paper]
+//	             [-json results.json] [-trace trace.json]
 //
 // The default scale keeps the whole suite within tens of seconds of wall
 // time; -scale paper uses the paper's workload parameters (1,000,000
@@ -11,11 +12,17 @@
 // Absolute times come from the calibrated virtual-time cost model; the
 // reproduced claims are the shapes: orderings, ratios, and who wins
 // where (see EXPERIMENTS.md).
+//
+// -json writes the raw results as machine-readable JSON. -trace writes
+// the merged flight-recorder trace of the traced experiments (fig6,
+// fig8) in Chrome trace-event format; load it at ui.perfetto.dev or
+// chrome://tracing.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -25,6 +32,8 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, "+strings.Join(bench.ExperimentNames(), ", "))
 	scaleName := flag.String("scale", "default", "workload scale: default or paper")
+	jsonPath := flag.String("json", "", "write results as machine-readable JSON to this file")
+	tracePath := flag.String("trace", "", "write the merged Chrome trace of traced experiments to this file")
 	flag.Parse()
 
 	var scale bench.Scale
@@ -43,4 +52,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vampos-bench: %v\n", err)
 		os.Exit(1)
 	}
+	if *jsonPath != "" {
+		if err := writeFile(*jsonPath, suite.WriteJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "vampos-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("results written to %s\n", *jsonPath)
+	}
+	if *tracePath != "" {
+		if err := writeFile(*tracePath, suite.WriteTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "vampos-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (open at ui.perfetto.dev)\n", *tracePath)
+	}
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -3,9 +3,15 @@
 // zero lost requests (§VII-D) and failure recovery of a warm key-value
 // store after an injected 9PFS fail-stop (§VII-E), with a full-reboot
 // baseline for contrast.
+//
+// With -trace <file>, every scene records into a flight recorder and the
+// merged Chrome trace-event JSON is written on exit; load it at
+// ui.perfetto.dev to follow the causal chain from a syscall through the
+// injected crash, its detection, and the phased component reboot.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -17,11 +23,45 @@ import (
 	"vampos/internal/sched"
 )
 
+// recorders collects one flight recorder per demo instance when -trace
+// is given; nil recording stays disabled (and free).
+var recorders []*vampos.TraceRecorder
+
+var tracePath = flag.String("trace", "", "write a merged Chrome trace of both demos to this file")
+
+// record attaches a recorder named name to inst when tracing is on.
+func record(inst *vampos.Instance, name string) {
+	if *tracePath == "" {
+		return
+	}
+	recorders = append(recorders, inst.NewTracer(name))
+}
+
 func main() {
+	flag.Parse()
 	if err := run(); err != nil {
 		fmt.Fprintf(os.Stderr, "vampos-demo: %v\n", err)
 		os.Exit(1)
 	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "vampos-demo: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace written to %s (open at ui.perfetto.dev)\n", *tracePath)
+	}
+}
+
+func writeTrace(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := vampos.WriteChromeTrace(f, recorders...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run() error {
@@ -44,6 +84,7 @@ func rejuvenationDemo() error {
 	if err != nil {
 		return err
 	}
+	record(inst, "demo/rejuvenation")
 	if err := inst.Host().FS().WriteFile("/www/index.html", []byte(strings.Repeat("x", 180))); err != nil {
 		return err
 	}
@@ -130,6 +171,7 @@ func recoveryDemo() error {
 		if err != nil {
 			return err
 		}
+		record(inst, "demo/recovery-"+variant)
 		err = inst.Run(func(s *vampos.Sys) {
 			defer s.Stop()
 			kv := redis.New()

@@ -7,6 +7,7 @@ import (
 
 	"vampos/internal/apps/nginx"
 	"vampos/internal/sched"
+	"vampos/internal/trace"
 	"vampos/internal/unikernel"
 )
 
@@ -37,36 +38,52 @@ type Fig6Row struct {
 	Wall     Stat
 	Replayed int // log entries replayed on the last reboot
 	Pages    int // snapshot pages restored on the last reboot
+	// Phases is the per-phase virtual-time breakdown
+	// (quiesce/restore/replay/resume) across trials, reconstructed from
+	// the flight-recorder trace. The phase sums are checked against the
+	// runtime's RebootRecords, so the two sources cannot disagree.
+	Phases map[string]Stat
 }
 
 // Fig6Result is the component reboot time figure.
 type Fig6Result struct {
 	Trials int
 	Rows   []Fig6Row
+
+	recorders []*trace.Recorder
 }
+
+// Recorders returns the per-target flight recorders, for trace export.
+func (r *Fig6Result) Recorders() []*trace.Recorder { return r.recorders }
 
 // RunFig6 measures component reboot times after warming Nginx with GET
 // requests, as the paper does (1,000 GETs, then reboot each component).
 func RunFig6(scale Scale) (*Fig6Result, error) {
 	res := &Fig6Result{Trials: scale.RebootTrials}
 	for _, target := range Fig6Targets() {
-		row, err := runFig6Target(target, scale)
+		row, rec, err := runFig6Target(target, scale)
 		if err != nil {
 			return nil, fmt.Errorf("fig6 %s: %w", target.Label, err)
 		}
 		res.Rows = append(res.Rows, *row)
+		res.recorders = append(res.recorders, rec)
 	}
 	return res, nil
 }
 
-func runFig6Target(target Fig6Target, scale Scale) (*Fig6Row, error) {
+func runFig6Target(target Fig6Target, scale Scale) (*Fig6Row, *trace.Recorder, error) {
 	inst, err := newInstance(target.Config)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := inst.Host().FS().WriteFile("/www/index.html", []byte(strings.Repeat("x", 180))); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	// The flight recorder is the source of truth for the phase breakdown;
+	// it observes the same virtual clock as the RebootRecords, so the two
+	// are cross-checked below. Recording never advances virtual time, so
+	// attaching it cannot perturb the measurement.
+	rec := inst.NewTracer("fig6/" + strings.ToLower(target.Label))
 	row := &Fig6Row{Target: target}
 	var runErr error
 	err = inst.Run(func(s *unikernel.Sys) {
@@ -123,30 +140,85 @@ func runFig6Target(target Fig6Target, scale Scale) (*Fig6Row, error) {
 		row.Wall = NewStat(wall)
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if runErr != nil {
-		return nil, runErr
+		return nil, nil, runErr
 	}
-	return row, nil
+	if err := fillFig6Phases(row, rec, scale.RebootTrials); err != nil {
+		return nil, nil, err
+	}
+	return row, rec, nil
+}
+
+// fillFig6Phases reconstructs the per-phase breakdown from the trace and
+// cross-checks it against the RebootRecord-derived totals already in the
+// row. Any disagreement is a bug in the instrumentation, not a
+// measurement artifact, so it is an error rather than a footnote.
+func fillFig6Phases(row *Fig6Row, rec *trace.Recorder, trials int) error {
+	tls := trace.RebootTimelines(rec.Snapshot())
+	if len(tls) != trials {
+		return fmt.Errorf("trace/record divergence: %d reboot spans in trace, %d trials", len(tls), trials)
+	}
+	perPhase := make(map[string][]time.Duration)
+	for i, tl := range tls {
+		if tl.Failed {
+			return fmt.Errorf("trace/record divergence: trial %d reboot span marked failed", i)
+		}
+		var sum time.Duration
+		for _, name := range trace.PhaseNames() {
+			d := tl.Phases[name]
+			perPhase[name] = append(perPhase[name], d)
+			sum += d
+		}
+		if sum != tl.Virtual() {
+			return fmt.Errorf("trace/record divergence: trial %d phases sum to %v, reboot span is %v", i, sum, tl.Virtual())
+		}
+	}
+	// The trace-side totals must match the RebootRecords byte for byte:
+	// both read the same virtual clock at the same points.
+	fromTrace := make([]time.Duration, len(tls))
+	for i, tl := range tls {
+		fromTrace[i] = tl.Virtual()
+	}
+	if got, want := NewStat(fromTrace), row.Virtual; got != want {
+		return fmt.Errorf("trace/record divergence: trace totals %+v, record totals %+v", got, want)
+	}
+	row.Phases = make(map[string]Stat, len(perPhase))
+	for name, ds := range perPhase {
+		row.Phases[name] = NewStat(ds)
+	}
+	return nil
 }
 
 // Render produces the Fig. 6 table.
 func (r *Fig6Result) Render() string {
 	t := &table{
 		title:   fmt.Sprintf("Fig. 6 — component reboot time (%d trials, after warm-up GETs)", r.Trials),
-		headers: []string{"component", "virtual mean", "±std", "max", "replayed", "snap pages"},
+		headers: []string{"component", "virtual mean", "±std", "max", "quiesce", "restore", "replay", "resume", "replayed", "snap pages"},
 	}
 	for _, row := range r.Rows {
+		phase := func(name string) string {
+			s, ok := row.Phases[name]
+			if !ok {
+				return "-"
+			}
+			return fmtDur(s.Mean)
+		}
 		t.addRow(
 			row.Target.Label,
 			fmtDur(row.Virtual.Mean),
 			fmtDur(row.Virtual.StdDev),
 			fmtDur(row.Virtual.Max),
+			phase(trace.PhaseQuiesce),
+			phase(trace.PhaseRestore),
+			phase(trace.PhaseReplay),
+			phase(trace.PhaseResume),
 			fmt.Sprintf("%d", row.Replayed),
 			fmt.Sprintf("%d", row.Pages),
 		)
 	}
+	t.addNote("phase columns are trial means derived from the flight-recorder trace and cross-checked against the runtime's reboot records")
 	t.addNote("stateless reboots skip snapshot restore and replay; snapshot load dominates stateful reboots (paper: <48 ms, PROCESS <7.5 µs)")
 	return t.String()
 }

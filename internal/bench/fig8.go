@@ -8,6 +8,7 @@ import (
 	"vampos/internal/apps/redis"
 	"vampos/internal/core"
 	"vampos/internal/sched"
+	"vampos/internal/trace"
 	"vampos/internal/unikernel"
 )
 
@@ -26,13 +27,38 @@ type Fig8Series struct {
 	// Outage is the span during which probes failed or stalled beyond
 	// 5× the median pre-fault latency.
 	Outage time.Duration
+	// Recovery is the causal recovery timeline reconstructed from the
+	// flight-recorder trace, cross-checked against the runtime's reboot
+	// records. All times are offsets from the measurement start, like
+	// Injected and the probe points.
+	Recovery *Fig8Recovery
+}
+
+// Fig8Recovery is the trace-derived recovery chain for one variant. For
+// VampOS it runs fault → crash → detection → component reboot; for the
+// full-reboot baseline only the image restart span exists.
+type Fig8Recovery struct {
+	Fault       time.Duration // fault injection fired (zero for full reboot)
+	Crash       time.Duration // component panicked (zero for full reboot)
+	Detected    time.Duration // runtime observed the failure (zero for full reboot)
+	RebootStart time.Duration
+	RebootEnd   time.Duration
+	// Phases breaks the component reboot into quiesce/restore/replay/
+	// resume durations; empty for the full-reboot baseline, which has no
+	// component-level phases.
+	Phases map[string]time.Duration
 }
 
 // Fig8Result is the Redis failure-recovery comparison.
 type Fig8Result struct {
 	WarmKeys int
 	Series   []Fig8Series
+
+	recorders []*trace.Recorder
 }
+
+// Recorders returns the per-variant flight recorders, for trace export.
+func (r *Fig8Result) Recorders() []*trace.Recorder { return r.recorders }
 
 // RunFig8 reproduces the Redis failure-recovery case study (§VII-E):
 // a warm Redis serves GETs; a fail-stop fault is injected into 9PFS;
@@ -41,21 +67,27 @@ type Fig8Result struct {
 func RunFig8(scale Scale) (*Fig8Result, error) {
 	res := &Fig8Result{WarmKeys: scale.Fig8WarmKeys}
 	for _, v := range []Table5Variant{VariantVampOS, VariantFullReboot} {
-		series, err := runFig8Variant(v, scale)
+		series, rec, err := runFig8Variant(v, scale)
 		if err != nil {
 			return nil, fmt.Errorf("fig8 %s: %w", v, err)
 		}
 		res.Series = append(res.Series, *series)
+		res.recorders = append(res.recorders, rec)
 	}
 	return res, nil
 }
 
-func runFig8Variant(variant Table5Variant, scale Scale) (*Fig8Series, error) {
+func runFig8Variant(variant Table5Variant, scale Scale) (*Fig8Series, *trace.Recorder, error) {
 	inst, err := newInstance(DaS)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	// A bounded ring keeps memory flat over the long probe window; the
+	// recovery chain (fault/crash/detect/reboot events) is sticky in the
+	// recorder and survives ring wrap-around.
+	rec := inst.NewTracer("fig8/"+string(variant), trace.WithCapacity(1<<16))
 	series := &Fig8Series{Variant: variant}
+	var startAbs time.Duration
 	var runErr error
 	err = inst.Run(func(s *unikernel.Sys) {
 		defer s.Stop()
@@ -73,6 +105,7 @@ func runFig8Variant(variant Table5Variant, scale Scale) (*Fig8Series, error) {
 			}
 		}
 		start := s.Elapsed()
+		startAbs = start
 		end := start + scale.Fig8Duration
 
 		// Background GET load at the configured rate.
@@ -183,12 +216,64 @@ func runFig8Variant(variant Table5Variant, scale Scale) (*Fig8Series, error) {
 		series.Outage = computeOutage(series.Points, series.Injected)
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if runErr != nil {
-		return nil, runErr
+		return nil, nil, runErr
 	}
-	return series, nil
+	if err := fillFig8Recovery(series, rec, inst, startAbs); err != nil {
+		return nil, nil, err
+	}
+	return series, rec, nil
+}
+
+// fillFig8Recovery reconstructs the recovery timeline from the trace and
+// cross-checks it against the runtime's own records, so the rendered
+// figure and the exported trace cannot tell different stories.
+func fillFig8Recovery(series *Fig8Series, rec *trace.Recorder, inst *unikernel.Instance, start time.Duration) error {
+	events := rec.Snapshot()
+	switch series.Variant {
+	case VariantVampOS:
+		recoveries := trace.Recoveries(events)
+		if len(recoveries) == 0 {
+			return fmt.Errorf("trace/record divergence: no fault-to-reboot chain in trace")
+		}
+		rcv := recoveries[0]
+		if rcv.Reboot == nil {
+			return fmt.Errorf("trace/record divergence: fault chain has no reboot span")
+		}
+		recs := inst.Runtime().Reboots()
+		if len(recs) == 0 {
+			return fmt.Errorf("trace/record divergence: trace has a reboot span but the runtime recorded none")
+		}
+		if got, want := rcv.Reboot.Virtual(), recs[len(recs)-1].VirtualDuration; got != want {
+			return fmt.Errorf("trace/record divergence: reboot span %v, reboot record %v", got, want)
+		}
+		if rcv.Fault-start < series.Injected {
+			return fmt.Errorf("trace/record divergence: fault instant %v precedes injection at %v", rcv.Fault-start, series.Injected)
+		}
+		series.Recovery = &Fig8Recovery{
+			Fault:       rcv.Fault - start,
+			Crash:       rcv.Crash - start,
+			Detected:    rcv.Detected - start,
+			RebootStart: rcv.Reboot.Start - start,
+			RebootEnd:   rcv.Reboot.End - start,
+			Phases:      rcv.Reboot.Phases,
+		}
+	case VariantFullReboot:
+		for _, tl := range trace.RebootTimelines(events) {
+			if tl.Group != "image" {
+				continue
+			}
+			series.Recovery = &Fig8Recovery{
+				RebootStart: tl.Start - start,
+				RebootEnd:   tl.End - start,
+			}
+			return nil
+		}
+		return fmt.Errorf("trace/record divergence: no image-restart span in trace")
+	}
+	return nil
 }
 
 // computeOutage estimates the post-injection disruption window: from the
@@ -284,6 +369,25 @@ func (r *Fig8Result) Render() string {
 	if vo != nil && fr != nil {
 		fmt.Fprintf(&b, "  injection at t=%.1fs; disruption: vampos %s vs fullreboot %s\n",
 			vo.Injected.Seconds(), fmtDur(vo.Outage), fmtDur(fr.Outage))
+	}
+	if vo != nil && vo.Recovery != nil {
+		rc := vo.Recovery
+		fmt.Fprintf(&b, "  vampos recovery (from trace): crash +%s after fault, detected +%s, reboot %s",
+			fmtDur(rc.Crash-rc.Fault), fmtDur(rc.Detected-rc.Fault), fmtDur(rc.RebootEnd-rc.RebootStart))
+		var parts []string
+		for _, name := range trace.PhaseNames() {
+			if d, ok := rc.Phases[name]; ok {
+				parts = append(parts, fmt.Sprintf("%s %s", name, fmtDur(d)))
+			}
+		}
+		if len(parts) > 0 {
+			fmt.Fprintf(&b, " (%s)", strings.Join(parts, ", "))
+		}
+		b.WriteByte('\n')
+	}
+	if fr != nil && fr.Recovery != nil {
+		fmt.Fprintf(&b, "  fullreboot recovery (from trace): image restart span %s\n",
+			fmtDur(fr.Recovery.RebootEnd-fr.Recovery.RebootStart))
 	}
 	return b.String()
 }

@@ -1,9 +1,12 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"time"
+
+	"vampos/internal/trace"
 )
 
 // Suite runs every experiment and renders the full report.
@@ -100,4 +103,29 @@ func (s *Suite) Run(name string, w io.Writer) error {
 		return nil
 	}
 	return run(name)
+}
+
+// WriteJSON emits every populated result as machine-readable JSON.
+// Durations are nanoseconds, matching encoding/json's time.Duration
+// representation. Unrun experiments appear as null.
+func (s *Suite) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteTrace merges the flight recorders of every trace-producing
+// experiment that ran (fig6, fig8) into one Chrome trace-event file.
+func (s *Suite) WriteTrace(w io.Writer) error {
+	var recs []*trace.Recorder
+	if s.Fig6 != nil {
+		recs = append(recs, s.Fig6.Recorders()...)
+	}
+	if s.Fig8 != nil {
+		recs = append(recs, s.Fig8.Recorders()...)
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("bench: no traced experiment ran (fig6 and fig8 produce traces)")
+	}
+	return trace.WriteChrome(w, recs...)
 }

@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"vampos/internal/mem"
 	"vampos/internal/msg"
+	"vampos/internal/trace"
 )
 
 // Handler is one function a component exposes at its interface. Handlers
@@ -131,8 +133,10 @@ type component struct {
 	fallback     Component
 	fallbackUsed bool
 
-	failures uint64
-	reboots  uint64
+	// failures and reboots are atomics because ComponentStats snapshots
+	// them from arbitrary goroutines while the runtime increments them.
+	failures atomic.Uint64
+	reboots  atomic.Uint64
 }
 
 // checkpoint is the post-init image used by checkpoint-based
@@ -168,6 +172,10 @@ type group struct {
 	rebootReason string
 	rebootStartV time.Duration
 	rebootStartW time.Time
+	// rebootSpan/quiesceSpan are the in-flight trace spans of the
+	// current reboot (zero when tracing is off).
+	rebootSpan  trace.SpanID
+	quiesceSpan trace.SpanID
 
 	// failStopNotified marks that the graceful-termination handler ran.
 	failStopNotified bool

@@ -6,6 +6,7 @@ import (
 	"vampos/internal/mem"
 	"vampos/internal/msg"
 	"vampos/internal/sched"
+	"vampos/internal/trace"
 )
 
 // Ctx is the execution context handed to component handlers and
@@ -19,6 +20,10 @@ type Ctx struct {
 	th      *sched.Thread
 	replay  *replayState
 	appName string
+	// span is the context's current trace span: calls issued through
+	// this context become its children. Zero when tracing is off or the
+	// context is outside any traced operation.
+	span trace.SpanID
 }
 
 // replayState drives one record's replay during encapsulated restoration.
@@ -112,3 +117,42 @@ func (c *Ctx) SaveRuntimeState(state msg.Args) {
 
 // Thread exposes the underlying simulated thread (for host integration).
 func (c *Ctx) Thread() *sched.Thread { return c.th }
+
+// Tracer returns the runtime's flight recorder (nil when tracing is
+// off). All recorder methods are safe on the nil result.
+func (c *Ctx) Tracer() *trace.Recorder { return c.rt.tracer }
+
+// BeginSyscall opens a trace span for one application system call — the
+// causal root that every component hop, crash and recovery the call
+// triggers will hang from. It returns the new span and the context's
+// previous one; hand both to EndSyscall. Free (two zero returns) when
+// tracing is off.
+func (c *Ctx) BeginSyscall(name string) (sp, prev trace.SpanID) {
+	tr := c.rt.tracer
+	if tr == nil {
+		return 0, 0
+	}
+	prev = c.span
+	sp = tr.Begin(prev, trace.KindSyscall, c.callerName(), "", name)
+	c.span = sp
+	return sp, prev
+}
+
+// EndSyscall closes a span opened by BeginSyscall, recording err as its
+// outcome, and restores the context's previous span.
+func (c *Ctx) EndSyscall(sp, prev trace.SpanID, err error) {
+	tr := c.rt.tracer
+	if tr == nil || sp == 0 {
+		return
+	}
+	tr.EndErr(sp, errnoString(err))
+	c.span = prev
+}
+
+// TraceMark records a free-form instant under the context's current
+// span. Experiments use it to label workload milestones.
+func (c *Ctx) TraceMark(name, detail string) {
+	if tr := c.rt.tracer; tr != nil {
+		tr.Instant(c.span, trace.KindMark, c.callerName(), name, detail)
+	}
+}

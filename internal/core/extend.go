@@ -71,7 +71,7 @@ func (rt *Runtime) RegisterFallback(name string, alt Component) error {
 
 // VersionSwitches reports how many components were replaced by their
 // fallback implementation.
-func (rt *Runtime) VersionSwitches() uint64 { return rt.stats.VersionSwitches }
+func (rt *Runtime) VersionSwitches() uint64 { return rt.stats.versionSwitches.Load() }
 
 // trySwapFallback replaces a deterministically failing component with
 // its registered alternate and reboots the group around it. It runs on
@@ -97,9 +97,9 @@ func (rt *Runtime) trySwapFallback(th *sched.Thread, tc *component) bool {
 	// discard the checkpoint so the swap cold-boots and replays.
 	tc.checkpoint = nil
 	tc.runtimeState = nil
-	rt.stats.VersionSwitches++
+	rt.stats.versionSwitches.Add(1)
 	g.failedTwice = false
-	rt.beginReboot(g, "version-switch", true)
+	rt.beginReboot(g, "version-switch", true, 0)
 	for g.rebooting {
 		th.Sleep(10 * time.Microsecond)
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"vampos/internal/mem"
+	"vampos/internal/trace"
 )
 
 // memAddr narrows a raw address back to the arena address type.
@@ -71,6 +72,9 @@ func (rt *Runtime) checkFault(ctx *Ctx, component, fn string) {
 	f.count--
 	if f.count <= 0 {
 		delete(rt.armed, component+"."+fn)
+	}
+	if tr := rt.tracer; tr != nil {
+		tr.Instant(ctx.span, trace.KindFault, component, fn, f.kind.String())
 	}
 	switch f.kind {
 	case FaultCrash:

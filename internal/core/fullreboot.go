@@ -101,16 +101,21 @@ func (rt *Runtime) FullRestart(c *Ctx) error {
 			}
 		}
 	}
+	rt.recMu.Lock()
 	rt.fullRestarts = append(rt.fullRestarts, FullRestartStats{
 		VirtualDuration: rt.clk.Elapsed() - startV,
 		WallDuration:    time.Since(startW),
 		At:              rt.clk.Now(),
 	})
+	rt.recMu.Unlock()
 	return nil
 }
 
-// FullRestarts returns the record of whole-image restarts.
+// FullRestarts returns the record of whole-image restarts. Safe to call
+// from any goroutine.
 func (rt *Runtime) FullRestarts() []FullRestartStats {
+	rt.recMu.Lock()
+	defer rt.recMu.Unlock()
 	out := make([]FullRestartStats, len(rt.fullRestarts))
 	copy(out, rt.fullRestarts)
 	return out

@@ -6,6 +6,7 @@ import (
 
 	"vampos/internal/msg"
 	"vampos/internal/sched"
+	"vampos/internal/trace"
 )
 
 // pendingCall tracks one in-flight cross-component call.
@@ -24,6 +25,11 @@ type pendingCall struct {
 	errStr   string
 	rebooted bool // failed because the target rebooted: retryable once
 	noReply  bool // fire-and-forget injection
+
+	// span is the call's trace span (zero when tracing is off). Callers
+	// with a thread close it on wake-up; finishCall closes it for
+	// fire-and-forget injections.
+	span trace.SpanID
 }
 
 // mqKind selects the message-thread work item type.
@@ -79,11 +85,18 @@ func (c *Ctx) Call(target, fn string, args ...any) (msg.Args, error) {
 	}
 	sameGroup := c.comp != nil && c.comp.group == tc.group
 	if !rt.cfg.MessagePassing || sameGroup {
-		rt.stats.DirectCalls++
+		rt.stats.directCalls.Add(1)
 		rt.charge(rt.costs.DirectCall)
 		sub := &Ctx{rt: rt, comp: tc, th: c.th, replay: c.replay}
+		if tr := rt.tracer; tr != nil {
+			sub.span = tr.Begin(c.span, trace.KindDirect, c.callerName(), target, fn)
+		}
 		rt.checkFault(sub, target, fn)
-		return h(sub, msg.Args(args))
+		rets, err := h(sub, msg.Args(args))
+		if tr := rt.tracer; tr != nil {
+			tr.EndErr(sub.span, errnoString(err))
+		}
+		return rets, err
 	}
 	return rt.callMessage(c, tc, fn, msg.Args(args))
 }
@@ -106,15 +119,27 @@ func (rt *Runtime) callMessage(c *Ctx, tc *component, fn string, args msg.Args) 
 			seq: rt.nextSeq, from: c.callerName(), fromGrp: fromGrp,
 			to: tc, fn: fn, args: args, caller: c.th,
 		}
+		if tr := rt.tracer; tr != nil {
+			pc.span = tr.Begin(c.span, trace.KindCall, c.callerName(), tc.desc.Name, fn)
+			if attempt > 0 {
+				tr.Annotate(pc.span, "retry after reboot")
+			}
+		}
 		rt.pending[pc.seq] = pc
-		rt.stats.Calls++
+		rt.stats.calls.Add(1)
 		rt.submit(mqItem{kind: mqPush, pc: pc})
 		for !pc.done {
 			c.th.Block("call " + tc.desc.Name + "." + fn)
 		}
 		delete(rt.pending, pc.seq)
 		if !pc.rebooted {
+			if tr := rt.tracer; tr != nil {
+				tr.EndErr(pc.span, pc.errStr)
+			}
 			return pc.rets, errnoFromString(pc.errStr)
+		}
+		if tr := rt.tracer; tr != nil {
+			tr.EndErr(pc.span, "aborted: target rebooted")
 		}
 		if attempt >= rt.cfg.CallRetry {
 			// The same input failed again: a deterministic bug. Try the
@@ -146,7 +171,7 @@ func (rt *Runtime) Inject(from *Ctx, target, fn string, args ...any) error {
 	if !ok {
 		return &UnknownComponentError{Name: target}
 	}
-	rt.stats.Injects++
+	rt.stats.injects.Add(1)
 	th := from.th
 	if th == nil {
 		// IRQ contexts borrow whichever simulated thread raised the
@@ -160,13 +185,23 @@ func (rt *Runtime) Inject(from *Ctx, target, fn string, args ...any) error {
 			return &UnknownFunctionError{Component: target, Fn: fn}
 		}
 		sub := &Ctx{rt: rt, comp: tc, th: th}
+		if tr := rt.tracer; tr != nil {
+			sub.span = tr.Begin(from.span, trace.KindDirect, from.callerName(), target, fn)
+		}
 		_, err := h(sub, msg.Args(args))
+		if tr := rt.tracer; tr != nil {
+			tr.EndErr(sub.span, errnoString(err))
+		}
 		return err
 	}
 	rt.nextSeq++
 	pc := &pendingCall{
 		seq: rt.nextSeq, from: from.callerName(),
 		to: tc, fn: fn, args: msg.Args(args), caller: th, noReply: true,
+	}
+	if tr := rt.tracer; tr != nil {
+		pc.span = tr.Begin(from.span, trace.KindCall, from.callerName(), tc.desc.Name, fn)
+		tr.Annotate(pc.span, "inject")
 	}
 	rt.pending[pc.seq] = pc
 	rt.submit(mqItem{kind: mqPush, pc: pc})
@@ -206,7 +241,7 @@ func (rt *Runtime) msgLoop(t *sched.Thread) {
 
 func (rt *Runtime) handlePush(pc *pendingCall) {
 	g := pc.to.group
-	rt.stats.Messages++
+	rt.stats.messages.Add(1)
 	rt.charge(rt.costs.MessagePush)
 	if rt.loggingWanted(pc.to, pc.fn) {
 		rt.charge(rt.costs.LogAppend)
@@ -216,6 +251,9 @@ func (rt *Runtime) handlePush(pc *pendingCall) {
 			return
 		}
 		pc.rec = rec
+	}
+	if tr := rt.tracer; tr != nil {
+		tr.Instant(pc.span, trace.KindPush, "vampos/msg", pc.fn, "to "+pc.to.desc.Name)
 	}
 	if err := g.mailbox.Push(&msg.Message{
 		Seq: pc.seq, From: pc.from, To: pc.to.desc.Name, Fn: pc.fn, Args: pc.args,
@@ -272,6 +310,10 @@ func (rt *Runtime) finishCall(pc *pendingCall, rets msg.Args, errStr string) {
 	pc.errStr = errStr
 	pc.done = true
 	if pc.noReply || pc.caller == nil || pc.caller.State() == sched.StateDone {
+		// Nobody will wake to close the call span; close it here.
+		if tr := rt.tracer; tr != nil {
+			tr.EndErr(pc.span, errStr)
+		}
 		delete(rt.pending, pc.seq)
 		return
 	}
@@ -294,7 +336,7 @@ func (rt *Runtime) maybeCompact(c *component) {
 		if err := comp.CompactLog(lg); err != nil {
 			// Compaction is an optimisation: a failure only means the log
 			// stays longer. Record it and continue.
-			rt.stats.CompactErrors++
+			rt.stats.compactErrors.Add(1)
 		}
 		// Scanning and rewriting the log costs time proportional to the
 		// entries touched — why very low thresholds hurt (Table IV).

@@ -8,18 +8,26 @@ import (
 	"vampos/internal/mem"
 	"vampos/internal/msg"
 	"vampos/internal/sched"
+	"vampos/internal/trace"
 )
 
 // handleFailure runs on the message thread when a component handler
 // panicked: attribute the failure, fail the in-flight call (retryable),
 // discard its half-written log record, and start the reboot.
 func (rt *Runtime) handleFailure(g *group, seq uint64, reason string) {
-	rt.stats.Failures++
+	rt.stats.failures.Add(1)
 	victim := g.members[0]
 	if pc := rt.pending[seq]; pc != nil {
 		victim = pc.to
 	}
-	victim.failures++
+	victim.failures.Add(1)
+	var detectParent trace.SpanID
+	if pc := rt.pending[seq]; pc != nil {
+		detectParent = pc.span
+	}
+	if tr := rt.tracer; tr != nil {
+		tr.Instant(detectParent, trace.KindDetect, victim.desc.Name, "failure", reason)
+	}
 	if rt.onComponentFailure != nil {
 		rt.onComponentFailure(victim.desc.Name, reason)
 	}
@@ -36,22 +44,35 @@ func (rt *Runtime) handleFailure(g *group, seq uint64, reason string) {
 		// fail-stop the group (§II-B).
 		g.failedTwice = true
 		g.rebooting = false
+		if tr := rt.tracer; tr != nil {
+			tr.EndErr(g.rebootSpan, "fail-stop: "+reason)
+			g.rebootSpan, g.quiesceSpan = 0, 0
+		}
 		rt.failAllPending(g, false)
 		rt.notifyFailStop(g)
 		return
 	}
-	rt.beginReboot(g, "failure: "+reason, false)
+	rt.beginReboot(g, "failure: "+reason, false, detectParent)
 }
 
 // beginReboot transitions a group into restoration. The old worker (if
 // still alive) is killed; a fresh worker thread performs checkpoint
 // restore and log replay before serving the mailbox again, so queued
-// requests are delayed, not lost.
-func (rt *Runtime) beginReboot(g *group, reason string, killWorker bool) {
+// requests are delayed, not lost. parent anchors the reboot's trace
+// span in the causal chain that triggered it (zero for an unanchored
+// root).
+func (rt *Runtime) beginReboot(g *group, reason string, killWorker bool, parent trace.SpanID) {
 	g.rebooting = true
 	g.rebootReason = reason
 	g.rebootStartV = rt.clk.Elapsed()
 	g.rebootStartW = time.Now()
+	if tr := rt.tracer; tr != nil {
+		// The reboot span opens at the same clock reading rebootStartV
+		// captured, so the trace-derived duration and the RebootRecord
+		// agree exactly.
+		g.rebootSpan = tr.Begin(parent, trace.KindReboot, g.name, "", reason)
+		g.quiesceSpan = tr.Begin(g.rebootSpan, trace.KindPhase, g.name, "", trace.PhaseQuiesce)
+	}
 	if killWorker && g.worker != nil && g.worker.t.State() != sched.StateDone {
 		g.worker.t.Kill()
 	}
@@ -89,7 +110,7 @@ func (c *Ctx) Reboot(name string) error {
 	for g.rebooting || g.currentSeq != 0 {
 		c.th.Sleep(10 * time.Microsecond)
 	}
-	rt.beginReboot(g, "proactive", true)
+	rt.beginReboot(g, "proactive", true, c.span)
 	for g.rebooting {
 		c.th.Sleep(10 * time.Microsecond)
 	}
@@ -103,6 +124,16 @@ func (c *Ctx) Reboot(name string) error {
 // thread: memory image (checkpoint or cold init), encapsulated log
 // replay in global sequence order, then runtime-state installation.
 func (rt *Runtime) restoreGroup(t *sched.Thread, g *group) error {
+	tr := rt.tracer
+	var phaseSpan trace.SpanID
+	if tr != nil {
+		// The new worker's first dispatch ends quiescence and starts the
+		// restore phase. Phases tile the reboot span exactly, so the
+		// phase sum equals the reboot's total duration.
+		tr.End(g.quiesceSpan)
+		g.quiesceSpan = 0
+		phaseSpan = tr.Begin(g.rebootSpan, trace.KindPhase, g.name, "", trace.PhaseRestore)
+	}
 	replayed := 0
 	restoredPages := 0
 	// Note: the group mailbox is untouched — requests queued during the
@@ -135,11 +166,15 @@ func (rt *Runtime) restoreGroup(t *sched.Thread, g *group) error {
 				cr.Reset()
 			}
 			rt.charge(rt.costs.ColdInit)
-			ctx := &Ctx{rt: rt, comp: c, th: t}
+			ctx := &Ctx{rt: rt, comp: c, th: t, span: phaseSpan}
 			if err := c.comp.Init(ctx); err != nil {
 				return fmt.Errorf("core: re-init %q: %w", c.desc.Name, err)
 			}
 		}
+	}
+	if tr != nil {
+		tr.End(phaseSpan)
+		phaseSpan = tr.Begin(g.rebootSpan, trace.KindPhase, g.name, "", trace.PhaseReplay)
 	}
 	// Encapsulated restoration: replay each member's retained log in
 	// global sequence order so cross-member orderings inside a merged
@@ -169,7 +204,7 @@ func (rt *Runtime) restoreGroup(t *sched.Thread, g *group) error {
 			return &UnknownFunctionError{Component: it.c.desc.Name, Fn: it.v.Fn}
 		}
 		rs := &replayState{grp: g, rec: &items[i].v}
-		ctx := &Ctx{rt: rt, comp: it.c, th: t, replay: rs}
+		ctx := &Ctx{rt: rt, comp: it.c, th: t, replay: rs, span: phaseSpan}
 		rets, err, pv, panicked := rt.invoke(h, ctx, it.v.Args)
 		if panicked {
 			return fmt.Errorf("core: replay of %s.%s panicked: %v", it.c.desc.Name, it.v.Fn, pv)
@@ -187,22 +222,27 @@ func (rt *Runtime) restoreGroup(t *sched.Thread, g *group) error {
 		it.c.domain.Log().MarkReplayed(1)
 		replayed++
 	}
+	if tr != nil {
+		tr.End(phaseSpan)
+		phaseSpan = tr.Begin(g.rebootSpan, trace.KindPhase, g.name, "", trace.PhaseResume)
+	}
 	// Runtime data that replay cannot regenerate (LWIP seq/ACK numbers).
 	for _, c := range g.members {
 		rk, ok := c.comp.(RuntimeKeeper)
 		if !ok || c.runtimeState == nil {
 			continue
 		}
-		ctx := &Ctx{rt: rt, comp: c, th: t}
+		ctx := &Ctx{rt: rt, comp: c, th: t, span: phaseSpan}
 		if err := rk.InstallRuntimeState(ctx, c.runtimeState); err != nil {
 			return fmt.Errorf("core: install runtime state of %q: %w", c.desc.Name, err)
 		}
 	}
 	names := make([]string, len(g.members))
 	for i, c := range g.members {
-		c.reboots++
+		c.reboots.Add(1)
 		names[i] = c.desc.Name
 	}
+	rt.recMu.Lock()
 	rt.reboots = append(rt.reboots, RebootRecord{
 		Group:           g.name,
 		Components:      names,
@@ -213,6 +253,15 @@ func (rt *Runtime) restoreGroup(t *sched.Thread, g *group) error {
 		RestoredPages:   restoredPages,
 		At:              rt.clk.Now(),
 	})
+	rt.recMu.Unlock()
+	if tr != nil {
+		// Close resume and the reboot at the same clock reading the
+		// RebootRecord captured: the trace-derived timeline and the
+		// record can never disagree.
+		tr.End(phaseSpan)
+		tr.EndErr(g.rebootSpan, "ok")
+		g.rebootSpan = 0
+	}
 	return nil
 }
 
@@ -234,13 +283,21 @@ func (rt *Runtime) watchdogLoop(t *sched.Thread) {
 			if nowV-g.busySinceV <= rt.cfg.HangThreshold {
 				continue
 			}
-			rt.stats.Hangs++
+			rt.stats.hangs.Add(1)
 			seq := g.currentSeq
 			victim := g.members[0]
 			if pc := rt.pending[seq]; pc != nil {
 				victim = pc.to
 			}
-			victim.failures++
+			victim.failures.Add(1)
+			var detectParent trace.SpanID
+			if pc := rt.pending[seq]; pc != nil {
+				detectParent = pc.span
+			}
+			if tr := rt.tracer; tr != nil {
+				tr.Instant(detectParent, trace.KindDetect, victim.desc.Name, "hang",
+					fmt.Sprintf("busy %v > threshold %v", nowV-g.busySinceV, rt.cfg.HangThreshold))
+			}
 			if rt.onComponentFailure != nil {
 				rt.onComponentFailure(victim.desc.Name, "hang")
 			}
@@ -255,7 +312,7 @@ func (rt *Runtime) watchdogLoop(t *sched.Thread) {
 			g.currentSeq = 0
 			g.curRec = nil
 			g.curLog = nil
-			rt.beginReboot(g, "hang", true)
+			rt.beginReboot(g, "hang", true, detectParent)
 		}
 	}
 }

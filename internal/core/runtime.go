@@ -2,12 +2,14 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"vampos/internal/clock"
 	"vampos/internal/mem"
 	"vampos/internal/msg"
 	"vampos/internal/sched"
+	"vampos/internal/trace"
 )
 
 // Protection-key layout. The paper's tag budget per application (e.g.
@@ -78,10 +80,19 @@ type Runtime struct {
 	booted  bool
 	stopped bool
 
-	stats        RuntimeStats
+	stats runtimeCounters
+	// recMu guards reboots and fullRestarts: appended to by simulated
+	// threads, snapshotted by Reboots()/FullRestarts() from any goroutine.
+	recMu        sync.Mutex
 	reboots      []RebootRecord
 	fullRestarts []FullRestartStats
 	armed        map[string]*armedFault
+
+	// tracer is the optional flight recorder. It lives in host memory,
+	// outside every component domain, so reboots cannot destroy it. A
+	// nil tracer is the common case and must stay free: every hook is a
+	// nil check away from doing nothing.
+	tracer *trace.Recorder
 
 	// onComponentFailure, if set, observes every detected failure.
 	onComponentFailure func(component, reason string)
@@ -130,6 +141,31 @@ func (rt *Runtime) SetCostModel(c CostModel) {
 
 // Clock returns the runtime's virtual clock.
 func (rt *Runtime) Clock() *clock.Virtual { return rt.clk }
+
+// SetTracer attaches a flight recorder. Call it before Boot so the
+// restoration-log observers are installed; a nil recorder detaches
+// tracing (the hooks then cost one predicted branch each).
+func (rt *Runtime) SetTracer(r *trace.Recorder) {
+	rt.tracer = r
+	if r.CapturesDispatches() {
+		rt.sch.SetDispatchObserver(func(t *sched.Thread) {
+			r.Instant(0, trace.KindDispatch, t.Name(), "dispatch", "")
+		})
+	} else {
+		rt.sch.SetDispatchObserver(nil)
+	}
+}
+
+// Tracer returns the attached flight recorder (nil when tracing is off).
+func (rt *Runtime) Tracer() *trace.Recorder { return rt.tracer }
+
+// NewTracer creates a flight recorder on the runtime's virtual clock and
+// attaches it.
+func (rt *Runtime) NewTracer(name string, opts ...trace.Option) *trace.Recorder {
+	r := trace.New(name, rt.clk.Elapsed, opts...)
+	rt.SetTracer(r)
+	return r
+}
 
 // Scheduler exposes the cooperative scheduler so that host-side threads
 // (hypervisor services, workload clients) join the same simulation.
@@ -273,6 +309,12 @@ func (rt *Runtime) allocateRegions() error {
 				return err
 			}
 			d.Log().ShrinkEnabled = rt.cfg.LogShrinkEnabled
+			if tr := rt.tracer; tr != nil {
+				name := c.desc.Name
+				d.Log().Observer = func(op, fn string, n int) {
+					tr.Instant(0, trace.KindLogOp, name, op+" "+fn, fmt.Sprintf("n=%d", n))
+				}
+			}
 			c.domain = d
 		}
 		// The group mailbox is the first member's domain.

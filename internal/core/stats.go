@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync/atomic"
 	"time"
 
 	"vampos/internal/mem"
@@ -19,6 +20,22 @@ type RuntimeStats struct {
 	FailedRestores  uint64 // restorations that themselves failed
 	CompactErrors   uint64 // log compactions that returned an error
 	VersionSwitches uint64 // fallback implementations swapped in (§VIII)
+}
+
+// runtimeCounters backs RuntimeStats with atomics: the counters are
+// incremented from simulated threads while Stats() may be called from
+// any goroutine (a monitor, a test asserting under -race), so plain
+// fields would make every snapshot a data race.
+type runtimeCounters struct {
+	calls           atomic.Uint64
+	messages        atomic.Uint64
+	directCalls     atomic.Uint64
+	injects         atomic.Uint64
+	failures        atomic.Uint64
+	hangs           atomic.Uint64
+	failedRestores  atomic.Uint64
+	compactErrors   atomic.Uint64
+	versionSwitches atomic.Uint64
 }
 
 // RebootRecord describes one completed component(-group) reboot; the
@@ -49,14 +66,30 @@ type ComponentStats struct {
 	Pending     int
 }
 
-// Stats returns a copy of the runtime counters.
-func (rt *Runtime) Stats() RuntimeStats { return rt.stats }
+// Stats returns a snapshot of the runtime counters. Safe to call from
+// any goroutine.
+func (rt *Runtime) Stats() RuntimeStats {
+	return RuntimeStats{
+		Calls:           rt.stats.calls.Load(),
+		Messages:        rt.stats.messages.Load(),
+		DirectCalls:     rt.stats.directCalls.Load(),
+		Injects:         rt.stats.injects.Load(),
+		Failures:        rt.stats.failures.Load(),
+		Hangs:           rt.stats.hangs.Load(),
+		FailedRestores:  rt.stats.failedRestores.Load(),
+		CompactErrors:   rt.stats.compactErrors.Load(),
+		VersionSwitches: rt.stats.versionSwitches.Load(),
+	}
+}
 
 // SchedStats returns the scheduler counters (dispatches etc.).
 func (rt *Runtime) SchedStats() sched.Stats { return rt.sch.Stats() }
 
-// Reboots returns the completed reboot records in order.
+// Reboots returns the completed reboot records in order. Safe to call
+// from any goroutine.
 func (rt *Runtime) Reboots() []RebootRecord {
+	rt.recMu.Lock()
+	defer rt.recMu.Unlock()
 	out := make([]RebootRecord, len(rt.reboots))
 	copy(out, rt.reboots)
 	return out
@@ -71,8 +104,8 @@ func (rt *Runtime) ComponentStats(name string) (ComponentStats, bool) {
 	cs := ComponentStats{
 		Name:     c.desc.Name,
 		Stateful: c.desc.Stateful,
-		Failures: c.failures,
-		Reboots:  c.reboots,
+		Failures: c.failures.Load(),
+		Reboots:  c.reboots.Load(),
 	}
 	if c.group != nil {
 		cs.Group = c.group.name

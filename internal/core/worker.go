@@ -6,6 +6,7 @@ import (
 	"vampos/internal/mem"
 	"vampos/internal/msg"
 	"vampos/internal/sched"
+	"vampos/internal/trace"
 )
 
 // workerThread runs one group's component code: init requests during
@@ -42,8 +43,12 @@ func (rt *Runtime) workerMain(t *sched.Thread, g *group, w *workerThread) {
 			// and fail-stop the group (§II-B).
 			g.failedTwice = true
 			g.rebooting = false
+			if tr := rt.tracer; tr != nil {
+				tr.EndErr(g.rebootSpan, "restore failed: "+err.Error())
+				g.rebootSpan, g.quiesceSpan = 0, 0
+			}
 			rt.failAllPending(g, false)
-			rt.stats.FailedRestores++
+			rt.stats.failedRestores.Add(1)
 			rt.notifyFailStop(g)
 			return
 		}
@@ -101,13 +106,31 @@ func (rt *Runtime) execMessage(t *sched.Thread, g *group, m *msg.Message) bool {
 		g.curLog = c.domain.Log()
 	}
 	ctx := &Ctx{rt: rt, comp: c, th: t}
+	var parent trace.SpanID
+	if pc != nil {
+		parent = pc.span
+	}
+	if tr := rt.tracer; tr != nil {
+		tr.Instant(parent, trace.KindPull, c.desc.Name, m.Fn, "from "+m.From)
+		ctx.span = tr.Begin(parent, trace.KindExec, c.desc.Name, "", m.Fn)
+	}
 	rets, err, pv, panicked := rt.invokeChecked(h, ctx, c.desc.Name, m.Fn, m.Args)
 	g.currentSeq = 0
 	g.curRec = nil
 	g.curLog = nil
 	if panicked {
-		rt.submit(mqItem{kind: mqFailure, grp: g, seq: m.Seq, reason: fmt.Sprint(pv)})
+		reason := fmt.Sprint(pv)
+		if tr := rt.tracer; tr != nil {
+			// The crash instant hangs off the exec span; the span itself
+			// stays open — the crash truncated it, and the snapshot marks
+			// it unfinished.
+			tr.Instant(ctx.span, trace.KindCrash, c.desc.Name, m.Fn, reason)
+		}
+		rt.submit(mqItem{kind: mqFailure, grp: g, seq: m.Seq, reason: reason})
 		return false
+	}
+	if tr := rt.tracer; tr != nil {
+		tr.EndErr(ctx.span, errnoString(err))
 	}
 	rt.submit(mqItem{kind: mqReply, pc: pc, rets: rets, errStr: errnoString(err)})
 	return true

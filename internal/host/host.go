@@ -17,6 +17,7 @@ import (
 	"vampos/internal/lwip"
 	"vampos/internal/ninep"
 	"vampos/internal/sched"
+	"vampos/internal/trace"
 	"vampos/internal/virtio"
 )
 
@@ -59,10 +60,18 @@ type Host struct {
 	switchThread *sched.Thread
 	stopped      bool
 
+	// tracer is the optional flight recorder shared with the guest
+	// runtime; nil when tracing is off.
+	tracer *trace.Recorder
+
 	// Stats
 	FramesSwitched uint64
 	FramesDropped  uint64
 }
+
+// SetTracer attaches a flight recorder to the host services. Host-side
+// events (9P requests served, frames dropped) appear as instants.
+func (h *Host) SetTracer(r *trace.Recorder) { h.tracer = r }
 
 // New creates a host over the simulation scheduler. The export file
 // system persists for the host's lifetime, surviving guest reboots.
@@ -158,6 +167,13 @@ func (h *Host) p9Loop(t *sched.Thread) {
 			if err != nil {
 				resp = &ninep.Fcall{Type: ninep.Rerror, Tag: tmsg.Tag, Ename: "EIO: " + err.Error()}
 			}
+			if tr := h.tracer; tr != nil {
+				detail := ""
+				if resp != nil && resp.Type == ninep.Rerror {
+					detail = resp.Ename
+				}
+				tr.Instant(0, trace.KindHostIO, "host/9p", tmsg.Type.String(), detail)
+			}
 		}
 		out, err := ninep.Encode(resp)
 		if err != nil {
@@ -186,11 +202,17 @@ func (h *Host) switchLoop(t *sched.Thread) {
 		seg, err := lwip.DecodeSegment(frame)
 		if err != nil {
 			h.FramesDropped++
+			if tr := h.tracer; tr != nil {
+				tr.Instant(0, trace.KindHostIO, "host/switch", "frame-drop", "undecodable frame")
+			}
 			continue
 		}
 		peer, ok := h.peers[seg.Dst]
 		if !ok {
 			h.FramesDropped++
+			if tr := h.tracer; tr != nil {
+				tr.Instant(0, trace.KindHostIO, "host/switch", "frame-drop", "no peer for destination")
+			}
 			continue
 		}
 		h.FramesSwitched++

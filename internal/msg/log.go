@@ -95,6 +95,18 @@ type Log struct {
 	// ShrinkEnabled controls session-aware shrinking; the Table III
 	// "normal log entries" column is measured with it off.
 	ShrinkEnabled bool
+	// Observer, if set, is told about every log mutation: op is one of
+	// "append", "drop", "shrink", "compact" or "replay"; fn names the
+	// function or session involved; n counts affected records. The
+	// runtime's flight recorder hooks it to trace log activity.
+	Observer func(op, fn string, n int)
+}
+
+// note reports a mutation to the observer, if any.
+func (l *Log) note(op, fn string, n int) {
+	if l.Observer != nil && n > 0 {
+		l.Observer(op, fn, n)
+	}
 }
 
 func newLog(d *Domain) *Log {
@@ -121,6 +133,7 @@ func (l *Log) BeginInbound(seq uint64, fn string, args Args) (*Record, error) {
 	r := &Record{Seq: seq, Fn: fn, args: addr, argsN: n, open: true, Class: ClassDurable}
 	l.entries = append(l.entries, r)
 	l.stats.Appended++
+	l.note("append", fn, 1)
 	return r, nil
 }
 
@@ -161,6 +174,8 @@ func (l *Log) EndInbound(r *Record, session SessionID, class Class, rets Args, c
 	if !l.ShrinkEnabled || session == "" {
 		return nil
 	}
+	removedBefore := l.stats.Removed
+	defer func() { l.note("shrink", string(session), int(l.stats.Removed-removedBefore)) }()
 	switch class {
 	case ClassCanceler:
 		// Drop the session's transient entries now; keep opener/durables
@@ -190,7 +205,9 @@ func (l *Log) DropRecord(r *Record) {
 	if r == nil {
 		return
 	}
+	before := l.stats.Removed
 	l.removeWhere(func(e *Record) bool { return e == r })
+	l.note("drop", r.Fn, int(l.stats.Removed-before))
 }
 
 // AppendSynthetic appends a compaction-produced record that replays as a
@@ -214,6 +231,7 @@ func (l *Log) AppendSynthetic(fn string, args Args, session SessionID) error {
 		Class: ClassDurable, Synthetic: true,
 	})
 	l.stats.Appended++
+	l.note("append", fn, 1)
 	return nil
 }
 
@@ -225,6 +243,7 @@ func (l *Log) RemoveSession(session SessionID) int {
 	l.removeWhere(func(e *Record) bool { return e.Session == session && !e.open })
 	n := int(l.stats.Removed - before)
 	l.stats.Compacted += uint64(n)
+	l.note("compact", string(session), n)
 	return n
 }
 
@@ -235,6 +254,7 @@ func (l *Log) RemoveWhere(pred func(RecordView) bool) int {
 	l.removeWhere(func(e *Record) bool { return !e.open && pred(viewOf(e)) })
 	n := int(l.stats.Removed - before)
 	l.stats.Compacted += uint64(n)
+	l.note("compact", "", n)
 	return n
 }
 
@@ -333,4 +353,7 @@ func (l *Log) Entries() ([]RecordView, error) {
 }
 
 // MarkReplayed counts n replayed records in the statistics.
-func (l *Log) MarkReplayed(n int) { l.stats.Replayed += uint64(n) }
+func (l *Log) MarkReplayed(n int) {
+	l.stats.Replayed += uint64(n)
+	l.note("replay", "", n)
+}

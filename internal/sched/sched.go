@@ -99,7 +99,14 @@ type Scheduler struct {
 	// dispatchCost is virtual time charged per dispatch (context-switch
 	// cost in the experiment cost model).
 	dispatchCost time.Duration
+	// onDispatch, if set, observes every dispatch (flight recorder).
+	onDispatch func(*Thread)
 }
+
+// SetDispatchObserver installs fn to run on every thread dispatch, on
+// the scheduler goroutine, just before control transfers. Pass nil to
+// remove. The flight recorder uses it for dispatch-level traces.
+func (s *Scheduler) SetDispatchObserver(fn func(*Thread)) { s.onDispatch = fn }
 
 // SetDispatchCost charges d of virtual time on every thread dispatch,
 // modelling the context-switch cost the paper's message passing pays per
@@ -393,6 +400,9 @@ func (s *Scheduler) dispatch(t *Thread) {
 	t.state = StateRunning
 	t.dispatches++
 	s.stats.Dispatches++
+	if s.onDispatch != nil {
+		s.onDispatch(t)
+	}
 	s.current = t
 	t.resume <- struct{}{}
 	<-s.yielded

@@ -1,0 +1,257 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Phase names emitted by the reboot manager, in lifecycle order.
+const (
+	PhaseQuiesce = "quiesce"
+	PhaseRestore = "restore"
+	PhaseReplay  = "replay"
+	PhaseResume  = "resume"
+)
+
+// PhaseNames lists the reboot phases in lifecycle order.
+func PhaseNames() []string {
+	return []string{PhaseQuiesce, PhaseRestore, PhaseReplay, PhaseResume}
+}
+
+// RebootTimeline is one component-group reboot reconstructed from the
+// event stream: the figure-6 phase breakdown and the figure-8 recovery
+// segment both read from it.
+type RebootTimeline struct {
+	Group  string
+	Reason string
+	// Start/End are virtual offsets since boot.
+	Start, End time.Duration
+	Wall       time.Duration
+	// Phases maps phase name -> virtual duration.
+	Phases map[string]time.Duration
+	// Failed marks a reboot whose restoration failed (fail-stop).
+	Failed bool
+	// SpanID is the reboot span's id (for cross-referencing).
+	SpanID SpanID
+}
+
+// Virtual is the reboot's total virtual duration.
+func (t RebootTimeline) Virtual() time.Duration { return t.End - t.Start }
+
+// RebootTimelines reconstructs every reboot in the snapshot, in start
+// order. Reboot and phase events are sticky in the recorder, so the
+// reconstruction is exact regardless of ring evictions.
+func RebootTimelines(events []Event) []RebootTimeline {
+	var out []RebootTimeline
+	byID := make(map[SpanID]int) // reboot span id -> index in out
+	for _, e := range events {
+		if e.Kind != KindReboot {
+			continue
+		}
+		tl := RebootTimeline{
+			Group: e.Component, Reason: e.Name,
+			Start: e.VirtStart, End: e.VirtEnd,
+			Wall:   e.WallDuration(),
+			Phases: make(map[string]time.Duration),
+			SpanID: e.ID,
+		}
+		if e.Detail != "" && e.Detail != "ok" {
+			tl.Failed = true
+		}
+		byID[e.ID] = len(out)
+		out = append(out, tl)
+	}
+	for _, e := range events {
+		if e.Kind != KindPhase {
+			continue
+		}
+		if i, ok := byID[e.Parent]; ok {
+			out[i].Phases[e.Name] += e.VirtDuration()
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Recovery is the causal recovery chain around one injected fault,
+// reconstructed from sticky events: when the fault fired, when the
+// failure was detected, and the reboot that followed. Fields are
+// virtual offsets since boot; zero means "not observed".
+type Recovery struct {
+	Fault    time.Duration // armed fault fired (KindFault)
+	Crash    time.Duration // handler panic captured (KindCrash)
+	Detected time.Duration // failure attributed / hang declared (KindDetect)
+	Reboot   *RebootTimeline
+}
+
+// Recoveries pairs each fault instant with the first reboot that starts
+// at or after it. Detection and crash instants between the fault and
+// the reboot end are attributed to that recovery.
+func Recoveries(events []Event) []Recovery {
+	timelines := RebootTimelines(events)
+	var out []Recovery
+	for _, e := range events {
+		if e.Kind != KindFault {
+			continue
+		}
+		rec := Recovery{Fault: e.VirtStart}
+		for i := range timelines {
+			if timelines[i].Start >= e.VirtStart {
+				rec.Reboot = &timelines[i]
+				break
+			}
+		}
+		horizon := time.Duration(1<<62 - 1)
+		if rec.Reboot != nil {
+			horizon = rec.Reboot.End
+		}
+		for _, x := range events {
+			if x.VirtStart < e.VirtStart || x.VirtStart > horizon {
+				continue
+			}
+			switch x.Kind {
+			case KindCrash:
+				if rec.Crash == 0 {
+					rec.Crash = x.VirtStart
+				}
+			case KindDetect:
+				if rec.Detected == 0 {
+					rec.Detected = x.VirtStart
+				}
+			}
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// HopKey identifies one directed component pair.
+type HopKey struct {
+	From, To string
+}
+
+func (k HopKey) String() string { return k.From + "->" + k.To }
+
+// HopStats aggregates the message-hop latencies of one component pair.
+// Request is the caller-to-handler latency (call start to exec start);
+// Reply is handler-end to caller-wakeup; RoundTrip is the full call
+// span as the caller experienced it.
+type HopStats struct {
+	Count     int
+	Request   DurationDist
+	Reply     DurationDist
+	RoundTrip DurationDist
+}
+
+// DurationDist is a tiny streaming distribution: count, sum, min, max
+// plus a log2-µs histogram (bucket i counts durations in [2^i, 2^(i+1))
+// microseconds; bucket 0 also holds sub-microsecond values).
+type DurationDist struct {
+	N        int
+	Sum      time.Duration
+	Min, Max time.Duration
+	Buckets  [20]int
+}
+
+// Add folds one sample in.
+func (d *DurationDist) Add(v time.Duration) {
+	if d.N == 0 || v < d.Min {
+		d.Min = v
+	}
+	if v > d.Max {
+		d.Max = v
+	}
+	d.N++
+	d.Sum += v
+	us := v.Microseconds()
+	b := 0
+	for us > 1 && b < len(d.Buckets)-1 {
+		us >>= 1
+		b++
+	}
+	d.Buckets[b]++
+}
+
+// Mean is the sample mean (zero when empty).
+func (d DurationDist) Mean() time.Duration {
+	if d.N == 0 {
+		return 0
+	}
+	return d.Sum / time.Duration(d.N)
+}
+
+// Hops computes per-component-pair hop-latency statistics from KindCall
+// spans and their KindExec children. Calls whose exec span was evicted
+// contribute only to RoundTrip.
+func Hops(events []Event) map[HopKey]*HopStats {
+	calls := make(map[SpanID]Event)
+	for _, e := range events {
+		if e.Kind == KindCall && !e.Open {
+			calls[e.ID] = e
+		}
+	}
+	out := make(map[HopKey]*HopStats)
+	get := func(k HopKey) *HopStats {
+		h, ok := out[k]
+		if !ok {
+			h = &HopStats{}
+			out[k] = h
+		}
+		return h
+	}
+	seenExec := make(map[SpanID]bool)
+	for _, e := range events {
+		if e.Kind != KindExec || e.Open {
+			continue
+		}
+		call, ok := calls[e.Parent]
+		if !ok {
+			continue
+		}
+		seenExec[call.ID] = true
+		h := get(HopKey{From: call.Component, To: call.Peer})
+		h.Count++
+		h.Request.Add(e.VirtStart - call.VirtStart)
+		h.Reply.Add(call.VirtEnd - e.VirtEnd)
+		h.RoundTrip.Add(call.VirtDuration())
+	}
+	for id, call := range calls {
+		if seenExec[id] {
+			continue
+		}
+		h := get(HopKey{From: call.Component, To: call.Peer})
+		h.Count++
+		h.RoundTrip.Add(call.VirtDuration())
+	}
+	return out
+}
+
+// Validate checks structural invariants of a snapshot: ids are unique,
+// parents (when present in the snapshot) start no later than their
+// children end, and closed spans have End >= Start. It returns the
+// first violation found, or nil.
+func Validate(events []Event) error {
+	seen := make(map[SpanID]Event, len(events))
+	for _, e := range events {
+		if e.ID == 0 {
+			return fmt.Errorf("trace: event with zero id (%s %s)", e.Kind, e.Name)
+		}
+		if _, dup := seen[e.ID]; dup {
+			return fmt.Errorf("trace: duplicate event id %d", e.ID)
+		}
+		seen[e.ID] = e
+		if e.VirtEnd < e.VirtStart {
+			return fmt.Errorf("trace: event %d (%s %s) ends before it starts", e.ID, e.Kind, e.Name)
+		}
+	}
+	for _, e := range events {
+		if e.Parent == 0 {
+			continue
+		}
+		if p, ok := seen[e.Parent]; ok && p.VirtStart > e.VirtStart {
+			return fmt.Errorf("trace: event %d starts before its parent %d", e.ID, e.Parent)
+		}
+	}
+	return nil
+}

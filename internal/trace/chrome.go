@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one Chrome trace-event object. The format is the
+// Trace Event Format consumed by Perfetto and chrome://tracing:
+// complete spans are "X" events with a microsecond ts and dur; instants
+// are "i" events; "M" metadata events name processes and threads.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the containing object Perfetto loads.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome exports one or more recorders as a single Chrome
+// trace-event JSON document. Each recorder becomes one process (pid),
+// each component one thread within it; timestamps are virtual-clock
+// microseconds, and each span's wall-clock duration rides along in
+// args.wall_us. Events are emitted sorted by timestamp.
+func WriteChrome(w io.Writer, recs ...*Recorder) error {
+	f := chromeFile{DisplayTimeUnit: "ms"}
+	for pi, r := range recs {
+		if r == nil {
+			continue
+		}
+		pid := pi + 1
+		name := r.Name()
+		if name == "" {
+			name = fmt.Sprintf("trace-%d", pid)
+		}
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: "process_name", Phase: "M", PID: pid, TID: 0,
+			Args: map[string]any{"name": name},
+		})
+		evs := r.Snapshot()
+		tids := make(map[string]int)
+		tidOf := func(component string) int {
+			if component == "" {
+				component = "(unknown)"
+			}
+			id, ok := tids[component]
+			if !ok {
+				id = len(tids) + 1
+				tids[component] = id
+				f.TraceEvents = append(f.TraceEvents, chromeEvent{
+					Name: "thread_name", Phase: "M", PID: pid, TID: id,
+					Args: map[string]any{"name": component},
+				})
+			}
+			return id
+		}
+		for _, e := range evs {
+			ce := chromeEvent{
+				Name: chromeName(e),
+				Cat:  e.Kind.String(),
+				TS:   float64(e.VirtStart.Nanoseconds()) / 1e3,
+				PID:  pid,
+				TID:  tidOf(e.Component),
+				Args: map[string]any{"id": uint64(e.ID)},
+			}
+			if e.Parent != 0 {
+				ce.Args["parent"] = uint64(e.Parent)
+			}
+			if e.Peer != "" {
+				ce.Args["peer"] = e.Peer
+			}
+			if e.Detail != "" {
+				ce.Args["detail"] = e.Detail
+			}
+			if e.Instant() {
+				ce.Phase = "i"
+				ce.Scope = "t"
+			} else {
+				ce.Phase = "X"
+				dur := float64(e.VirtDuration().Nanoseconds()) / 1e3
+				ce.Dur = &dur
+				ce.Args["wall_us"] = float64(e.WallDuration().Nanoseconds()) / 1e3
+				if e.Open {
+					ce.Args["open"] = true
+				}
+			}
+			f.TraceEvents = append(f.TraceEvents, ce)
+		}
+	}
+	sort.SliceStable(f.TraceEvents, func(i, j int) bool {
+		// Metadata first, then by timestamp.
+		mi, mj := f.TraceEvents[i].Phase == "M", f.TraceEvents[j].Phase == "M"
+		if mi != mj {
+			return mi
+		}
+		return f.TraceEvents[i].TS < f.TraceEvents[j].TS
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// chromeName labels an event in the trace viewer.
+func chromeName(e Event) string {
+	switch {
+	case e.Kind == KindPhase || e.Kind == KindReboot:
+		if e.Name != "" {
+			return e.Kind.String() + ":" + e.Name
+		}
+		return e.Kind.String() + ":" + e.Component
+	case e.Peer != "" && e.Name != "":
+		return e.Kind.String() + ":" + e.Peer + "." + e.Name
+	case e.Name != "":
+		return e.Kind.String() + ":" + e.Name
+	default:
+		return e.Kind.String()
+	}
+}

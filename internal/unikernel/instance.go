@@ -15,6 +15,7 @@ import (
 	"vampos/internal/netdev"
 	"vampos/internal/ninep"
 	"vampos/internal/sched"
+	"vampos/internal/trace"
 	"vampos/internal/ukcomp"
 	"vampos/internal/vfs"
 	"vampos/internal/virtio"
@@ -171,6 +172,22 @@ func New(cfg Config) (*Instance, error) {
 // Runtime exposes the core runtime (stats, reboots, component access).
 func (i *Instance) Runtime() *core.Runtime { return i.rt }
 
+// SetTracer attaches a flight recorder to the runtime and the host
+// services. Call it between New and Run so the restoration-log
+// observers are installed at boot; a nil recorder detaches tracing.
+func (i *Instance) SetTracer(r *trace.Recorder) {
+	i.rt.SetTracer(r)
+	i.host.SetTracer(r)
+}
+
+// NewTracer creates a flight recorder named name on the instance's
+// virtual clock, attaches it, and returns it.
+func (i *Instance) NewTracer(name string, opts ...trace.Option) *trace.Recorder {
+	r := trace.New(name, i.rt.Clock().Elapsed, opts...)
+	i.SetTracer(r)
+	return r
+}
+
 // Host exposes the hypervisor-side world (export FS, peers).
 func (i *Instance) Host() *host.Host { return i.host }
 
@@ -203,6 +220,10 @@ func (s *Sys) StartApp(app App) error {
 // delay, and start the application again from scratch.
 func (s *Sys) FullReboot() error {
 	i := s.inst
+	var sp trace.SpanID
+	if tr := i.rt.Tracer(); tr != nil {
+		sp = tr.Begin(0, trace.KindReboot, "image", "", "full reboot")
+	}
 	for _, t := range i.appThreads {
 		if t.State() != sched.StateDone {
 			t.Kill()
@@ -210,14 +231,17 @@ func (s *Sys) FullReboot() error {
 	}
 	i.appThreads = nil
 	if err := i.rt.FullRestart(s.ctx); err != nil {
+		i.rt.Tracer().EndErr(sp, "restart failed: "+err.Error())
 		return err
 	}
 	s.ctx.Sleep(i.cfg.BootDelay)
 	if i.app != nil {
 		if err := i.app.Main(s); err != nil {
+			i.rt.Tracer().EndErr(sp, "app restart failed: "+err.Error())
 			return fmt.Errorf("unikernel: app restart after full reboot: %w", err)
 		}
 	}
+	i.rt.Tracer().EndErr(sp, "ok")
 	return nil
 }
 

@@ -64,9 +64,15 @@ func (s *Sys) Now() time.Time { return s.ctx.Now() }
 // Elapsed returns virtual time since boot.
 func (s *Sys) Elapsed() time.Duration { return s.ctx.Elapsed() }
 
-// call invokes a component function.
+// call invokes a component function, opening a syscall-level trace span
+// around it: the causal root the flight recorder follows across every
+// component hop, crash, and recovery the call triggers. The hooks are
+// free (nil-recorder branches, no allocation) when tracing is off.
 func (s *Sys) call(target, fn string, args ...any) (msg.Args, error) {
-	return s.ctx.Call(target, fn, args...)
+	sp, prev := s.ctx.BeginSyscall(fn)
+	rets, err := s.ctx.Call(target, fn, args...)
+	s.ctx.EndSyscall(sp, prev, err)
+	return rets, err
 }
 
 // --- process / identity / time ---

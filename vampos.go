@@ -35,8 +35,11 @@
 package vampos
 
 import (
+	"io"
+
 	"vampos/internal/core"
 	"vampos/internal/faults"
+	"vampos/internal/trace"
 	"vampos/internal/unikernel"
 )
 
@@ -69,6 +72,30 @@ const (
 	FaultCrash = core.FaultCrash
 	FaultHang  = core.FaultHang
 )
+
+// Observability: the flight recorder (internal/trace) records syscalls,
+// cross-component hops and reboot lifecycles with causal span links.
+// Attach one with Instance.NewTracer before Run, then export it here.
+type (
+	// TraceRecorder is the bounded in-memory flight recorder.
+	TraceRecorder = trace.Recorder
+	// TraceOption configures a recorder (capacity, dispatch capture).
+	TraceOption = trace.Option
+	// TraceEvent is one recorded span or instant.
+	TraceEvent = trace.Event
+)
+
+// WriteChromeTrace merges recorders into one Chrome trace-event JSON
+// document, loadable at ui.perfetto.dev or chrome://tracing.
+func WriteChromeTrace(w io.Writer, recs ...*TraceRecorder) error {
+	return trace.WriteChrome(w, recs...)
+}
+
+// WriteTextTrace renders recorders as an indented text timeline with
+// per-component-pair hop-latency histograms.
+func WriteTextTrace(w io.Writer, recs ...*TraceRecorder) error {
+	return trace.WriteText(w, recs...)
+}
 
 // New assembles an instance from a configuration.
 func New(cfg Config) (*Instance, error) { return unikernel.New(cfg) }
