@@ -99,18 +99,18 @@ func runFig6Target(target Fig6Target, scale Scale) (*Fig6Row, *trace.Recorder, e
 		warmDone := false
 		s.GoHost("fig6/warm", func(th *sched.Thread) {
 			defer func() { warmDone = true }()
-			c, err := dialHTTP(s, th, peer, nginx.DefaultPort, 2*time.Second)
+			c, err := DialHTTP(s, th, peer, nginx.DefaultPort, 2*time.Second)
 			if err != nil {
 				runErr = err
 				return
 			}
 			for i := 0; i < scale.RebootWarmGETs; i++ {
-				if _, err := c.get("/index.html", 2*time.Second); err != nil {
+				if _, err := c.Get("/index.html", 2*time.Second); err != nil {
 					runErr = err
 					return
 				}
 			}
-			c.close()
+			c.Close()
 		})
 		for !warmDone {
 			s.Sleep(time.Millisecond)

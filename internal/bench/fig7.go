@@ -185,7 +185,7 @@ func nginxWorkload(s *unikernel.Sys, web *nginx.App, scale Scale, row *Fig7Row) 
 		peer := s.NewPeer()
 		s.GoHost(fmt.Sprintf("fig7/http%d", c), func(th *sched.Thread) {
 			defer func() { done++ }()
-			cl, err := dialHTTP(s, th, peer, nginx.DefaultPort, 5*time.Second)
+			cl, err := DialHTTP(s, th, peer, nginx.DefaultPort, 5*time.Second)
 			if err != nil {
 				if firstErr == nil {
 					firstErr = err
@@ -193,14 +193,14 @@ func nginxWorkload(s *unikernel.Sys, web *nginx.App, scale Scale, row *Fig7Row) 
 				return
 			}
 			for i := 0; i < perConn; i++ {
-				if _, err := cl.get("/index.html", 5*time.Second); err != nil {
+				if _, err := cl.Get("/index.html", 5*time.Second); err != nil {
 					if firstErr == nil {
 						firstErr = err
 					}
 					return
 				}
 			}
-			cl.close()
+			cl.Close()
 		})
 	}
 	for done < conns {
@@ -224,19 +224,19 @@ func redisWorkload(s *unikernel.Sys, kv *redis.App, scale Scale, row *Fig7Row) e
 	var werr error
 	s.GoHost("fig7/redis", func(th *sched.Thread) {
 		defer func() { done = true }()
-		cl, err := dialRedis(s, th, peer, redis.DefaultPort, 5*time.Second)
+		cl, err := DialRedis(s, th, peer, redis.DefaultPort, 5*time.Second)
 		if err != nil {
 			werr = err
 			return
 		}
 		for i := 0; i < scale.RedisSets; i++ {
 			key := fmt.Sprintf("k%03d", i%1000) // 4-byte keys
-			if err := cl.set(key, "val", 5*time.Second); err != nil {
+			if err := cl.Set(key, "val", 5*time.Second); err != nil {
 				werr = err
 				return
 			}
 		}
-		cl.close()
+		cl.Close()
 	})
 	for !done {
 		s.Sleep(time.Millisecond)
@@ -259,18 +259,18 @@ func echoWorkload(s *unikernel.Sys, e *echo.App, scale Scale, row *Fig7Row) erro
 	payload := []byte(strings.Repeat("e", 159))
 	s.GoHost("fig7/echo", func(th *sched.Thread) {
 		defer func() { done = true }()
-		cl, err := dialEcho(s, th, peer, echo.DefaultPort, 5*time.Second)
+		cl, err := DialEcho(s, th, peer, echo.DefaultPort, 5*time.Second)
 		if err != nil {
 			werr = err
 			return
 		}
 		for i := 0; i < scale.EchoMessages; i++ {
-			if err := cl.roundTrip(payload, 5*time.Second); err != nil {
+			if err := cl.RoundTrip(payload, 5*time.Second); err != nil {
 				werr = err
 				return
 			}
 		}
-		cl.close()
+		cl.Close()
 	})
 	for !done {
 		s.Sleep(time.Millisecond)

@@ -114,11 +114,11 @@ func runFig8Variant(variant Table5Variant, scale Scale) (*Fig8Series, *trace.Rec
 		s.GoHost("fig8/load", func(th *sched.Thread) {
 			defer func() { loadDone = true }()
 			period := time.Second / time.Duration(scale.Fig8GETRate)
-			var cl *redisClient
+			var cl *RedisClient
 			dial := func() bool {
 				for s.Elapsed() < end {
 					var err error
-					cl, err = dialRedis(s, th, peer, redis.DefaultPort, time.Second)
+					cl, err = DialRedis(s, th, peer, redis.DefaultPort, time.Second)
 					if err == nil {
 						return true
 					}
@@ -133,15 +133,15 @@ func runFig8Variant(variant Table5Variant, scale Scale) (*Fig8Series, *trace.Rec
 			for s.Elapsed() < end {
 				key := fmt.Sprintf("warm%06d", n%scale.Fig8WarmKeys)
 				n++
-				if _, _, err := cl.get(key, time.Second); err != nil {
-					cl.close()
+				if _, _, err := cl.Get(key, time.Second); err != nil {
+					cl.Close()
 					if !dial() {
 						return
 					}
 				}
 				th.Sleep(period)
 			}
-			cl.close()
+			cl.Close()
 		})
 
 		// Latency probe: one timed GET per probe period.
@@ -149,11 +149,11 @@ func runFig8Variant(variant Table5Variant, scale Scale) (*Fig8Series, *trace.Rec
 		probeDone := false
 		s.GoHost("fig8/probe", func(th *sched.Thread) {
 			defer func() { probeDone = true }()
-			var cl *redisClient
+			var cl *RedisClient
 			dial := func() bool {
 				for s.Elapsed() < end {
 					var err error
-					cl, err = dialRedis(s, th, probePeer, redis.DefaultPort, time.Second)
+					cl, err = DialRedis(s, th, probePeer, redis.DefaultPort, time.Second)
 					if err == nil {
 						return true
 					}
@@ -168,11 +168,11 @@ func runFig8Variant(variant Table5Variant, scale Scale) (*Fig8Series, *trace.Rec
 			for s.Elapsed() < end {
 				at := s.Elapsed() - start
 				t0 := clk.Elapsed()
-				_, _, err := cl.get("warm000000", 4*time.Second)
+				_, _, err := cl.Get("warm000000", 4*time.Second)
 				lat := clk.Elapsed() - t0
 				series.Points = append(series.Points, Fig8Point{At: at, Latency: lat, OK: err == nil})
 				if err != nil {
-					cl.close()
+					cl.Close()
 					if !dial() {
 						return
 					}
@@ -181,7 +181,7 @@ func runFig8Variant(variant Table5Variant, scale Scale) (*Fig8Series, *trace.Rec
 					th.Sleep(sleep)
 				}
 			}
-			cl.close()
+			cl.Close()
 		})
 
 		// The controller waits for the injection instant, fires the

@@ -82,11 +82,11 @@ func runTable5Variant(variant Table5Variant, scale Scale) (*Table5Row, error) {
 			peer := s.NewPeer()
 			s.GoHost(fmt.Sprintf("siege%d", c), func(th *sched.Thread) {
 				defer func() { doneClients++ }()
-				var cl *httpClient
+				var cl *HTTPClient
 				redial := func() bool {
 					for attempt := 0; attempt < 5; attempt++ {
 						var err error
-						cl, err = dialHTTP(s, th, peer, nginx.DefaultPort, scale.SiegeTimeout)
+						cl, err = DialHTTP(s, th, peer, nginx.DefaultPort, scale.SiegeTimeout)
 						if err == nil {
 							return true
 						}
@@ -103,10 +103,10 @@ func runTable5Variant(variant Table5Variant, scale Scale) (*Table5Row, error) {
 					// rejuvenation intervals, like the paper's 100
 					// threads over a minute.
 					th.Sleep(scale.RejuvInterval / time.Duration(scale.SiegeRequests/4+1))
-					if _, err := cl.get("/index.html", scale.SiegeTimeout); err != nil {
+					if _, err := cl.Get("/index.html", scale.SiegeTimeout); err != nil {
 						fails++
 						if scale.ClientsReconnect {
-							cl.close()
+							cl.Close()
 							if !redial() {
 								fails += scale.SiegeRequests - i - 1
 								return
@@ -116,7 +116,7 @@ func runTable5Variant(variant Table5Variant, scale Scale) (*Table5Row, error) {
 					}
 					success++
 				}
-				cl.close()
+				cl.Close()
 			})
 		}
 		// The administrator's rejuvenation loop.

@@ -11,39 +11,55 @@ import (
 	"vampos/internal/unikernel"
 )
 
-// httpClient drives keep-alive GET requests against the Nginx app.
-type httpClient struct {
+// The workload clients below drive the paper's applications over the
+// virtual network. They are exported so other experiment harnesses (the
+// fault-injection campaign in internal/campaign) reuse the exact same
+// protocol drivers as the figures, instead of re-implementing them.
+
+// HTTPClient drives keep-alive GET requests against the Nginx app.
+type HTTPClient struct {
 	th   *sched.Thread
 	conn *host.PeerConn
 }
 
-func dialHTTP(s *unikernel.Sys, th *sched.Thread, peer *host.Peer, port int, timeout time.Duration) (*httpClient, error) {
+// DialHTTP connects an HTTP client to the guest through peer.
+func DialHTTP(s *unikernel.Sys, th *sched.Thread, peer *host.Peer, port int, timeout time.Duration) (*HTTPClient, error) {
 	conn, err := peer.Dial(th, uint16(port), timeout)
 	if err != nil {
 		return nil, err
 	}
-	return &httpClient{th: th, conn: conn}, nil
+	return &HTTPClient{th: th, conn: conn}, nil
 }
 
-// get fetches target and returns the body length, or an error on any
+// Get fetches target and returns the body length, or an error on any
 // transport or protocol failure.
-func (c *httpClient) get(target string, timeout time.Duration) (int, error) {
-	req := "GET " + target + " HTTP/1.1\r\nHost: guest\r\n\r\n"
-	if err := c.conn.Send(c.th, []byte(req)); err != nil {
-		return 0, err
-	}
-	status, err := c.conn.RecvLine(c.th, timeout)
+func (c *HTTPClient) Get(target string, timeout time.Duration) (int, error) {
+	body, err := c.GetBody(target, timeout)
 	if err != nil {
 		return 0, err
 	}
+	return len(body), nil
+}
+
+// GetBody fetches target and returns the response body, so callers can
+// assert byte-correctness, not just delivery.
+func (c *HTTPClient) GetBody(target string, timeout time.Duration) ([]byte, error) {
+	req := "GET " + target + " HTTP/1.1\r\nHost: guest\r\n\r\n"
+	if err := c.conn.Send(c.th, []byte(req)); err != nil {
+		return nil, err
+	}
+	status, err := c.conn.RecvLine(c.th, timeout)
+	if err != nil {
+		return nil, err
+	}
 	if !strings.Contains(string(status), "200") {
-		return 0, fmt.Errorf("http status %q", strings.TrimSpace(string(status)))
+		return nil, fmt.Errorf("http status %q", strings.TrimSpace(string(status)))
 	}
 	clen := -1
 	for {
 		line, err := c.conn.RecvLine(c.th, timeout)
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 		hl := strings.TrimRight(string(line), "\r\n")
 		if hl == "" {
@@ -52,37 +68,36 @@ func (c *httpClient) get(target string, timeout time.Duration) (int, error) {
 		if strings.HasPrefix(strings.ToLower(hl), "content-length:") {
 			clen, err = strconv.Atoi(strings.TrimSpace(hl[len("content-length:"):]))
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
 		}
 	}
 	if clen < 0 {
-		return 0, fmt.Errorf("http response without content-length")
+		return nil, fmt.Errorf("http response without content-length")
 	}
-	if _, err := c.conn.RecvExactly(c.th, clen, timeout); err != nil {
-		return 0, err
-	}
-	return clen, nil
+	return c.conn.RecvExactly(c.th, clen, timeout)
 }
 
-func (c *httpClient) close() { c.conn.Close(c.th) }
+// Close closes the connection.
+func (c *HTTPClient) Close() { c.conn.Close(c.th) }
 
-// redisClient drives the line protocol against the Redis app.
-type redisClient struct {
+// RedisClient drives the line protocol against the Redis app.
+type RedisClient struct {
 	th   *sched.Thread
 	conn *host.PeerConn
 }
 
-func dialRedis(s *unikernel.Sys, th *sched.Thread, peer *host.Peer, port int, timeout time.Duration) (*redisClient, error) {
+// DialRedis connects a Redis client to the guest through peer.
+func DialRedis(s *unikernel.Sys, th *sched.Thread, peer *host.Peer, port int, timeout time.Duration) (*RedisClient, error) {
 	conn, err := peer.Dial(th, uint16(port), timeout)
 	if err != nil {
 		return nil, err
 	}
-	return &redisClient{th: th, conn: conn}, nil
+	return &RedisClient{th: th, conn: conn}, nil
 }
 
-// set issues SET key value.
-func (c *redisClient) set(key, value string, timeout time.Duration) error {
+// Set issues SET key value.
+func (c *RedisClient) Set(key, value string, timeout time.Duration) error {
 	if err := c.conn.Send(c.th, []byte("SET "+key+" "+value+"\n")); err != nil {
 		return err
 	}
@@ -96,8 +111,8 @@ func (c *redisClient) set(key, value string, timeout time.Duration) error {
 	return nil
 }
 
-// get issues GET key and returns (value, found).
-func (c *redisClient) get(key string, timeout time.Duration) (string, bool, error) {
+// Get issues GET key and returns (value, found).
+func (c *RedisClient) Get(key string, timeout time.Duration) (string, bool, error) {
 	if err := c.conn.Send(c.th, []byte("GET "+key+"\n")); err != nil {
 		return "", false, err
 	}
@@ -120,28 +135,43 @@ func (c *redisClient) get(key string, timeout time.Duration) (string, bool, erro
 	return string(body[:n]), true, nil
 }
 
-func (c *redisClient) close() { c.conn.Close(c.th) }
+// Close closes the connection.
+func (c *RedisClient) Close() { c.conn.Close(c.th) }
 
-// echoClient bounces fixed-size messages off the Echo app.
-type echoClient struct {
+// EchoClient bounces fixed-size messages off the Echo app.
+type EchoClient struct {
 	th   *sched.Thread
 	conn *host.PeerConn
 }
 
-func dialEcho(s *unikernel.Sys, th *sched.Thread, peer *host.Peer, port int, timeout time.Duration) (*echoClient, error) {
+// DialEcho connects an Echo client to the guest through peer.
+func DialEcho(s *unikernel.Sys, th *sched.Thread, peer *host.Peer, port int, timeout time.Duration) (*EchoClient, error) {
 	conn, err := peer.Dial(th, uint16(port), timeout)
 	if err != nil {
 		return nil, err
 	}
-	return &echoClient{th: th, conn: conn}, nil
+	return &EchoClient{th: th, conn: conn}, nil
 }
 
-func (c *echoClient) roundTrip(payload []byte, timeout time.Duration) error {
-	if err := c.conn.Send(c.th, payload); err != nil {
+// RoundTrip sends payload and waits for it to come back verbatim.
+func (c *EchoClient) RoundTrip(payload []byte, timeout time.Duration) error {
+	echoed, err := c.RoundTripBody(payload, timeout)
+	if err != nil {
 		return err
 	}
-	_, err := c.conn.RecvExactly(c.th, len(payload), timeout)
-	return err
+	if string(echoed) != string(payload) {
+		return fmt.Errorf("echo mismatch: sent %d bytes, got %q", len(payload), echoed)
+	}
+	return nil
 }
 
-func (c *echoClient) close() { c.conn.Close(c.th) }
+// RoundTripBody sends payload and returns whatever came back.
+func (c *EchoClient) RoundTripBody(payload []byte, timeout time.Duration) ([]byte, error) {
+	if err := c.conn.Send(c.th, payload); err != nil {
+		return nil, err
+	}
+	return c.conn.RecvExactly(c.th, len(payload), timeout)
+}
+
+// Close closes the connection.
+func (c *EchoClient) Close() { c.conn.Close(c.th) }

@@ -1,0 +1,238 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vampos/internal/bench"
+	"vampos/internal/core"
+	"vampos/internal/unikernel"
+)
+
+// FaultName identifies one injected failure mode of the campaign.
+type FaultName string
+
+// The campaign's fault dimension: the paper's fail-stop crash and hang
+// (§II-B), the transient-errno fault that must not trigger recovery, the
+// allocator-leak aging scenario (§VII-D) resolved by a proactive reboot,
+// and the wild-write containment scenario (§V-D).
+const (
+	FaultCrash     FaultName = "crash"
+	FaultHang      FaultName = "hang"
+	FaultErrno     FaultName = "errno"
+	FaultLeak      FaultName = "leak"
+	FaultWildWrite FaultName = "wildwrite"
+)
+
+// AllFaults lists every fault kind in presentation order.
+func AllFaults() []FaultName {
+	return []FaultName{FaultCrash, FaultHang, FaultErrno, FaultLeak, FaultWildWrite}
+}
+
+// DefaultFaults is the default campaign slice: the paper's two fail-stop
+// modes, which exercise the full detect→reboot→replay machinery.
+func DefaultFaults() []FaultName { return []FaultName{FaultCrash, FaultHang} }
+
+// rebootInducing reports whether a fault kind is expected to reboot the
+// target component (directly or via a proactive rejuvenation).
+func (f FaultName) rebootInducing() bool {
+	return f == FaultCrash || f == FaultHang || f == FaultLeak
+}
+
+// AllWorkloads lists the paper's four applications in §VI order.
+func AllWorkloads() []string { return []string{"sqlite", "nginx", "redis", "echo"} }
+
+// Campaign configuration short names and their bench equivalents. The
+// campaign only runs message-passing configurations: vanilla has no
+// component boundary to recover behind.
+var configNames = map[string]bench.ConfigName{
+	"noop": bench.Noop,
+	"das":  bench.DaS,
+	"fsm":  bench.FSm,
+	"netm": bench.NETm,
+}
+
+// AllConfigs lists the message-passing configurations in paper order.
+func AllConfigs() []string { return []string{"noop", "das", "fsm", "netm"} }
+
+// DefaultConfigs is the default campaign slice: round-robin and
+// dependency-aware scheduling, unmerged.
+func DefaultConfigs() []string { return []string{"noop", "das"} }
+
+func coreConfigFor(name string) (core.Config, error) {
+	bn, ok := configNames[name]
+	if !ok {
+		return core.Config{}, fmt.Errorf("campaign: unknown config %q (valid: %s)",
+			name, strings.Join(AllConfigs(), ", "))
+	}
+	return bench.CoreConfig(bn), nil
+}
+
+// Cell is one point of the injection space: inject Fault into
+// Component.Function while Workload runs on Config.
+type Cell struct {
+	Workload  string    `json:"workload"`
+	Config    string    `json:"config"`
+	Component string    `json:"component"`
+	Function  string    `json:"function"` // "*" = any exported function
+	Fault     FaultName `json:"fault"`
+	// Expected marks an expected-unrecoverable cell: a reboot-inducing
+	// fault in VIRTIO, whose state is shared with the host and which the
+	// paper documents as unrebootable. Whatever the outcome, the cell is
+	// classified as expected-unrecoverable, never as a regression.
+	Expected bool `json:"expected_unrecoverable,omitempty"`
+}
+
+// ID is the cell's stable identifier, usable with the -trial flag.
+func (c Cell) ID() string {
+	return fmt.Sprintf("%s/%s/%s/%s/%s", c.Workload, c.Config, c.Component, c.Function, c.Fault)
+}
+
+// SpaceOptions selects a slice of the injection space. Zero-value fields
+// select the default campaign: every component of every workload profile
+// × {crash, hang} × all four workloads × {noop, das}, fault site "*".
+type SpaceOptions struct {
+	Workloads  []string
+	Configs    []string
+	Components []string
+	Faults     []FaultName
+	// Functions selects fault-site granularity: "any" (default) arms one
+	// wildcard fault per component; "each" produces one cell per exported
+	// function of the component (a much larger space in which faults on
+	// cold functions may legitimately never trigger).
+	Functions string
+}
+
+func (o SpaceOptions) fill() SpaceOptions {
+	if len(o.Workloads) == 0 {
+		o.Workloads = AllWorkloads()
+	}
+	if len(o.Configs) == 0 {
+		o.Configs = DefaultConfigs()
+	}
+	if len(o.Faults) == 0 {
+		o.Faults = DefaultFaults()
+	}
+	if o.Functions == "" {
+		o.Functions = "any"
+	}
+	return o
+}
+
+// profileFor returns the instance profile a workload's application
+// selects (paper Table I: which components are linked per app).
+func profileFor(workload string, cc core.Config) (unikernel.Config, error) {
+	d, err := driverFor(workload)
+	if err != nil {
+		return unikernel.Config{}, err
+	}
+	return d.profile(unikernel.Config{Core: cc}), nil
+}
+
+// EnumerateSpace builds the campaign's cell list from the component
+// registries: for each workload × config it assembles a throwaway
+// instance with that workload's profile and reads the injection points
+// (components, exported functions, unrebootable flags) off the runtime —
+// nothing is hard-coded, so a newly registered component automatically
+// joins the campaign.
+func EnumerateSpace(o SpaceOptions) ([]Cell, error) {
+	o = o.fill()
+	for _, f := range o.Faults {
+		if !validFault(f) {
+			return nil, fmt.Errorf("campaign: unknown fault %q (valid: %s)", f, faultList())
+		}
+	}
+	var cells []Cell
+	seenComponents := map[string]bool{}
+	for _, w := range o.Workloads {
+		for _, cfg := range o.Configs {
+			cc, err := coreConfigFor(cfg)
+			if err != nil {
+				return nil, err
+			}
+			ucfg, err := profileFor(w, cc)
+			if err != nil {
+				return nil, err
+			}
+			inst, err := unikernel.New(ucfg)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: enumerate %s/%s: %w", w, cfg, err)
+			}
+			points := inst.Runtime().InjectionPoints()
+			byComp := map[string][]core.InjectionPoint{}
+			var order []string
+			for _, p := range points {
+				if len(byComp[p.Component]) == 0 {
+					order = append(order, p.Component)
+				}
+				byComp[p.Component] = append(byComp[p.Component], p)
+				seenComponents[p.Component] = true
+			}
+			sort.Strings(order)
+			for _, comp := range order {
+				if len(o.Components) > 0 && !containsString(o.Components, comp) {
+					continue
+				}
+				unrebootable := byComp[comp][0].Unrebootable
+				for _, fault := range o.Faults {
+					fns := []string{core.AnyFunction}
+					if o.Functions == "each" && fault != FaultLeak && fault != FaultWildWrite {
+						fns = fns[:0]
+						for _, p := range byComp[comp] {
+							fns = append(fns, p.Fn)
+						}
+						sort.Strings(fns)
+					}
+					for _, fn := range fns {
+						cells = append(cells, Cell{
+							Workload: w, Config: cfg, Component: comp,
+							Function: fn, Fault: fault,
+							Expected: unrebootable && fault.rebootInducing(),
+						})
+					}
+				}
+			}
+		}
+	}
+	if len(o.Components) > 0 {
+		for _, c := range o.Components {
+			if !seenComponents[c] {
+				known := make([]string, 0, len(seenComponents))
+				for k := range seenComponents {
+					known = append(known, k)
+				}
+				sort.Strings(known)
+				return nil, fmt.Errorf("campaign: component %q not linked in any selected workload (linked: %s)",
+					c, strings.Join(known, ", "))
+			}
+		}
+	}
+	return cells, nil
+}
+
+func validFault(f FaultName) bool {
+	for _, v := range AllFaults() {
+		if f == v {
+			return true
+		}
+	}
+	return false
+}
+
+func faultList() string {
+	var names []string
+	for _, f := range AllFaults() {
+		names = append(names, string(f))
+	}
+	return strings.Join(names, ", ")
+}
+
+func containsString(haystack []string, needle string) bool {
+	for _, s := range haystack {
+		if s == needle {
+			return true
+		}
+	}
+	return false
+}

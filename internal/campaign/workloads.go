@@ -1,0 +1,451 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"vampos/internal/apps/echo"
+	"vampos/internal/apps/nginx"
+	"vampos/internal/apps/redis"
+	"vampos/internal/apps/sqlite"
+	"vampos/internal/bench"
+	"vampos/internal/sched"
+	"vampos/internal/unikernel"
+)
+
+// driver runs one workload through a trial's three phases. warm builds
+// up application state before the fault is armed; run keeps the workload
+// going while the fault fires and recovery happens, tolerating (but
+// counting) client-visible errors; verify checks the application-level
+// invariants against the shadow model after the system has settled, with
+// zero tolerance.
+type driver interface {
+	app() unikernel.App
+	profile(cfg unikernel.Config) unikernel.Config
+	setupHost(inst *unikernel.Instance) error
+	warm(s *unikernel.Sys, t *trial) error
+	run(s *unikernel.Sys, t *trial)
+	verify(s *unikernel.Sys, t *trial) error
+}
+
+func driverFor(workload string) (driver, error) {
+	switch workload {
+	case "sqlite":
+		return newSQLiteApp(), nil
+	case "nginx":
+		return newNginxApp(), nil
+	case "redis":
+		return newRedisApp(), nil
+	case "echo":
+		return newEchoApp(), nil
+	default:
+		return nil, fmt.Errorf("campaign: unknown workload %q", workload)
+	}
+}
+
+// sweep invokes every utility component the profile links — PROCESS,
+// USER, TIMER, SYSINFO and (through VFS) the file-system path — so that
+// wildcard faults armed on components off the workload's hot path still
+// fire within a few sweep rounds. Call failures count as client errors:
+// crash and hang recovery is transparent to these retried syscalls, so a
+// surviving error is a real service violation.
+func (t *trial) sweep(s *unikernel.Sys) {
+	check := func(err error) {
+		if err != nil {
+			t.errs++
+		}
+	}
+	_, err := s.Getpid()
+	check(err)
+	_, err = s.Getuid()
+	check(err)
+	_, err = s.ClockGettime()
+	check(err)
+	if t.profile.Sysinfo {
+		_, err = s.Uname()
+		check(err)
+	}
+	if t.profile.FS {
+		_, _, err = s.Stat("/")
+		check(err)
+	}
+}
+
+// --- sqlite: in-process key/value inserts with a shadow table ---
+
+type sqliteDriver struct {
+	db     *sqlite.App
+	shadow []kvPair
+}
+
+type kvPair struct{ k, v string }
+
+func newSQLiteApp() *sqliteDriver { return &sqliteDriver{db: sqlite.New()} }
+
+func (d *sqliteDriver) app() unikernel.App                               { return d.db }
+func (d *sqliteDriver) profile(cfg unikernel.Config) unikernel.Config    { return d.db.Profile(cfg) }
+func (d *sqliteDriver) setupHost(inst *unikernel.Instance) error         { return nil }
+
+func (d *sqliteDriver) insert(s *unikernel.Sys, t *trial, i int) {
+	k, v := fmt.Sprintf("k%03d", i), fmt.Sprintf("v%03d", i)
+	if _, err := d.db.Exec(s, fmt.Sprintf("INSERT INTO kv VALUES ('%s', '%s')", k, v)); err != nil {
+		t.errs++
+		return
+	}
+	d.shadow = append(d.shadow, kvPair{k, v})
+}
+
+func (d *sqliteDriver) warm(s *unikernel.Sys, t *trial) error {
+	if _, err := d.db.Exec(s, "CREATE TABLE kv (k, v)"); err != nil {
+		return err
+	}
+	for i := 0; i < 20; i++ {
+		d.insert(s, t, i)
+	}
+	if t.errs > 0 {
+		return fmt.Errorf("%d insert errors before injection", t.errs)
+	}
+	return nil
+}
+
+func (d *sqliteDriver) run(s *unikernel.Sys, t *trial) {
+	for i := 20; i < 60; i++ {
+		d.insert(s, t, i)
+		if i%8 == 0 {
+			t.sweep(s)
+		}
+	}
+}
+
+func (d *sqliteDriver) verify(s *unikernel.Sys, t *trial) error {
+	for _, p := range d.shadow {
+		res, err := d.db.Exec(s, fmt.Sprintf("SELECT * FROM kv WHERE k = '%s'", p.k))
+		if err != nil {
+			return fmt.Errorf("select %s: %w", p.k, err)
+		}
+		if len(res.Rows) != 1 || len(res.Rows[0]) != 2 || res.Rows[0][1] != p.v {
+			return fmt.Errorf("row %s: got %v, want value %q", p.k, res.Rows, p.v)
+		}
+	}
+	return nil
+}
+
+// --- nginx: HTTP GETs with byte-correct response checking ---
+
+type nginxDriver struct {
+	web  *nginx.App
+	body []byte
+}
+
+func newNginxApp() *nginxDriver {
+	return &nginxDriver{web: nginx.New(), body: []byte(strings.Repeat("campaign-index!\n", 12))}
+}
+
+func (d *nginxDriver) app() unikernel.App                            { return d.web }
+func (d *nginxDriver) profile(cfg unikernel.Config) unikernel.Config { return d.web.Profile(cfg) }
+
+func (d *nginxDriver) setupHost(inst *unikernel.Instance) error {
+	return inst.Host().FS().WriteFile("/www/index.html", d.body)
+}
+
+// fetchLoop runs count GETs from a host client thread, redialing on
+// failure; errors are counted, body mismatches are corruption.
+func (d *nginxDriver) fetchLoop(s *unikernel.Sys, t *trial, count int, timeout time.Duration, strict bool) func() error {
+	done := false
+	var firstErr error
+	peer := s.NewPeer()
+	s.GoHost("campaign/http", func(th *sched.Thread) {
+		defer func() { done = true }()
+		var cl *bench.HTTPClient
+		dial := func() bool {
+			for !t.pastDeadline(s) {
+				var err error
+				cl, err = bench.DialHTTP(s, th, peer, nginx.DefaultPort, timeout)
+				if err == nil {
+					return true
+				}
+				if strict && firstErr == nil {
+					firstErr = err
+				}
+				t.errs++
+				th.Sleep(20 * time.Millisecond)
+			}
+			return false
+		}
+		if !dial() {
+			return
+		}
+		for i := 0; i < count && !t.pastDeadline(s); i++ {
+			body, err := cl.GetBody("/index.html", timeout)
+			if err != nil {
+				t.errs++
+				if strict && firstErr == nil {
+					firstErr = err
+				}
+				cl.Close()
+				if !dial() {
+					return
+				}
+				continue
+			}
+			if string(body) != string(d.body) {
+				t.corrupt++
+				if firstErr == nil {
+					firstErr = fmt.Errorf("body mismatch: got %d bytes %q...", len(body), clip(body))
+				}
+			}
+		}
+		cl.Close()
+	})
+	return func() error {
+		for !done {
+			s.Sleep(time.Millisecond)
+		}
+		return firstErr
+	}
+}
+
+func (d *nginxDriver) warm(s *unikernel.Sys, t *trial) error {
+	errsBefore := t.errs
+	if err := d.fetchLoop(s, t, 5, 2*time.Second, true)(); err != nil {
+		return err
+	}
+	if t.errs != errsBefore {
+		return fmt.Errorf("%d fetch errors before injection", t.errs-errsBefore)
+	}
+	return nil
+}
+
+func (d *nginxDriver) run(s *unikernel.Sys, t *trial) {
+	wait := d.fetchLoop(s, t, 40, time.Second, false)
+	for i := 0; i < 6; i++ {
+		t.sweep(s)
+		s.Sleep(50 * time.Millisecond)
+	}
+	_ = wait()
+}
+
+func (d *nginxDriver) verify(s *unikernel.Sys, t *trial) error {
+	errsBefore := t.errs
+	if err := d.fetchLoop(s, t, 5, 2*time.Second, true)(); err != nil {
+		return err
+	}
+	if t.errs != errsBefore {
+		return fmt.Errorf("%d fetch errors after settling", t.errs-errsBefore)
+	}
+	return nil
+}
+
+// --- redis: SETs tracked in a shadow store, verified by GETs ---
+
+type redisDriver struct {
+	kv     *redis.App
+	shadow []kvPair
+}
+
+func newRedisApp() *redisDriver { return &redisDriver{kv: redis.New()} }
+
+func (d *redisDriver) app() unikernel.App                            { return d.kv }
+func (d *redisDriver) profile(cfg unikernel.Config) unikernel.Config { return d.kv.Profile(cfg) }
+func (d *redisDriver) setupHost(inst *unikernel.Instance) error      { return nil }
+
+// setLoop issues count SETs from a host client thread; only
+// acknowledged SETs enter the shadow store.
+func (d *redisDriver) setLoop(s *unikernel.Sys, t *trial, start, count int, timeout time.Duration) func() {
+	done := false
+	peer := s.NewPeer()
+	s.GoHost("campaign/redis-set", func(th *sched.Thread) {
+		defer func() { done = true }()
+		var cl *bench.RedisClient
+		dial := func() bool {
+			for !t.pastDeadline(s) {
+				var err error
+				cl, err = bench.DialRedis(s, th, peer, redis.DefaultPort, timeout)
+				if err == nil {
+					return true
+				}
+				t.errs++
+				th.Sleep(20 * time.Millisecond)
+			}
+			return false
+		}
+		if !dial() {
+			return
+		}
+		for i := start; i < start+count && !t.pastDeadline(s); i++ {
+			k, v := fmt.Sprintf("c%03d", i), fmt.Sprintf("w%03d", i)
+			if err := cl.Set(k, v, timeout); err != nil {
+				t.errs++
+				cl.Close()
+				if !dial() {
+					return
+				}
+				continue
+			}
+			d.shadow = append(d.shadow, kvPair{k, v})
+		}
+		cl.Close()
+	})
+	return func() {
+		for !done {
+			s.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func (d *redisDriver) warm(s *unikernel.Sys, t *trial) error {
+	errsBefore := t.errs
+	d.setLoop(s, t, 0, 20, 2*time.Second)()
+	if t.errs != errsBefore {
+		return fmt.Errorf("%d SET errors before injection", t.errs-errsBefore)
+	}
+	return nil
+}
+
+func (d *redisDriver) run(s *unikernel.Sys, t *trial) {
+	wait := d.setLoop(s, t, 20, 40, time.Second)
+	for i := 0; i < 6; i++ {
+		t.sweep(s)
+		s.Sleep(50 * time.Millisecond)
+	}
+	wait()
+}
+
+func (d *redisDriver) verify(s *unikernel.Sys, t *trial) error {
+	done := false
+	var verr error
+	peer := s.NewPeer()
+	s.GoHost("campaign/redis-verify", func(th *sched.Thread) {
+		defer func() { done = true }()
+		cl, err := bench.DialRedis(s, th, peer, redis.DefaultPort, 2*time.Second)
+		if err != nil {
+			verr = fmt.Errorf("dial after settling: %w", err)
+			return
+		}
+		defer cl.Close()
+		for _, p := range d.shadow {
+			val, found, err := cl.Get(p.k, 2*time.Second)
+			if err != nil {
+				verr = fmt.Errorf("GET %s: %w", p.k, err)
+				return
+			}
+			if !found || val != p.v {
+				verr = fmt.Errorf("key %s: got (%q, %v), want %q", p.k, val, found, p.v)
+				return
+			}
+		}
+	})
+	for !done {
+		s.Sleep(time.Millisecond)
+	}
+	return verr
+}
+
+// --- echo: fixed payload round trips, byte-compared ---
+
+type echoDriver struct {
+	e       *echo.App
+	payload []byte
+}
+
+func newEchoApp() *echoDriver {
+	return &echoDriver{e: echo.New(), payload: []byte(strings.Repeat("campaign-echo-99", 10)[:159])}
+}
+
+func (d *echoDriver) app() unikernel.App                            { return d.e }
+func (d *echoDriver) profile(cfg unikernel.Config) unikernel.Config { return d.e.Profile(cfg) }
+func (d *echoDriver) setupHost(inst *unikernel.Instance) error      { return nil }
+
+func (d *echoDriver) echoLoop(s *unikernel.Sys, t *trial, count int, timeout time.Duration, strict bool) func() error {
+	done := false
+	var firstErr error
+	peer := s.NewPeer()
+	s.GoHost("campaign/echo", func(th *sched.Thread) {
+		defer func() { done = true }()
+		var cl *bench.EchoClient
+		dial := func() bool {
+			for !t.pastDeadline(s) {
+				var err error
+				cl, err = bench.DialEcho(s, th, peer, echo.DefaultPort, timeout)
+				if err == nil {
+					return true
+				}
+				if strict && firstErr == nil {
+					firstErr = err
+				}
+				t.errs++
+				th.Sleep(20 * time.Millisecond)
+			}
+			return false
+		}
+		if !dial() {
+			return
+		}
+		for i := 0; i < count && !t.pastDeadline(s); i++ {
+			got, err := cl.RoundTripBody(d.payload, timeout)
+			if err != nil {
+				t.errs++
+				if strict && firstErr == nil {
+					firstErr = err
+				}
+				cl.Close()
+				if !dial() {
+					return
+				}
+				continue
+			}
+			if string(got) != string(d.payload) {
+				t.corrupt++
+				if firstErr == nil {
+					firstErr = fmt.Errorf("echo mismatch: %q...", clip(got))
+				}
+			}
+		}
+		cl.Close()
+	})
+	return func() error {
+		for !done {
+			s.Sleep(time.Millisecond)
+		}
+		return firstErr
+	}
+}
+
+func (d *echoDriver) warm(s *unikernel.Sys, t *trial) error {
+	errsBefore := t.errs
+	if err := d.echoLoop(s, t, 5, 2*time.Second, true)(); err != nil {
+		return err
+	}
+	if t.errs != errsBefore {
+		return fmt.Errorf("%d echo errors before injection", t.errs-errsBefore)
+	}
+	return nil
+}
+
+func (d *echoDriver) run(s *unikernel.Sys, t *trial) {
+	wait := d.echoLoop(s, t, 40, time.Second, false)
+	for i := 0; i < 6; i++ {
+		t.sweep(s)
+		s.Sleep(50 * time.Millisecond)
+	}
+	_ = wait()
+}
+
+func (d *echoDriver) verify(s *unikernel.Sys, t *trial) error {
+	errsBefore := t.errs
+	if err := d.echoLoop(s, t, 5, 2*time.Second, true)(); err != nil {
+		return err
+	}
+	if t.errs != errsBefore {
+		return fmt.Errorf("%d echo errors after settling", t.errs-errsBefore)
+	}
+	return nil
+}
+
+func clip(b []byte) []byte {
+	if len(b) > 32 {
+		return b[:32]
+	}
+	return b
+}

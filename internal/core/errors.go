@@ -9,6 +9,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 )
 
 // Errno is a POSIX-flavoured error that survives the message-passing
@@ -63,19 +64,34 @@ var (
 )
 
 // UnknownComponentError reports a call to a component that was never
-// registered in this unikernel configuration.
-type UnknownComponentError struct{ Name string }
+// registered in this unikernel configuration. Known, when populated,
+// lists the components that are registered, so a misdirected fault
+// injection or call is self-diagnosing.
+type UnknownComponentError struct {
+	Name  string
+	Known []string
+}
 
 func (e *UnknownComponentError) Error() string {
-	return fmt.Sprintf("core: unknown component %q", e.Name)
+	if len(e.Known) == 0 {
+		return fmt.Sprintf("core: unknown component %q", e.Name)
+	}
+	return fmt.Sprintf("core: unknown component %q (registered: %s)", e.Name, strings.Join(e.Known, ", "))
 }
 
 // UnknownFunctionError reports a call to a function the target component
-// does not export.
-type UnknownFunctionError struct{ Component, Fn string }
+// does not export. Known, when populated, lists the functions the
+// component does export.
+type UnknownFunctionError struct {
+	Component, Fn string
+	Known         []string
+}
 
 func (e *UnknownFunctionError) Error() string {
-	return fmt.Sprintf("core: component %q does not export %q", e.Component, e.Fn)
+	if len(e.Known) == 0 {
+		return fmt.Sprintf("core: component %q does not export %q", e.Component, e.Fn)
+	}
+	return fmt.Sprintf("core: component %q does not export %q (exports: %s)", e.Component, e.Fn, strings.Join(e.Known, ", "))
 }
 
 // ReplayDivergenceError reports that during encapsulated restoration a

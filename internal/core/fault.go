@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"vampos/internal/mem"
@@ -22,6 +23,10 @@ const (
 	// FaultHang parks the handler forever: a deadlock/livelock the hang
 	// detector must catch.
 	FaultHang
+	// FaultErrno makes the armed function return a spurious errno
+	// instead of executing: the transient-error path (a device timeout,
+	// a dropped request) that must not trigger any recovery machinery.
+	FaultErrno
 )
 
 func (k FaultKind) String() string {
@@ -30,14 +35,35 @@ func (k FaultKind) String() string {
 		return "crash"
 	case FaultHang:
 		return "hang"
+	case FaultErrno:
+		return "errno"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", uint8(k))
 	}
 }
 
+// AnyFunction arms a fault on whichever exported function the component
+// is invoked through next — the campaign engine's "fault anywhere in the
+// component" injection site.
+const AnyFunction = "*"
+
+// FaultSpec describes one armed fault in full.
+type FaultSpec struct {
+	// Kind selects the failure mode.
+	Kind FaultKind
+	// After fires the fault on the After-th invocation of the armed
+	// function rather than the next one (0 and 1 both mean "next"):
+	// earlier invocations execute normally. Campaigns use it to walk a
+	// fault through a component's whole invocation history.
+	After int
+	// Errno is the error returned by a FaultErrno fault; empty means EIO.
+	Errno Errno
+}
+
 type armedFault struct {
 	kind  FaultKind
-	count int // invocations remaining before the fault disarms
+	count int // invocations remaining until the fault fires
+	errno Errno
 }
 
 // ArmFault arms a one-shot fault on the next invocation of fn on the
@@ -46,33 +72,74 @@ type armedFault struct {
 // component boundary to contain it), which is exactly the baseline
 // behaviour the paper's recovery comparison needs.
 func (rt *Runtime) ArmFault(component, fn string, kind FaultKind) error {
+	return rt.ArmFaultSpec(component, fn, FaultSpec{Kind: kind})
+}
+
+// ArmFaultSpec arms a fault described by spec on component.fn. fn may be
+// AnyFunction ("*") to fire on the next invocation of any exported
+// function. Arming an unknown component or function fails with an error
+// that lists the valid targets, so campaign misconfiguration is
+// self-diagnosing.
+func (rt *Runtime) ArmFaultSpec(component, fn string, spec FaultSpec) error {
 	c, ok := rt.comps[component]
 	if !ok {
-		return &UnknownComponentError{Name: component}
+		return &UnknownComponentError{Name: component, Known: rt.Components()}
 	}
-	if _, ok := c.exports[fn]; !ok {
-		return &UnknownFunctionError{Component: component, Fn: fn}
+	if fn != AnyFunction {
+		if _, ok := c.exports[fn]; !ok {
+			return &UnknownFunctionError{Component: component, Fn: fn, Known: rt.Exports(component)}
+		}
+	}
+	switch spec.Kind {
+	case FaultCrash, FaultHang, FaultErrno:
+	default:
+		return fmt.Errorf("core: unknown fault kind %v", spec.Kind)
+	}
+	if spec.After < 1 {
+		spec.After = 1
+	}
+	if spec.Errno == "" {
+		spec.Errno = EIO
 	}
 	if rt.armed == nil {
 		rt.armed = make(map[string]*armedFault)
 	}
-	rt.armed[component+"."+fn] = &armedFault{kind: kind, count: 1}
+	rt.armed[component+"."+fn] = &armedFault{kind: spec.Kind, count: spec.After, errno: spec.Errno}
 	return nil
 }
 
-// checkFault fires an armed fault for the invocation, if any.
-func (rt *Runtime) checkFault(ctx *Ctx, component, fn string) {
-	if rt.armed == nil || ctx.InReplay() {
-		return
+// PendingFaults lists the armed faults that have not fired yet, as
+// "component.fn" keys in sorted order. Campaigns use it to tell a
+// survived fault from one that never triggered.
+func (rt *Runtime) PendingFaults() []string {
+	out := make([]string, 0, len(rt.armed))
+	for k := range rt.armed {
+		out = append(out, k)
 	}
-	f, ok := rt.armed[component+"."+fn]
+	sort.Strings(out)
+	return out
+}
+
+// checkFault fires an armed fault for the invocation, if any. A non-nil
+// error means the invocation must not execute and must return that error
+// instead (the FaultErrno transient-error path).
+func (rt *Runtime) checkFault(ctx *Ctx, component, fn string) error {
+	if rt.armed == nil || ctx.InReplay() {
+		return nil
+	}
+	key := component + "." + fn
+	f, ok := rt.armed[key]
 	if !ok {
-		return
+		key = component + "." + AnyFunction
+		if f, ok = rt.armed[key]; !ok {
+			return nil
+		}
 	}
 	f.count--
-	if f.count <= 0 {
-		delete(rt.armed, component+"."+fn)
+	if f.count > 0 {
+		return nil
 	}
+	delete(rt.armed, key)
 	if tr := rt.tracer; tr != nil {
 		tr.Instant(ctx.span, trace.KindFault, component, fn, f.kind.String())
 	}
@@ -83,7 +150,10 @@ func (rt *Runtime) checkFault(ctx *Ctx, component, fn string) {
 		for {
 			ctx.Sleep(10 * time.Second)
 		}
+	case FaultErrno:
+		return f.errno
 	}
+	return nil
 }
 
 // ComponentHeap exposes a component's arena allocator for fault

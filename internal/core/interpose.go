@@ -91,8 +91,11 @@ func (c *Ctx) Call(target, fn string, args ...any) (msg.Args, error) {
 		if tr := rt.tracer; tr != nil {
 			sub.span = tr.Begin(c.span, trace.KindDirect, c.callerName(), target, fn)
 		}
-		rt.checkFault(sub, target, fn)
-		rets, err := h(sub, msg.Args(args))
+		var rets msg.Args
+		err := rt.checkFault(sub, target, fn)
+		if err == nil {
+			rets, err = h(sub, msg.Args(args))
+		}
 		if tr := rt.tracer; tr != nil {
 			tr.EndErr(sub.span, errnoString(err))
 		}

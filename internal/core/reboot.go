@@ -283,6 +283,17 @@ func (rt *Runtime) watchdogLoop(t *sched.Thread) {
 			if nowV-g.busySinceV <= rt.cfg.HangThreshold {
 				continue
 			}
+			// Hang attribution: a group whose current handler is blocked
+			// on an outstanding call into another group is a victim of
+			// downstream latency, not hung itself. Skip it — the deepest
+			// busy group trips the detector and only that one reboots,
+			// keeping hang recovery contained to the faulty component.
+			// (A true wait cycle can never form: calls only flow along
+			// the dependency order, so the deepest group has no
+			// outstanding downstream call and is always detected.)
+			if rt.awaitingDownstream(g) {
+				continue
+			}
 			rt.stats.hangs.Add(1)
 			seq := g.currentSeq
 			victim := g.members[0]
@@ -313,8 +324,27 @@ func (rt *Runtime) watchdogLoop(t *sched.Thread) {
 			g.curRec = nil
 			g.curLog = nil
 			rt.beginReboot(g, "hang", true, detectParent)
+			// One hang per sweep: resolving this group's inbound call wakes
+			// blocked callers, but they only re-enter awaitingDownstream
+			// state once scheduled. Deferring further verdicts to the next
+			// sweep (one period away, well under the threshold) keeps those
+			// callers from being misattributed as hung themselves.
+			break
 		}
 	}
+}
+
+// awaitingDownstream reports whether the group's current handler has an
+// outstanding call into another group still in flight. Such a group is
+// blocked, not hung: the watchdog must attribute the hang to the
+// deepest busy group only.
+func (rt *Runtime) awaitingDownstream(g *group) bool {
+	for _, pc := range rt.pending {
+		if !pc.done && pc.fromGrp == g && pc.to.group != g {
+			return true
+		}
+	}
+	return false
 }
 
 // SetFailureObserver registers fn to be told about every detected

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -158,6 +159,75 @@ func (rt *Runtime) DomainBytes() int64 {
 
 // ResidentBytes reports materialised guest memory (Fig. 7b).
 func (rt *Runtime) ResidentBytes() int64 { return rt.memry.ResidentBytes() }
+
+// InjectionPoint is one armable fault site: a component × exported
+// function cell of the fault-injection space. Campaign engines enumerate
+// these from the registry instead of hard-coding trial lists.
+type InjectionPoint struct {
+	// Component is the registered component name.
+	Component string
+	// Fn is the exported function name.
+	Fn string
+	// Logged marks functions covered by a log policy: their calls are
+	// replayed during encapsulated restoration.
+	Logged bool
+	// Stateful mirrors the component descriptor.
+	Stateful bool
+	// Unrebootable marks documented-unrebootable components (VIRTIO):
+	// campaigns must classify their failures as expected, not as
+	// regressions.
+	Unrebootable bool
+}
+
+// InjectionPoints enumerates every armable fault site in registration
+// order, functions sorted within each component. The enumeration is the
+// ground truth for fault-injection campaigns: every registered component
+// and every exported function appears exactly once.
+func (rt *Runtime) InjectionPoints() []InjectionPoint {
+	var out []InjectionPoint
+	for _, c := range rt.order {
+		fns := make([]string, 0, len(c.exports))
+		for fn := range c.exports {
+			fns = append(fns, fn)
+		}
+		sort.Strings(fns)
+		for _, fn := range fns {
+			_, logged := c.policies[fn]
+			out = append(out, InjectionPoint{
+				Component:    c.desc.Name,
+				Fn:           fn,
+				Logged:       logged,
+				Stateful:     c.desc.Stateful,
+				Unrebootable: c.desc.Unrebootable,
+			})
+		}
+	}
+	return out
+}
+
+// Exports returns a component's exported function names in sorted order
+// (nil for an unknown component).
+func (rt *Runtime) Exports(name string) []string {
+	c, ok := rt.comps[name]
+	if !ok {
+		return nil
+	}
+	fns := make([]string, 0, len(c.exports))
+	for fn := range c.exports {
+		fns = append(fns, fn)
+	}
+	sort.Strings(fns)
+	return fns
+}
+
+// Describe returns the registered descriptor of a component.
+func (rt *Runtime) Describe(name string) (Descriptor, bool) {
+	c, ok := rt.comps[name]
+	if !ok {
+		return Descriptor{}, false
+	}
+	return c.desc, true
+}
 
 // GroupOf returns the scheduling/protection group name of a component.
 func (rt *Runtime) GroupOf(name string) (string, bool) {

@@ -137,9 +137,13 @@ func (rt *Runtime) execMessage(t *sched.Thread, g *group, m *msg.Message) bool {
 }
 
 // invokeChecked fires any armed fault for the invocation, then invokes.
+// An errno fault short-circuits the handler: the call returns the
+// injected error without executing.
 func (rt *Runtime) invokeChecked(h Handler, ctx *Ctx, component, fn string, args msg.Args) (rets msg.Args, err error, pv any, panicked bool) {
 	wrapped := func(c *Ctx, a msg.Args) (msg.Args, error) {
-		rt.checkFault(c, component, fn)
+		if ferr := rt.checkFault(c, component, fn); ferr != nil {
+			return nil, ferr
+		}
 		return h(c, a)
 	}
 	return rt.invoke(wrapped, ctx, args)

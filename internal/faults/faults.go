@@ -32,6 +32,25 @@ func (i *Injector) HangOnce(component, fn string) error {
 	return i.rt.ArmFault(component, fn, core.FaultHang)
 }
 
+// ErrnoOnce makes the next invocation of component.fn return the given
+// errno without executing: a transient error that must not trigger any
+// recovery. An empty errno defaults to EIO.
+func (i *Injector) ErrnoOnce(component, fn string, errno core.Errno) error {
+	return i.rt.ArmFaultSpec(component, fn, core.FaultSpec{Kind: core.FaultErrno, Errno: errno})
+}
+
+// CrashAfter makes the nth invocation of component.fn panic (earlier
+// invocations execute normally): campaigns walk a crash through a
+// component's invocation history with it.
+func (i *Injector) CrashAfter(component, fn string, n int) error {
+	return i.rt.ArmFaultSpec(component, fn, core.FaultSpec{Kind: core.FaultCrash, After: n})
+}
+
+// HangAfter makes the nth invocation of component.fn hang forever.
+func (i *Injector) HangAfter(component, fn string, n int) error {
+	return i.rt.ArmFaultSpec(component, fn, core.FaultSpec{Kind: core.FaultHang, After: n})
+}
+
 // LeakBytes allocates total bytes from the component's arena in blockSize
 // chunks and never frees them: the memory-leak flavour of software aging
 // (the paper's ukallocbuddy leak, issue #689).

@@ -87,6 +87,105 @@ func TestArmFaultValidatesTarget(t *testing.T) {
 	})
 }
 
+func TestArmFaultErrorsListCandidates(t *testing.T) {
+	withInstance(t, core.DaSConfig(), nil, func(s *unikernel.Sys, inj *Injector) {
+		err := inj.CrashOnce("ghost", "x")
+		if err == nil {
+			t.Fatal("armed fault on unknown component")
+		}
+		for _, want := range []string{"vfs", "9pfs", "lwip", "process"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("unknown-component error %q does not list %q", err, want)
+			}
+		}
+		err = inj.CrashOnce("vfs", "nope")
+		if err == nil {
+			t.Fatal("armed fault on unknown function")
+		}
+		for _, want := range []string{"open", "read", "write", "close"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("unknown-function error %q does not list %q", err, want)
+			}
+		}
+	})
+}
+
+func TestErrnoInjectionIsTransient(t *testing.T) {
+	inst := withInstance(t, core.DaSConfig(), nil, func(s *unikernel.Sys, inj *Injector) {
+		fd, err := s.Open("/t", unikernel.OCreate|unikernel.ORdwr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inj.ErrnoOnce("9pfs", "uk_9pfs_write", core.EIO); err != nil {
+			t.Fatal(err)
+		}
+		// The injected errno surfaces to the caller as a plain error …
+		if _, err := s.Write(fd, []byte("x")); !errors.Is(err, core.EIO) {
+			t.Fatalf("write under errno injection = %v, want EIO", err)
+		}
+		// … and the very next call succeeds: no reboot, no fail-stop.
+		if _, err := s.Write(fd, []byte("ok")); err != nil {
+			t.Fatalf("write after errno injection: %v", err)
+		}
+		data, err := s.Pread(fd, 10, 0)
+		if err != nil || string(data) != "ok" {
+			t.Fatalf("content = %q, %v", data, err)
+		}
+	})
+	st := inst.Runtime().Stats()
+	if st.Failures != 0 || st.Hangs != 0 {
+		t.Fatalf("errno injection triggered recovery: failures=%d hangs=%d", st.Failures, st.Hangs)
+	}
+	if n := len(inst.Runtime().Reboots()); n != 0 {
+		t.Fatalf("errno injection caused %d reboots", n)
+	}
+}
+
+func TestCrashAfterNthInvocation(t *testing.T) {
+	inst := withInstance(t, core.DaSConfig(), nil, func(s *unikernel.Sys, inj *Injector) {
+		if err := inj.CrashAfter("process", "getpid", 3); err != nil {
+			t.Fatal(err)
+		}
+		// The first two invocations execute normally.
+		for i := 0; i < 2; i++ {
+			if _, err := s.Getpid(); err != nil {
+				t.Fatalf("getpid %d before fault: %v", i, err)
+			}
+			if got := s.Instance().Runtime().Stats().Failures; got != 0 {
+				t.Fatalf("fault fired early: failures=%d after call %d", got, i)
+			}
+		}
+		// The third crashes the component; the retry succeeds.
+		if _, err := s.Getpid(); err != nil {
+			t.Fatalf("getpid across nth-invocation crash: %v", err)
+		}
+	})
+	if got := inst.Runtime().Stats().Failures; got != 1 {
+		t.Fatalf("failures = %d, want 1", got)
+	}
+}
+
+func TestWildcardFaultFiresOnAnyFunction(t *testing.T) {
+	inst := withInstance(t, core.DaSConfig(), nil, func(s *unikernel.Sys, inj *Injector) {
+		rt := s.Instance().Runtime()
+		if err := rt.ArmFaultSpec("process", core.AnyFunction, core.FaultSpec{Kind: core.FaultCrash}); err != nil {
+			t.Fatal(err)
+		}
+		if got := rt.PendingFaults(); len(got) != 1 || got[0] != "process.*" {
+			t.Fatalf("pending faults = %v", got)
+		}
+		if _, err := s.Getpid(); err != nil {
+			t.Fatalf("getpid across wildcard crash: %v", err)
+		}
+		if got := rt.PendingFaults(); len(got) != 0 {
+			t.Fatalf("fault still armed after firing: %v", got)
+		}
+	})
+	if got := inst.Runtime().Stats().Failures; got != 1 {
+		t.Fatalf("failures = %d, want 1", got)
+	}
+}
+
 func TestLeakAndRejuvenationReclaims(t *testing.T) {
 	withInstance(t, core.DaSConfig(), nil, func(s *unikernel.Sys, inj *Injector) {
 		before, err := inj.HeapStats("vfs")
@@ -133,6 +232,77 @@ func TestFragmentationObservableAndCleared(t *testing.T) {
 			t.Fatalf("reboot did not clear fragmentation: %v >= %v", fresh.Fragmentation, aged.Fragmentation)
 		}
 	})
+}
+
+// TestWildWriteConfinedAcrossConfigs exercises saboteur containment in
+// all four VampOS configurations, including the merged groups: merging
+// components into one protection domain must not open the merged arena
+// (or anything else) to a stray store from another domain.
+func TestWildWriteConfinedAcrossConfigs(t *testing.T) {
+	cases := []struct {
+		name   string
+		cfg    core.Config
+		victim string
+	}{
+		{"noop", core.NoopConfig(), "vfs"},
+		{"das", core.DaSConfig(), "vfs"},
+		{"fsm-merged-fs", core.FSmConfig(), "9pfs"},
+		{"fsm-vfs", core.FSmConfig(), "vfs"},
+		{"netm-merged-net", core.NETmConfig(), "lwip"},
+		{"netm-netdev", core.NETmConfig(), "netdev"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sab := NewSaboteur()
+			inst := withInstance(t, tc.cfg, []core.Component{sab}, func(s *unikernel.Sys, inj *Injector) {
+				rt := s.Instance().Runtime()
+				victimHeap, ok := rt.ComponentHeap(tc.victim)
+				if !ok {
+					t.Fatalf("no %s heap", tc.victim)
+				}
+				victimAddr, err := victimHeap.Alloc(64)
+				if err != nil {
+					t.Fatal(err)
+				}
+				memObj := rt.Memory()
+				if err := memObj.HostWrite(memAddr64(victimAddr), []byte("precious")); err != nil {
+					t.Fatal(err)
+				}
+				faults0 := memObj.Faults()
+				// The wild write into the victim's (possibly merged) arena
+				// must fault, not corrupt.
+				_, err = s.Ctx().Call("saboteur", "wild_write", victimAddr, 0xFF)
+				if err == nil || !strings.Contains(err.Error(), "EFAULT") {
+					t.Fatalf("wild write = %v, want EFAULT", err)
+				}
+				got := make([]byte, 8)
+				if err := memObj.HostRead(memAddr64(victimAddr), got); err != nil {
+					t.Fatal(err)
+				}
+				if string(got) != "precious" {
+					t.Fatalf("victim memory corrupted: %q", got)
+				}
+				if memObj.Faults() == faults0 {
+					t.Fatal("no protection fault recorded")
+				}
+				// The victim component is untouched and keeps serving.
+				if _, err := s.Open("/alive", unikernel.OCreate|unikernel.ORdwr); err != nil {
+					t.Fatalf("victim-side syscall after wild write: %v", err)
+				}
+			})
+			// Only the saboteur misbehaved: no component failed or rebooted.
+			st := inst.Runtime().Stats()
+			if st.Failures != 0 || st.Hangs != 0 {
+				t.Fatalf("wild write cascaded: failures=%d hangs=%d", st.Failures, st.Hangs)
+			}
+			for _, comp := range inst.Runtime().Components() {
+				cs, ok := inst.Runtime().ComponentStats(comp)
+				if ok && (cs.Failures != 0 || cs.Reboots != 0) {
+					t.Fatalf("component %s disturbed: %+v", comp, cs)
+				}
+			}
+		})
+	}
 }
 
 func TestWildWriteConfinedByProtectionDomains(t *testing.T) {

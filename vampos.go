@@ -19,6 +19,10 @@
 //     and Echo-analogue applications from §VI.
 //   - internal/bench: runners that regenerate every table and figure of
 //     the paper's evaluation; cmd/vampos-bench prints them.
+//   - internal/campaign: a SWIFI-style fault-injection campaign engine
+//     that sweeps component × fault × workload × configuration and
+//     judges each trial with recovery oracles; cmd/vampos-campaign
+//     drives it and prints the recovery matrix.
 //
 // Quickstart:
 //
@@ -63,6 +67,9 @@ type (
 	Errno = core.Errno
 	// FaultKind selects an injected failure mode.
 	FaultKind = core.FaultKind
+	// FaultSpec arms a fault with a trigger ordinal and optional errno
+	// (Runtime.ArmFaultSpec).
+	FaultSpec = core.FaultSpec
 	// Rejuvenator drives periodic proactive component reboots (§VII-D).
 	Rejuvenator = core.Rejuvenator
 )
@@ -71,7 +78,14 @@ type (
 const (
 	FaultCrash = core.FaultCrash
 	FaultHang  = core.FaultHang
+	// FaultErrno makes the fault site return a transient errno once
+	// instead of failing the component.
+	FaultErrno = core.FaultErrno
 )
+
+// AnyFunction arms a fault on a component's next invocation regardless
+// of which exported function is called.
+const AnyFunction = core.AnyFunction
 
 // Observability: the flight recorder (internal/trace) records syscalls,
 // cross-component hops and reboot lifecycles with causal span links.
