@@ -1,0 +1,137 @@
+// Package analysistest runs an analyzer over a golden testdata package
+// and checks its diagnostics against "// want" comments in the source,
+// mirroring golang.org/x/tools/go/analysis/analysistest on the standard
+// library only.
+//
+// A want comment names one or more regular expressions (in backquotes
+// or double quotes) that must each match a diagnostic reported on that
+// line; any diagnostic on a line without a matching want fails the
+// test:
+//
+//	time.Now() // want `wall clock`
+//	h(ctx, nil) // want `direct core.Handler` `use Ctx.Call`
+//
+// Testdata packages live under testdata/ and may pose as module
+// packages ("vampos/internal/vfs") through the overrides map, so
+// path-scoped analyzers see them as the package they impersonate; they
+// may equally import the module's real packages.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"vampos/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.+)$`)
+var patRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// want is one expected diagnostic.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the package registered under path (per overrides, resolved
+// relative to testdata) with the module's loader, applies the analyzer
+// plus directive filtering, and compares the diagnostics with the
+// package's want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, path string, overrides map[string]string) {
+	t.Helper()
+	loader, err := analysis.NewLoader(testdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.Overrides = make(map[string]string, len(overrides))
+	for p, dir := range overrides {
+		loader.Overrides[p] = filepath.Join(testdata, dir)
+	}
+	pkg, err := loader.Load(path)
+	if err != nil {
+		t.Fatalf("loading %s: %v", path, err)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectWants(t, pkg)
+
+	for i := range wants {
+		w := &wants[i]
+		for _, d := range diags {
+			if d.Pos.Filename == w.file && d.Pos.Line == w.line && w.re.MatchString(d.Message) {
+				w.matched = true
+				break
+			}
+		}
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+	for _, d := range diags {
+		if !expected(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+// expected reports whether some want on the diagnostic's line matches
+// it.
+func expected(wants []want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if d.Pos.Filename == w.file && d.Pos.Line == w.line && w.re.MatchString(d.Message) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants extracts every want expectation from the package's
+// comments.
+func collectWants(t *testing.T, pkg *analysis.Package) []want {
+	t.Helper()
+	var out []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				pats := patRe.FindAllStringSubmatch(m[1], -1)
+				if len(pats) == 0 {
+					t.Fatalf("%s:%d: want comment with no quoted pattern: %s", pos.Filename, pos.Line, c.Text)
+				}
+				for _, p := range pats {
+					raw := p[1]
+					if raw == "" {
+						raw = p[2]
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					out = append(out, want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Testdata returns the testdata directory for the calling test package,
+// failing the test when it does not exist.
+func Testdata(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}

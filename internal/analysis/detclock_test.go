@@ -1,0 +1,29 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"vampos/internal/analysis"
+	"vampos/internal/analysis/analysistest"
+)
+
+// TestDetClock poses a testdata package as a component (deterministic)
+// package: wall-clock and global-rand calls are flagged, seeded
+// generators and duration arithmetic pass, annotated sites are
+// suppressed, and stale or reasonless directives are themselves
+// diagnosed.
+func TestDetClock(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(t), analysis.DetClock,
+		"vampos/internal/vfs", map[string]string{
+			"vampos/internal/vfs": "src/detclock/det",
+		})
+}
+
+// TestDetClockOutOfScope checks that packages outside the deterministic
+// set may read the wall clock freely.
+func TestDetClockOutOfScope(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(t), analysis.DetClock,
+		"detclock/plain", map[string]string{
+			"detclock/plain": "src/detclock/plain",
+		})
+}

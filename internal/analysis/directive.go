@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment:
+//
+//	//vampos:allow <analyzer> -- <reason>
+//
+// A directive silences diagnostics of the named analyzer on its own
+// line and on the line directly below it (so it can sit above a long
+// statement). The reason after "--" is mandatory: an allow without a
+// justification is exactly the kind of silent invariant erosion this
+// suite exists to prevent.
+const directivePrefix = "//vampos:allow"
+
+// directive is one parsed //vampos:allow comment.
+type directive struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+	used     bool
+}
+
+// directiveSet is the directives of one package, plus the diagnostics
+// produced while parsing them.
+type directiveSet struct {
+	dirs      []*directive
+	malformed []Diagnostic
+}
+
+// collectDirectives scans every comment of the package for directives.
+func collectDirectives(pkg *Package) *directiveSet {
+	set := &directiveSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				// A trailing "// …" inside the directive comment is not
+				// part of the reason (the golden tests hang their
+				// "// want" expectations there).
+				if i := strings.Index(text, "//"); i >= 0 {
+					text = text[:i]
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				name, reason, hasReason := strings.Cut(text, "--")
+				name = strings.TrimSpace(name)
+				reason = strings.TrimSpace(reason)
+				switch {
+				case name == "":
+					set.malformed = append(set.malformed, Diagnostic{
+						Analyzer: "directive", Pos: pos,
+						Message: "vampos:allow directive names no analyzer (want \"//vampos:allow <analyzer> -- <reason>\")",
+					})
+				case ByName(name) == nil:
+					set.malformed = append(set.malformed, Diagnostic{
+						Analyzer: "directive", Pos: pos,
+						Message: fmt.Sprintf("vampos:allow names unknown analyzer %q", name),
+					})
+				case !hasReason || reason == "":
+					set.malformed = append(set.malformed, Diagnostic{
+						Analyzer: "directive", Pos: pos,
+						Message: "vampos:allow " + name + " has no reason (want \"//vampos:allow " + name + " -- <reason>\")",
+					})
+				default:
+					set.dirs = append(set.dirs, &directive{analyzer: name, reason: reason, pos: pos})
+				}
+			}
+		}
+	}
+	return set
+}
+
+// suppress reports whether a directive covers the diagnostic, marking
+// the directive used.
+func (s *directiveSet) suppress(d Diagnostic) bool {
+	for _, dir := range s.dirs {
+		if dir.analyzer != d.Analyzer || dir.pos.Filename != d.Pos.Filename {
+			continue
+		}
+		if dir.pos.Line == d.Pos.Line || dir.pos.Line == d.Pos.Line-1 {
+			dir.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// unused reports directives whose analyzer ran but which silenced
+// nothing: they are stale and must be deleted, or they will mask a
+// future real violation at that site.
+func (s *directiveSet) unused(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, dir := range s.dirs {
+		if dir.used || !ran[dir.analyzer] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Analyzer: "directive", Pos: dir.pos,
+			Message: "unused vampos:allow " + dir.analyzer + " directive (nothing to suppress here; delete it)",
+		})
+	}
+	return out
+}

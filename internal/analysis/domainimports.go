@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"strconv"
+	"strings"
+)
+
+// modulePath is the enclosing module; the analyzers only reason about
+// packages under it (standard-library imports are always allowed).
+const modulePath = "vampos"
+
+// componentRoots are the packages that model unikernel components
+// (paper Table I). Each subdirectory of internal/apps is an application
+// component of its own.
+var componentRoots = []string{
+	modulePath + "/internal/vfs",
+	modulePath + "/internal/lwip",
+	modulePath + "/internal/ninep",
+	modulePath + "/internal/netdev",
+	modulePath + "/internal/virtio",
+}
+
+// appsPrefix is the root of the application components.
+const appsPrefix = modulePath + "/internal/apps/"
+
+// componentAllowedImports is the infrastructure a component package may
+// import directly. Cross-component interaction must go through logged
+// messages (internal/msg carried by internal/core); the rest is the
+// runtime substrate components are built on.
+var componentAllowedImports = map[string]bool{
+	modulePath + "/internal/core":      true,
+	modulePath + "/internal/msg":       true,
+	modulePath + "/internal/mem":       true,
+	modulePath + "/internal/sched":     true,
+	modulePath + "/internal/clock":     true,
+	modulePath + "/internal/trace":     true,
+	modulePath + "/internal/unikernel": true,
+}
+
+// componentOf returns the identity of the component package path
+// belongs to ("vampos/internal/vfs", "vampos/internal/apps/redis"), or
+// "" when path is not a component package. Two distinct identities mean
+// two distinct protection domains.
+func componentOf(path string) string {
+	if rest, ok := strings.CutPrefix(path, appsPrefix); ok && rest != "" {
+		if i := strings.Index(rest, "/"); i >= 0 {
+			rest = rest[:i]
+		}
+		return appsPrefix + rest
+	}
+	for _, p := range componentRoots {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return p
+		}
+	}
+	return ""
+}
+
+// DomainImports enforces the component-isolation import discipline: a
+// component package must not import another component; it talks to it
+// through logged messages or not at all. This is the static half of the
+// protection-domain boundary — the dynamic half is the per-component
+// protection key in internal/mem.
+var DomainImports = &Analyzer{
+	Name: "domainimports",
+	Doc: "component packages must not import each other; cross-component " +
+		"interaction goes through internal/msg messages dispatched by internal/core",
+	Run: runDomainImports,
+}
+
+func runDomainImports(pass *Pass) error {
+	self := componentOf(pass.Path)
+	if self == "" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path != modulePath && !strings.HasPrefix(path, modulePath+"/") {
+				continue // standard library
+			}
+			if other := componentOf(path); other != "" && other != self {
+				pass.Reportf(imp.Pos(),
+					"component %s imports component %s: components interact only through logged messages (ctx.Call via internal/core), never by direct import",
+					pass.Path, path)
+				continue
+			}
+			if componentOf(path) == "" && !componentAllowedImports[path] {
+				pass.Reportf(imp.Pos(),
+					"component %s imports %s, which is outside the component substrate (allowed: core, msg, mem, sched, clock, trace, unikernel)",
+					pass.Path, path)
+			}
+		}
+	}
+	return nil
+}

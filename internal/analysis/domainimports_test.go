@@ -1,0 +1,30 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"vampos/internal/analysis"
+	"vampos/internal/analysis/analysistest"
+)
+
+// TestDomainImports poses testdata packages as the vfs, lwip, and host
+// packages: importing a sibling component or a non-substrate package is
+// flagged; importing the real message layer, or carrying a justified
+// //vampos:allow, is not.
+func TestDomainImports(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(t), analysis.DomainImports,
+		"vampos/internal/vfs", map[string]string{
+			"vampos/internal/vfs":  "src/domainimports/vfs",
+			"vampos/internal/lwip": "src/domainimports/lwip",
+			"vampos/internal/host": "src/domainimports/host",
+		})
+}
+
+// TestDomainImportsNonComponent checks that infrastructure packages are
+// out of scope: the host fixture imports nothing and reports nothing.
+func TestDomainImportsNonComponent(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(t), analysis.DomainImports,
+		"vampos/internal/host", map[string]string{
+			"vampos/internal/host": "src/domainimports/host",
+		})
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// InterposeOnly enforces the interposition discipline: every call into
+// a component goes through internal/core's message layer (Ctx.Call /
+// Runtime.Inject), which is where function-call logging happens. A
+// direct invocation of a core.Handler value, or a direct Init/Exports
+// call on a core.Component, executes component code without a log
+// record — after the next crash, encapsulated restoration replays a log
+// that never saw the call, and the rebuilt state silently diverges.
+var InterposeOnly = &Analyzer{
+	Name: "interposeonly",
+	Doc: "component handlers and lifecycle methods are invoked only by " +
+		"internal/core's interposition layer; an unlogged direct call breaks log-based restoration",
+	Run: runInterposeOnly,
+}
+
+// interposeBannedMethods are the core.Component methods only the
+// runtime may call. Describe is deliberately absent: it is constant
+// metadata with no state effect.
+var interposeBannedMethods = map[string]bool{
+	"Init":    true,
+	"Exports": true,
+}
+
+func runInterposeOnly(pass *Pass) error {
+	if pass.Path == modulePath+"/internal/core" {
+		return nil // the interposition layer itself
+	}
+	corePkg := findImportedPackage(pass.Pkg, modulePath+"/internal/core")
+	if corePkg == nil {
+		return nil // package cannot name core types, nothing to check
+	}
+	handlerType := namedType(corePkg, "Handler")
+	componentIface := ifaceType(corePkg, "Component")
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// Direct invocation of a core.Handler value: h(ctx, args),
+			// comp.Exports()["read"](ctx, args), …
+			if handlerType != nil {
+				if t := pass.TypeOf(call.Fun); t != nil && types.Identical(t, handlerType) {
+					pass.Reportf(call.Pos(),
+						"direct core.Handler invocation outside internal/core: the call bypasses interposition, so it is never logged and replay after the next reboot will diverge; use Ctx.Call",
+					)
+					return true
+				}
+			}
+			// Direct lifecycle call on a core.Component implementation.
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := pass.Info.Selections[sel]
+			if !ok || componentIface == nil || !interposeBannedMethods[sel.Sel.Name] {
+				return true
+			}
+			recv := selection.Recv()
+			if types.Implements(recv, componentIface) ||
+				types.Implements(types.NewPointer(recv), componentIface) {
+				pass.Reportf(call.Pos(),
+					"direct %s call on a core.Component outside internal/core: component lifecycle belongs to the reboot manager (Runtime.Register boots it, the reboot path re-runs Init)",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// findImportedPackage returns the named package if pkg (transitively)
+// imports it, or nil.
+func findImportedPackage(pkg *types.Package, path string) *types.Package {
+	if pkg.Path() == path {
+		return pkg
+	}
+	seen := make(map[*types.Package]bool)
+	var walk func(p *types.Package) *types.Package
+	walk = func(p *types.Package) *types.Package {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		for _, imp := range p.Imports() {
+			if imp.Path() == path {
+				return imp
+			}
+			if found := walk(imp); found != nil {
+				return found
+			}
+		}
+		return nil
+	}
+	return walk(pkg)
+}
+
+// namedType returns the package-level named type, or nil.
+func namedType(pkg *types.Package, name string) types.Type {
+	obj, ok := pkg.Scope().Lookup(name).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	return obj.Type()
+}
+
+// ifaceType returns the underlying interface of a package-level named
+// type, or nil.
+func ifaceType(pkg *types.Package, name string) *types.Interface {
+	t := namedType(pkg, name)
+	if t == nil {
+		return nil
+	}
+	iface, _ := t.Underlying().(*types.Interface)
+	return iface
+}

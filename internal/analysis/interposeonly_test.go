@@ -1,0 +1,19 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"vampos/internal/analysis"
+	"vampos/internal/analysis/analysistest"
+)
+
+// TestInterposeOnly checks direct component invocation against the
+// real internal/core API: calling a core.Handler value or a
+// component's Init/Exports outside internal/core is flagged; Describe,
+// Ctx.Call, and annotated sites pass.
+func TestInterposeOnly(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(t), analysis.InterposeOnly,
+		"interposeonly/a", map[string]string{
+			"interposeonly/a": "src/interposeonly/a",
+		})
+}

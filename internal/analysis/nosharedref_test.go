@@ -1,0 +1,20 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"vampos/internal/analysis"
+	"vampos/internal/analysis/analysistest"
+)
+
+// TestNoSharedRef checks reference payloads against the real
+// internal/core and internal/msg APIs: pointers, maps, chans, funcs,
+// and non-[]byte slices into msg.Args are flagged; codec-copied values
+// ([]byte, strings, numbers), forwarded msg.Args, and annotated sites
+// pass.
+func TestNoSharedRef(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(t), analysis.NoSharedRef,
+		"nosharedref/a", map[string]string{
+			"nosharedref/a": "src/nosharedref/a",
+		})
+}

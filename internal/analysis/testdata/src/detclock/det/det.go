@@ -1,0 +1,41 @@
+// Package det is a golden fixture posing as a component package, so
+// detclock treats it as deterministic.
+package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+// bad mints ambient wall-clock and global-random values.
+func bad() (time.Time, time.Duration, int) {
+	now := time.Now()                  // want `wall clock in deterministic package`
+	d := time.Since(now)               // want `time\.Since breaks byte-identical replay`
+	time.Sleep(time.Nanosecond)        // want `time\.Sleep`
+	n := rand.Intn(7)                  // want `global random source`
+	rand.Shuffle(1, func(int, int) {}) // want `rand\.Shuffle`
+	return now, d, n
+}
+
+// good computes with durations and explicit seeds only.
+func good(base time.Time) (time.Time, int) {
+	r := rand.New(rand.NewSource(42)) // seeded generator: deterministic, allowed
+	return base.Add(3 * time.Millisecond), r.Intn(7)
+}
+
+// annotated is a justified wall-clock site.
+func annotated() time.Time {
+	//vampos:allow detclock -- fixture: justified wall-clock reading for latency reporting
+	return time.Now()
+}
+
+// stale directives and missing reasons are themselves diagnosed:
+//
+//vampos:allow detclock -- nothing on the next line reads a clock // want `unused vampos:allow detclock`
+var quiet = 1
+
+//vampos:allow detclock // want `has no reason`
+var alsoQuiet = 2
+
+//vampos:allow nosuchcheck -- misspelled analyzer name // want `unknown analyzer`
+var stillQuiet = 3

@@ -1,0 +1,8 @@
+// Package plain is not a deterministic package: detclock leaves its
+// wall-clock reads alone.
+package plain
+
+import "time"
+
+// Stamp may read the wall clock freely here.
+func Stamp() time.Time { return time.Now() }

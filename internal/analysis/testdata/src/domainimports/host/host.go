@@ -1,0 +1,5 @@
+// Package host is a golden fixture posing as the host package, which
+// is outside the component substrate.
+package host
+
+const ok = 1

@@ -1,0 +1,4 @@
+// Package lwip is a golden fixture posing as the LWIP component.
+package lwip
+
+const ok = 1

@@ -1,0 +1,6 @@
+package vfs
+
+import (
+	//vampos:allow domainimports -- fixture: a justified substrate excursion stays silent
+	_ "vampos/internal/host"
+)

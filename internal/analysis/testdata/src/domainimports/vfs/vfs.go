@@ -1,0 +1,11 @@
+// Package vfs is a golden fixture posing as the VFS component: the
+// loader registers it under the import path vampos/internal/vfs.
+package vfs
+
+import (
+	_ "vampos/internal/host" // want `outside the component substrate`
+	_ "vampos/internal/lwip" // want `imports component`
+	_ "vampos/internal/msg"
+)
+
+const ok = 1

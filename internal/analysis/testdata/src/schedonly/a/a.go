@@ -1,0 +1,15 @@
+// Package a is a golden fixture outside the concurrency-exempt set.
+package a
+
+import (
+	"fmt"
+	"sync" // want `imports "sync"`
+)
+
+// spawn uses host concurrency where only the cooperative scheduler may.
+func spawn() {
+	go fmt.Println("rogue") // want `raw go statement`
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+}

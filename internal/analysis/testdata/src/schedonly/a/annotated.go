@@ -1,0 +1,11 @@
+package a
+
+import (
+	//vampos:allow schedonly -- fixture: counters read by an external observer goroutine
+	"sync/atomic"
+)
+
+// counter is the justified use the directive above covers.
+var counter atomic.Int64
+
+func bump() { counter.Add(1) }

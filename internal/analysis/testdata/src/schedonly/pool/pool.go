@@ -1,0 +1,19 @@
+// Package pool is a golden fixture posing as internal/campaign, whose
+// worker pool is exempt from the cooperative-scheduler discipline.
+package pool
+
+import "sync"
+
+// fanOut runs fn n times on real goroutines, as the campaign worker
+// pool does with isolated trials.
+func fanOut(n int, fn func()) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn()
+		}()
+	}
+	wg.Wait()
+}

@@ -83,12 +83,12 @@ func fig5Body(s *unikernel.Sys, inst *unikernel.Instance, cfg ConfigName, trials
 		sp := samples[name]
 		d0 := inst.Runtime().SchedStats().Dispatches
 		v0 := clk.Elapsed()
-		w0 := time.Now()
+		w0 := startWallTimer()
 		if err := op(); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		sp.virtual = append(sp.virtual, clk.Elapsed()-v0)
-		sp.wall = append(sp.wall, time.Since(w0))
+		sp.wall = append(sp.wall, w0.Elapsed())
 		sp.disp = append(sp.disp, float64(inst.Runtime().SchedStats().Dispatches-d0))
 		return nil
 	}

@@ -123,7 +123,7 @@ func runAppWorkload(app string, cfg ConfigName, scale Scale, threshold int) (*Fi
 		defer s.Stop()
 		clk := inst.Runtime().Clock()
 		v0 := clk.Elapsed()
-		w0 := time.Now()
+		w0 := startWallTimer()
 		fs := inst.Host().FS()
 		fsync0, write0 := fs.FsyncCount, fs.WriteCount
 		srvHandled0 := inst.Host().Server().Handled
@@ -131,7 +131,7 @@ func runAppWorkload(app string, cfg ConfigName, scale Scale, threshold int) (*Fi
 			return
 		}
 		row.Virtual = clk.Elapsed() - v0
-		row.Wall = time.Since(w0)
+		row.Wall = w0.Elapsed()
 		row.ResidentBytes = inst.Runtime().ResidentBytes()
 		row.DomainBytes = inst.Runtime().DomainBytes()
 		lat := inst.Host().Latencies()

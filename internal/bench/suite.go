@@ -37,7 +37,7 @@ func ExperimentNames() []string {
 // progress and rendered tables to w.
 func (s *Suite) Run(name string, w io.Writer) error {
 	run := func(id string) error {
-		start := time.Now()
+		timer := startWallTimer()
 		fmt.Fprintf(w, "--- running %s ...\n", id)
 		var (
 			out string
@@ -91,7 +91,7 @@ func (s *Suite) Run(name string, w io.Writer) error {
 			return fmt.Errorf("bench: %s: %w", id, err)
 		}
 		fmt.Fprintln(w, out)
-		fmt.Fprintf(w, "--- %s done in %v (wall)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(w, "--- %s done in %v (wall)\n\n", id, timer.Elapsed().Round(time.Millisecond))
 		return nil
 	}
 	if name == "all" || name == "" {

@@ -1,0 +1,22 @@
+package bench
+
+import "time"
+
+// wallNow is the bench suite's single wall-clock read. Every "(wall)"
+// column in the reports derives from it. Wall readings here are
+// presentation-only — they are printed next to virtual durations and
+// never feed back into the simulation — so this is the one site in the
+// package allowed to touch the host clock; detclock flags any other.
+func wallNow() time.Time {
+	//vampos:allow detclock -- single justified wall-clock site: bench reports print host wall time alongside virtual time; the reading never influences simulated behaviour
+	return time.Now()
+}
+
+// wallTimer measures host wall-clock elapsed time for report output.
+type wallTimer struct{ start time.Time }
+
+// startWallTimer begins a wall-clock measurement.
+func startWallTimer() wallTimer { return wallTimer{start: wallNow()} }
+
+// Elapsed returns the wall time since the timer started.
+func (t wallTimer) Elapsed() time.Duration { return wallNow().Sub(t.start) }

@@ -83,9 +83,9 @@ type kvPair struct{ k, v string }
 
 func newSQLiteApp() *sqliteDriver { return &sqliteDriver{db: sqlite.New()} }
 
-func (d *sqliteDriver) app() unikernel.App                               { return d.db }
-func (d *sqliteDriver) profile(cfg unikernel.Config) unikernel.Config    { return d.db.Profile(cfg) }
-func (d *sqliteDriver) setupHost(inst *unikernel.Instance) error         { return nil }
+func (d *sqliteDriver) app() unikernel.App                            { return d.db }
+func (d *sqliteDriver) profile(cfg unikernel.Config) unikernel.Config { return d.db.Profile(cfg) }
+func (d *sqliteDriver) setupHost(inst *unikernel.Instance) error      { return nil }
 
 func (d *sqliteDriver) insert(s *unikernel.Sys, t *trial, i int) {
 	k, v := fmt.Sprintf("k%03d", i), fmt.Sprintf("v%03d", i)

@@ -13,6 +13,7 @@ package clock
 import (
 	"container/heap"
 	"fmt"
+	//vampos:allow schedonly -- Virtual.mu keeps clock reads safe for observers outside the cooperative loop (bench render, campaign oracles)
 	"sync"
 	"time"
 )
@@ -209,4 +210,6 @@ func (h *timerHeap) Pop() any {
 type Wall struct{}
 
 // Now returns the current wall-clock time.
+//
+//vampos:allow detclock -- Wall IS the sanctioned bridge to the host clock; deterministic code takes a Clock and is handed Virtual
 func (Wall) Now() time.Time { return time.Now() }

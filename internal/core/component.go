@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	//vampos:allow schedonly -- failure/reboot counters are snapshotted by ComponentStats from arbitrary goroutines (campaign workers) while the runtime increments them
 	"sync/atomic"
 	"time"
 

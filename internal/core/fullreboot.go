@@ -31,6 +31,7 @@ func (rt *Runtime) FullRestart(c *Ctx) error {
 		return fmt.Errorf("core: FullRestart before Boot")
 	}
 	startV := rt.clk.Elapsed()
+	//vampos:allow detclock -- full-restart latency is reported in wall time alongside virtual time (recovery comparison); the reading never feeds back into the simulation
 	startW := time.Now()
 
 	if rt.cfg.MessagePassing {
@@ -104,8 +105,9 @@ func (rt *Runtime) FullRestart(c *Ctx) error {
 	rt.recMu.Lock()
 	rt.fullRestarts = append(rt.fullRestarts, FullRestartStats{
 		VirtualDuration: rt.clk.Elapsed() - startV,
-		WallDuration:    time.Since(startW),
-		At:              rt.clk.Now(),
+		//vampos:allow detclock -- closes the wall-time measurement opened at FullRestart entry; presentation-only
+		WallDuration: time.Since(startW),
+		At:           rt.clk.Now(),
 	})
 	rt.recMu.Unlock()
 	return nil

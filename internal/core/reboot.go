@@ -65,6 +65,7 @@ func (rt *Runtime) beginReboot(g *group, reason string, killWorker bool, parent 
 	g.rebooting = true
 	g.rebootReason = reason
 	g.rebootStartV = rt.clk.Elapsed()
+	//vampos:allow detclock -- component-reboot latency is reported in wall time alongside virtual time (RebootRecord.WallDuration); the reading never feeds back into the simulation
 	g.rebootStartW = time.Now()
 	if tr := rt.tracer; tr != nil {
 		// The reboot span opens at the same clock reading rebootStartV
@@ -248,6 +249,7 @@ func (rt *Runtime) restoreGroup(t *sched.Thread, g *group) error {
 		Components:      names,
 		Reason:          g.rebootReason,
 		VirtualDuration: rt.clk.Elapsed() - g.rebootStartV,
+		//vampos:allow detclock -- closes the wall-time measurement opened in beginReboot; presentation-only
 		WallDuration:    time.Since(g.rebootStartW),
 		ReplayedEntries: replayed,
 		RestoredPages:   restoredPages,

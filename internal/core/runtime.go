@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	//vampos:allow schedonly -- recMu guards reboot/full-restart records snapshotted by campaign worker goroutines while simulated threads append
 	"sync"
 	"time"
 

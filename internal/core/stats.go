@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	//vampos:allow schedonly -- RuntimeStats counters are read by campaign worker goroutines mid-run; atomics keep the snapshots tear-free
 	"sync/atomic"
 	"time"
 

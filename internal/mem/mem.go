@@ -15,6 +15,7 @@ package mem
 
 import (
 	"fmt"
+	//vampos:allow schedonly -- Memory.mu makes lazy page materialisation safe when campaign workers inspect instances they do not schedule
 	"sync"
 )
 

@@ -156,6 +156,11 @@ func readVal(p []byte) (any, []byte, error) {
 		if off <= 0 || uint64(len(p)-off) < n {
 			return nil, nil, fmt.Errorf("bad bytes")
 		}
+		// The copy (like string()'s above) is load-bearing: p may be a
+		// window into the owning domain's pages, and a decoded value
+		// that aliased them would let the receiver mutate the sender's
+		// log entry after the fact. nosharedref enforces the matching
+		// discipline on the encode side; codec_alias_test.go pins both.
 		b := make([]byte, n)
 		copy(b, p[off:off+int(n)])
 		return b, p[off+int(n):], nil

@@ -1,0 +1,137 @@
+package msg
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The nosharedref analyzer forbids reference payloads in msg.Args at
+// compile time; these tests pin down the complementary runtime
+// property the codec provides for the one reference kind it does
+// allow: every []byte is copied on both encode and decode, so no
+// decoded value aliases the owning domain's pages and no caller can
+// retroactively rewrite a stored log entry.
+
+// TestDecodeArgsCopiesBytesOutOfBuffer mutates a decoded []byte and
+// checks the encoded buffer — the stand-in for domain pages — is
+// untouched, and vice versa.
+func TestDecodeArgsCopiesBytesOutOfBuffer(t *testing.T) {
+	payload := []byte{1, 2, 3, 4}
+	enc, err := EncodeArgs(Args{"name", payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Encode must have copied: mutating the source slice afterwards
+	// must not alter what decodes.
+	payload[0] = 0xFF
+	dec, err := DecodeArgs(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dec.Bytes(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Fatalf("decoded bytes %v changed by post-encode mutation of the source", got)
+	}
+
+	// Decode must have copied: scribbling on the decoded slice must
+	// not alter the encoded buffer, and a fresh decode must still see
+	// the original value.
+	before := append([]byte(nil), enc...)
+	got[0], got[3] = 0xAA, 0xBB
+	if !bytes.Equal(enc, before) {
+		t.Fatal("mutating a decoded []byte reached back into the encoded buffer")
+	}
+	dec2, err := DecodeArgs(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := dec2.Bytes(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, []byte{1, 2, 3, 4}) {
+		t.Fatalf("re-decode returned %v after mutation of an earlier decode", got2)
+	}
+}
+
+// TestLogEntriesImmuneToViewMutation logs a call with []byte argument,
+// result, and outbound payloads, mutates every byte slice the decoded
+// RecordView hands out, and asserts a second Entries() — what
+// encapsulated restoration would replay — is byte-for-byte unchanged.
+func TestLogEntriesImmuneToViewMutation(t *testing.T) {
+	d := newTestDomain(t)
+	lg := d.Log()
+
+	rec, err := lg.BeginInbound(1, "write", Args{"fd:3", []byte("argument")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.AppendOutboundTo(rec, "ninep", "p9_write", Args{[]byte("outbound")}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.EndInbound(rec, "fd:3", ClassTransient, Args{[]byte("result"), 8}, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := lg.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 1 {
+		t.Fatalf("Entries len = %d, want 1", len(first))
+	}
+
+	// Scribble over every slice the view exposes, as a buggy (or
+	// faulty, in the SWIFI sense) replayer might.
+	for _, args := range []Args{first[0].Args, first[0].Rets, first[0].Outbound[0].Rets} {
+		for _, a := range args {
+			if b, ok := a.([]byte); ok {
+				for i := range b {
+					b[i] = 0xEE
+				}
+			}
+		}
+	}
+
+	second, err := lg.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantArgs, _ := second[0].Args.Bytes(1)
+	wantRets, _ := second[0].Rets.Bytes(0)
+	wantOut, _ := second[0].Outbound[0].Rets.Bytes(0)
+	if !bytes.Equal(wantArgs, []byte("argument")) ||
+		!bytes.Equal(wantRets, []byte("result")) ||
+		!bytes.Equal(wantOut, []byte("outbound")) {
+		t.Fatalf("log replay changed after view mutation: args=%q rets=%q outbound=%q",
+			wantArgs, wantRets, wantOut)
+	}
+}
+
+// TestPushedArgsImmuneToCallerMutation pushes a message whose []byte
+// argument the caller keeps mutating, and asserts the pulled copy saw
+// the value at Push time: the sender cannot rewrite an in-flight
+// message in the receiver's domain.
+func TestPushedArgsImmuneToCallerMutation(t *testing.T) {
+	d := newTestDomain(t)
+	buf := []byte("at-push-time")
+	if err := d.Push(&Message{Seq: 9, Fn: "write", Args: Args{buf}}); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "REWRITTEN!!!")
+	out, ok := d.Pull()
+	if !ok {
+		t.Fatal("Pull returned nothing")
+	}
+	got, err := out.Args.Bytes(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("at-push-time")) {
+		t.Fatalf("pulled args %q: sender mutation reached the receiver's domain", got)
+	}
+}

@@ -93,6 +93,9 @@ func (d *Domain) store(args Args) (mem.Addr, int, error) {
 }
 
 // load decodes args previously placed by store, without freeing them.
+// The staging buffer plus the codec's own []byte copies guarantee that
+// nothing load returns aliases domain pages: callers may mutate the
+// result freely without corrupting the log it was decoded from.
 func (d *Domain) load(addr mem.Addr, length int) (Args, error) {
 	if length == 0 {
 		return nil, nil

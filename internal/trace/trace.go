@@ -27,6 +27,7 @@ package trace
 
 import (
 	"sort"
+	//vampos:allow schedonly -- Recorder.mu lets exporters drain the flight recorder from outside the simulated-thread loop (forensics of a hung trial)
 	"sync"
 	"time"
 )
