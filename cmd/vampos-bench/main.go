@@ -34,6 +34,8 @@ func main() {
 	scaleName := flag.String("scale", "default", "workload scale: default or paper")
 	jsonPath := flag.String("json", "", "write results as machine-readable JSON to this file")
 	tracePath := flag.String("trace", "", "write the merged Chrome trace of traced experiments to this file")
+	ckptEvery := flag.Int("ckpt-every", 0, "override the recovery figure's checkpoint cadence (completed calls; 0 = scale default)")
+	ckptThresh := flag.Int("ckpt-threshold", 0, "add a log-length checkpoint trigger to the recovery figure's on arm (records; 0 = off)")
 	flag.Parse()
 
 	var scale bench.Scale
@@ -45,6 +47,13 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "vampos-bench: unknown scale %q (want default or paper)\n", *scaleName)
 		os.Exit(2)
+	}
+
+	if *ckptEvery > 0 {
+		scale.RecoveryCkptEvery = *ckptEvery
+	}
+	if *ckptThresh > 0 {
+		scale.RecoveryCkptThreshold = *ckptThresh
 	}
 
 	suite := &bench.Suite{Scale: scale}

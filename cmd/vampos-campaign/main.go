@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"vampos/internal/campaign"
+	"vampos/internal/ckpt"
 )
 
 func main() {
@@ -32,6 +33,9 @@ func main() {
 		jsonOut    = flag.String("json", "", "write the recovery matrix as JSON to this file")
 		traceDir   = flag.String("trace-dir", "", "dump a Chrome trace for every failing trial into this directory")
 		list       = flag.Bool("list", false, "print the enumerated cell IDs and exit without running")
+		ckptEvery  = flag.Int("ckpt-every", 0, "incremental checkpoint cadence: re-checkpoint each eligible component after N completed calls (0 = paper behaviour, post-init checkpoint only)")
+		ckptThresh = flag.Int("ckpt-threshold", 0, "incremental checkpoint log trigger: re-checkpoint when the retained log exceeds N records (0 = off)")
+		replayChk  = flag.Bool("replay-check", false, "fail a restoration when a replayed call's results diverge from the log (determinism oracle)")
 	)
 	flag.Parse()
 
@@ -43,10 +47,12 @@ func main() {
 			Faults:     faultNames(splitList(*faultsF)),
 			Functions:  *functions,
 		},
-		Seed:     *seed,
-		Parallel: *parallel,
-		TraceDir: *traceDir,
-		Trials:   splitList(*trial),
+		Seed:           *seed,
+		Parallel:       *parallel,
+		TraceDir:       *traceDir,
+		Trials:         splitList(*trial),
+		Ckpt:           ckpt.Policy{EveryCalls: *ckptEvery, LogThreshold: *ckptThresh},
+		ReplayRetCheck: *replayChk,
 	}
 
 	if *list {

@@ -27,7 +27,20 @@ import (
 // is given; nil recording stays disabled (and free).
 var recorders []*vampos.TraceRecorder
 
-var tracePath = flag.String("trace", "", "write a merged Chrome trace of both demos to this file")
+var (
+	tracePath  = flag.String("trace", "", "write a merged Chrome trace of both demos to this file")
+	ckptEvery  = flag.Int("ckpt-every", 0, "incremental checkpoint cadence for stateful components (completed calls; 0 = paper behaviour, post-init checkpoint only)")
+	ckptThresh = flag.Int("ckpt-threshold", 0, "incremental checkpoint log trigger (retained records; 0 = off)")
+)
+
+// demoConfig is the shared instance profile of both scenes, with the
+// checkpoint flags applied.
+func demoConfig() vampos.Config {
+	cfg := vampos.Config{Core: vampos.DaSConfig(), FS: true, Net: true, Sysinfo: true}
+	cfg.Core.MaxVirtualTime = time.Hour
+	cfg.Core.Ckpt = vampos.CkptPolicy{EveryCalls: *ckptEvery, LogThreshold: *ckptThresh}
+	return cfg
+}
 
 // record attaches a recorder named name to inst when tracing is on.
 func record(inst *vampos.Instance, name string) {
@@ -78,9 +91,7 @@ func run() error {
 // client and shows that no request is lost.
 func rejuvenationDemo() error {
 	fmt.Println("\n[1/2] Software rejuvenation under load (paper §VII-D)")
-	cfg := vampos.Config{Core: vampos.DaSConfig(), FS: true, Net: true, Sysinfo: true}
-	cfg.Core.MaxVirtualTime = time.Hour
-	inst, err := vampos.New(cfg)
+	inst, err := vampos.New(demoConfig())
 	if err != nil {
 		return err
 	}
@@ -165,9 +176,7 @@ func rejuvenationDemo() error {
 func recoveryDemo() error {
 	fmt.Println("[2/2] Failure recovery of a warm Redis (paper §VII-E)")
 	for _, variant := range []string{"vampos", "full-reboot"} {
-		cfg := vampos.Config{Core: vampos.DaSConfig(), FS: true, Net: true, Sysinfo: true}
-		cfg.Core.MaxVirtualTime = time.Hour
-		inst, err := vampos.New(cfg)
+		inst, err := vampos.New(demoConfig())
 		if err != nil {
 			return err
 		}

@@ -18,6 +18,7 @@ var deterministicPkgs = map[string]bool{
 	modulePath + "/internal/campaign": true,
 	modulePath + "/internal/bench":    true,
 	modulePath + "/internal/clock":    true,
+	modulePath + "/internal/ckpt":     true,
 }
 
 // bannedTimeFuncs are the time package's ambient-wall-clock entry

@@ -88,30 +88,37 @@ type Scale struct {
 	Fig8GETRate   int           // paper: 1,000 GET/s
 	Fig8InjectAt  time.Duration // when the 9PFS fault fires
 	Fig8ProbeEach time.Duration // latency probe period (paper: 1/s)
+
+	// Checkpoint figure (recovery latency vs calls-since-boot)
+	RecoveryCalls         []int // calls-since-boot grid
+	RecoveryCkptEvery     int   // checkpoint cadence of the "on" arm
+	RecoveryCkptThreshold int   // optional log-length trigger of the "on" arm (0 = cadence only)
 }
 
 // DefaultScale keeps the full suite fast while preserving every shape.
 func DefaultScale() Scale {
 	return Scale{
-		SyscallTrials:    50,
-		RebootTrials:     5,
-		RebootWarmGETs:   200,
-		SQLiteInserts:    1500,
-		NginxRequests:    800,
-		NginxConns:       8,
-		RedisSets:        1500,
-		EchoMessages:     1500,
-		SiegeClients:     10,
-		SiegeRequests:    40,
-		RejuvInterval:    2 * time.Second,
-		FullRebootEvery:  2 * time.Second,
-		SiegeTimeout:     2 * time.Second,
-		ClientsReconnect: true,
-		Fig8WarmKeys:     4000,
-		Fig8Duration:     30 * time.Second,
-		Fig8GETRate:      200,
-		Fig8InjectAt:     10 * time.Second,
-		Fig8ProbeEach:    time.Second,
+		SyscallTrials:     50,
+		RebootTrials:      5,
+		RebootWarmGETs:    200,
+		SQLiteInserts:     1500,
+		NginxRequests:     800,
+		NginxConns:        8,
+		RedisSets:         1500,
+		EchoMessages:      1500,
+		SiegeClients:      10,
+		SiegeRequests:     40,
+		RejuvInterval:     2 * time.Second,
+		FullRebootEvery:   2 * time.Second,
+		SiegeTimeout:      2 * time.Second,
+		ClientsReconnect:  true,
+		Fig8WarmKeys:      4000,
+		Fig8Duration:      30 * time.Second,
+		Fig8GETRate:       200,
+		Fig8InjectAt:      10 * time.Second,
+		Fig8ProbeEach:     time.Second,
+		RecoveryCalls:     []int{32, 128, 512},
+		RecoveryCkptEvery: 32,
 	}
 }
 
@@ -134,6 +141,8 @@ func PaperScale() Scale {
 	s.Fig8Duration = 60 * time.Second
 	s.Fig8GETRate = 1000
 	s.Fig8InjectAt = 20 * time.Second
+	s.RecoveryCalls = []int{64, 256, 1024, 4096}
+	s.RecoveryCkptEvery = 64
 	return s
 }
 

@@ -141,6 +141,66 @@ func TestFig6ShapeInvariants(t *testing.T) {
 	}
 }
 
+func TestRecoveryShapeInvariants(t *testing.T) {
+	scale := tinyScale()
+	scale.RecoveryCalls = []int{16, 64, 256}
+	scale.RecoveryCkptEvery = 16
+	res, err := RunRecovery(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Off) != len(scale.RecoveryCalls) || len(res.On) != len(scale.RecoveryCalls) {
+		t.Fatalf("points: off=%d on=%d, want %d each", len(res.Off), len(res.On), len(scale.RecoveryCalls))
+	}
+	for i, calls := range scale.RecoveryCalls {
+		off, on := res.Off[i], res.On[i]
+		// Without checkpointing every completed call is retained (the fd
+		// stays open, compaction is parked) and replayed on recovery.
+		if off.Replayed < calls {
+			t.Errorf("off/%d: replayed %d entries, want >= %d (linear growth)", calls, off.Replayed, calls)
+		}
+		if off.Checkpoints != 0 || off.Truncated != 0 {
+			t.Errorf("off/%d: checkpoints=%d truncated=%d, want 0", calls, off.Checkpoints, off.Truncated)
+		}
+		// With checkpointing replay is bounded by the cadence regardless
+		// of calls-since-boot.
+		if on.Replayed > scale.RecoveryCkptEvery {
+			t.Errorf("on/%d: replayed %d entries, want <= cadence %d", calls, on.Replayed, scale.RecoveryCkptEvery)
+		}
+		if want := uint64(calls / scale.RecoveryCkptEvery); on.Checkpoints < want {
+			t.Errorf("on/%d: %d checkpoints, want >= %d", calls, on.Checkpoints, want)
+		}
+		if on.Truncated == 0 {
+			t.Errorf("on/%d: checkpoints truncated nothing", calls)
+		}
+		// Both arms restore the same checkpoint image order of magnitude;
+		// the delta snapshots must not balloon the restored page count.
+		if off.RestoredPages == 0 || on.RestoredPages == 0 {
+			t.Errorf("calls=%d: restored pages off=%d on=%d, want > 0", calls, off.RestoredPages, on.RestoredPages)
+		}
+		if on.RestoredPages > 2*off.RestoredPages {
+			t.Errorf("calls=%d: ckpt-on restored %d pages, off only %d", calls, on.RestoredPages, off.RestoredPages)
+		}
+	}
+	first, last := len(res.Off)-len(res.Off), len(res.Off)-1
+	// Off: recovery latency grows with calls-since-boot. On: flat.
+	if res.Off[last].Virtual <= res.Off[first].Virtual {
+		t.Errorf("off arm not growing: %v (at %d calls) <= %v (at %d calls)",
+			res.Off[last].Virtual, res.Off[last].Calls, res.Off[first].Virtual, res.Off[first].Calls)
+	}
+	if grow := res.On[last].Virtual - res.On[first].Virtual; grow > res.On[first].Virtual/10 {
+		t.Errorf("on arm not flat: grew %v from %v over %dx more calls",
+			grow, res.On[first].Virtual, res.On[last].Calls/res.On[first].Calls)
+	}
+	if res.Off[last].Virtual <= res.On[last].Virtual {
+		t.Errorf("at %d calls ckpt-off recovery (%v) not slower than ckpt-on (%v)",
+			res.Off[last].Calls, res.Off[last].Virtual, res.On[last].Virtual)
+	}
+	if out := res.Render(); !strings.Contains(out, "Checkpoint figure") {
+		t.Error("render missing title")
+	}
+}
+
 func TestFig7ShapeInvariants(t *testing.T) {
 	res, err := RunFig7(tinyScale())
 	if err != nil {

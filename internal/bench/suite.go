@@ -13,18 +13,19 @@ import (
 type Suite struct {
 	Scale Scale
 
-	Fig5   *Fig5Result
-	Table3 *Table3Result
-	Fig6   *Fig6Result
-	Fig7   *Fig7Result
-	Table4 *Table4Result
-	Table5 *Table5Result
-	Fig8   *Fig8Result
-	Ablate *AblationResult
+	Fig5     *Fig5Result
+	Table3   *Table3Result
+	Fig6     *Fig6Result
+	Fig7     *Fig7Result
+	Table4   *Table4Result
+	Table5   *Table5Result
+	Fig8     *Fig8Result
+	Ablate   *AblationResult
+	Recovery *RecoveryResult
 }
 
 // experiment names accepted by Run.
-var experimentNames = []string{"fig5", "table3", "fig6", "fig7", "table4", "table5", "fig8", "ablation"}
+var experimentNames = []string{"fig5", "table3", "fig6", "fig7", "table4", "table5", "fig8", "ablation", "recovery"}
 
 // ExperimentNames lists the runnable experiment ids.
 func ExperimentNames() []string {
@@ -83,6 +84,11 @@ func (s *Suite) Run(name string, w io.Writer) error {
 			s.Ablate, err = RunAblation(s.Scale)
 			if err == nil {
 				out = s.Ablate.Render()
+			}
+		case "recovery":
+			s.Recovery, err = RunRecovery(s.Scale)
+			if err == nil {
+				out = s.Recovery.Render()
 			}
 		default:
 			return fmt.Errorf("bench: unknown experiment %q (have %v)", id, experimentNames)

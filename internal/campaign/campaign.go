@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"vampos/internal/ckpt"
 )
 
 // Options configures one campaign run.
@@ -33,6 +35,14 @@ type Options struct {
 	// Trials restricts the run to specific cell IDs (see Cell.ID) after
 	// enumeration — the reproduce-one-cell knob.
 	Trials []string
+	// Ckpt, when enabled, turns on incremental quiescent-point
+	// checkpointing for every checkpoint-eligible component of every
+	// trial instance, and arms the checkpoint recovery oracle.
+	Ckpt ckpt.Policy
+	// ReplayRetCheck enables the opt-in replay return-divergence check
+	// in every trial instance: replayed calls whose results differ from
+	// the log fail the restoration with a ReplayDivergenceError.
+	ReplayRetCheck bool
 }
 
 // Run enumerates the selected injection space and executes it.
@@ -80,7 +90,7 @@ func RunCells(cells []Cell, opts Options) (*Matrix, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = runTrial(cells[i], opts.Seed)
+				results[i] = runTrial(cells[i], opts)
 			}
 		}()
 	}

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"vampos/internal/ckpt"
 )
 
 // smallSpace is a two-cell slice (echo × das × lwip × {crash,hang})
@@ -85,6 +87,54 @@ func TestTrialFilterUnknownID(t *testing.T) {
 	_, err := Run(Options{Space: smallSpace(), Seed: 1, Trials: []string{"echo/das/nosuch/*/crash"}})
 	if err == nil || !strings.Contains(err.Error(), "not in the enumerated space") {
 		t.Fatalf("want not-in-space error, got %v", err)
+	}
+}
+
+// TestCheckpointedCampaignSlice: stateful-component crash/hang cells
+// must pass with incremental checkpointing (and the replay
+// return-divergence check) enabled — post-checkpoint recovery preserves
+// the application invariants the drivers verify against their host
+// shadow, and the checkpoint oracle confirms recovery restored from the
+// checkpoint image.
+func TestCheckpointedCampaignSlice(t *testing.T) {
+	space := SpaceOptions{
+		Workloads:  []string{"sqlite", "echo"},
+		Configs:    []string{"das"},
+		Components: []string{"vfs", "lwip"},
+		Faults:     []FaultName{FaultCrash, FaultHang},
+	}
+	m, err := Run(Options{
+		Space:          space,
+		Seed:           11,
+		Parallel:       2,
+		Ckpt:           ckpt.Policy{EveryCalls: 8},
+		ReplayRetCheck: true,
+	})
+	if err != nil {
+		t.Fatalf("campaign run: %v", err)
+	}
+	if len(m.Cells) == 0 {
+		t.Fatal("empty checkpointed slice")
+	}
+	sawCheckpointOracle := false
+	for _, c := range m.Cells {
+		if c.Verdict != VerdictPass {
+			t.Errorf("%s: verdict %s (detail: %s)", c.TrialID, c.Verdict, c.Detail)
+		}
+		for _, o := range c.Oracles {
+			if o.Name == "checkpoint" {
+				sawCheckpointOracle = true
+				if !o.OK {
+					t.Errorf("%s: checkpoint oracle failed: %s", c.TrialID, o.Detail)
+				}
+			}
+		}
+	}
+	if !sawCheckpointOracle {
+		t.Error("checkpoint oracle never ran despite Ckpt policy enabled")
+	}
+	if un := m.Unexpected(); len(un) != 0 {
+		t.Fatalf("unexpected failures: %v", un)
 	}
 }
 

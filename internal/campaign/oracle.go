@@ -144,6 +144,29 @@ func judge(t *trial, inst *unikernel.Instance, events []trace.Event, phaseErr er
 	oc("invariants", invOK, "phaseErr=%v finished=%v verify=%v corrupt=%d",
 		phaseErr, t.finished, t.verifyErr, t.corrupt)
 
+	// Checkpoint oracle (armed only when incremental checkpointing is
+	// on): the checkpoint machinery must never fail a capture, and when
+	// the faulted component had checkpointed before its reboot, recovery
+	// must have restored from that image — the post-checkpoint recovery
+	// whose application-level correctness the invariants oracle just
+	// validated against the host shadow.
+	if t.ckpt.Enabled() {
+		ckptOK := st.CheckpointErrs == 0
+		restored := true
+		if cs, eligible := rt.CheckpointStats(cell.Component); eligible &&
+			cs.CheckpointCount > 0 && !cell.Expected && len(reboots) > 0 {
+			restored = false
+			for _, r := range reboots {
+				if r.Group == targetGroup && r.RestoredPages > 0 {
+					restored = true
+					break
+				}
+			}
+		}
+		oc("checkpoint", ckptOK && restored,
+			"checkpointErrs=%d restoredFromImage=%v", st.CheckpointErrs, restored)
+	}
+
 	oc("trace-complete", traceComplete(cell, events, len(reboots)) == nil,
 		"%v", traceComplete(cell, events, len(reboots)))
 

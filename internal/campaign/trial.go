@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"vampos/internal/ckpt"
 	"vampos/internal/core"
 	"vampos/internal/faults"
 	"vampos/internal/mem"
@@ -32,6 +33,7 @@ type trial struct {
 	cell    Cell
 	after   int // seed-derived injection ordinal (fault fires on the after-th invocation)
 	profile unikernel.Config
+	ckpt    ckpt.Policy // incremental-checkpoint policy applied to the instance
 
 	errs      int // client/syscall errors during the tolerant run phase
 	corrupt   int // byte-correctness violations (never tolerated)
@@ -74,7 +76,7 @@ func trialSeed(campaignSeed int64, id string) uint64 {
 
 // runTrial executes one cell on a fresh, fully isolated instance and
 // judges it. Safe to call from any goroutine: instances share no state.
-func runTrial(cell Cell, campaignSeed int64) (res CellResult) {
+func runTrial(cell Cell, opts Options) (res CellResult) {
 	res = CellResult{Cell: cell, TrialID: cell.ID()}
 	defer func() {
 		if r := recover(); r != nil {
@@ -85,8 +87,8 @@ func runTrial(cell Cell, campaignSeed int64) (res CellResult) {
 			}
 		}
 	}()
-	seed := trialSeed(campaignSeed, cell.ID())
-	t := &trial{cell: cell, after: 1 + int(seed%3)}
+	seed := trialSeed(opts.Seed, cell.ID())
+	t := &trial{cell: cell, after: 1 + int(seed%3), ckpt: opts.Ckpt}
 	res.After = t.after
 
 	cc, err := coreConfigFor(cell.Config)
@@ -96,6 +98,8 @@ func runTrial(cell Cell, campaignSeed int64) (res CellResult) {
 	cc.HangThreshold = trialHangThreshold
 	cc.WatchdogPeriod = trialWatchdogPeriod
 	cc.MaxVirtualTime = trialMaxVirtual
+	cc.Ckpt = opts.Ckpt
+	cc.ReplayRetCheck = opts.ReplayRetCheck
 	d, err := driverFor(cell.Workload)
 	if err != nil {
 		return failResult(res, err)

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"vampos/internal/ckpt"
+	"vampos/internal/trace"
+)
+
+// This file is the runtime half of incremental quiescent-point
+// checkpointing (internal/ckpt holds the policy half). The paper
+// checkpoints each component once, right after Init (§V-E), so recovery
+// replays every retained call — reboot latency grows with time since
+// boot. Here the worker loop re-checkpoints a component whenever its
+// cadence policy says so, at a point where the component is provably
+// quiescent, and then truncates the log prefix the fresh image covers,
+// bounding replay to the tail.
+
+// installTrackers attaches a cadence tracker to every checkpoint-eligible
+// component (Stateful with Checkpoint set — the same components that get
+// a post-init image). Runs at Boot, message-passing mode only: vanilla
+// mode has no logs, no workers and no reboots, so nothing to bound.
+func (rt *Runtime) installTrackers() {
+	if !rt.cfg.MessagePassing {
+		return
+	}
+	for _, c := range rt.order {
+		if c.desc.Stateful && c.desc.Checkpoint {
+			// A disabled policy still gets a tracker: manual Ctx.Checkpoint
+			// calls are accounted through it.
+			c.tracker = ckpt.NewTracker(rt.cfg.CkptPolicyFor(c.desc.Name))
+		}
+	}
+}
+
+// maybeCheckpoint re-checkpoints any group member whose cadence is due.
+// The worker calls it between inbound calls: the previous call fully
+// completed (currentSeq is zero), no handler frame is live, and queued
+// messages wait in the mailbox until the worker resumes — the mailbox is
+// effectively paused under the cooperative scheduler baton, which is
+// exactly the quiescence a consistent image needs. The watchdog never
+// flags a checkpointing group for the same reason: it only inspects
+// groups with a call in flight. Merged groups compose naturally: group
+// quiescence is member quiescence, so any due member may be imaged.
+func (rt *Runtime) maybeCheckpoint(g *group) {
+	if g.rebooting || g.failedTwice {
+		return
+	}
+	for _, c := range g.members {
+		if c.tracker == nil || c.checkpoint == nil {
+			continue
+		}
+		if !c.tracker.Due(c.domain.Log().Len()) {
+			continue
+		}
+		if err := rt.checkpointComponent(c); err != nil {
+			// A failed capture leaves the previous image and the untruncated
+			// log in place — recovery is still correct, just not cheaper.
+			rt.stats.checkpointErrors.Add(1)
+		}
+	}
+}
+
+// checkpointComponent captures one incremental checkpoint: a dirty-page
+// delta layered over the previous image, fresh control state, then
+// truncation of the log prefix the new image covers. The caller must
+// guarantee quiescence. On error the component's previous checkpoint and
+// log are left untouched.
+func (rt *Runtime) checkpointComponent(c *component) error {
+	tr := rt.tracer
+	var sp trace.SpanID
+	if tr != nil {
+		sp = tr.Begin(0, trace.KindCkpt, c.desc.Name, "", trace.PhaseCheckpoint)
+	}
+	snap, dirtyPages, err := rt.memry.SnapshotDelta(c.checkpoint.memSnap)
+	if err != nil {
+		if tr != nil {
+			tr.EndErr(sp, err.Error())
+		}
+		return fmt.Errorf("core: checkpoint %q: %w", c.desc.Name, err)
+	}
+	cp := &checkpoint{memSnap: snap, heap: c.heap.Clone(), takenAt: rt.clk.Now()}
+	if ss, ok := c.comp.(StateSaver); ok {
+		blob, serr := ss.SaveState()
+		if serr != nil {
+			if tr != nil {
+				tr.EndErr(sp, serr.Error())
+			}
+			return fmt.Errorf("core: checkpoint %q: %w", c.desc.Name, serr)
+		}
+		cp.control = blob
+	}
+	// The image now reflects every completed call, so the prefix up to
+	// the newest completed record is replayable from the image alone.
+	// Install the image first, then truncate: both run under the baton,
+	// so no observer can see the intermediate state anyway, but the order
+	// keeps a (hypothetical) truncation failure from orphaning entries a
+	// not-yet-installed image would have covered.
+	c.checkpoint = cp
+	lg := c.domain.Log()
+	dropped, folded := lg.TruncateBefore(lg.MaxCompletedSeq())
+	// Charge what the mechanism actually moved: dirty pages copied into
+	// the image (the whole point of the delta) plus the log rewrite.
+	rt.charge(time.Duration(dirtyPages) * rt.costs.SnapshotPerPage)
+	rt.charge(time.Duration(dropped+folded) * rt.costs.LogAppend)
+	c.tracker.NoteCheckpoint(dirtyPages, dropped, folded)
+	rt.stats.checkpoints.Add(1)
+	if tr != nil {
+		tr.EndErr(sp, fmt.Sprintf("dirty=%d truncated=%d folded=%d", dirtyPages, dropped, folded))
+	}
+	return nil
+}
+
+// Checkpoint forces an immediate quiescent-point checkpoint of the named
+// component from an application or controller thread, regardless of its
+// cadence policy — the checkpointing analogue of Ctx.Reboot. It waits
+// for the component's group to go idle, captures the image, and returns.
+func (c *Ctx) Checkpoint(name string) error {
+	rt := c.rt
+	tc, ok := rt.comps[name]
+	if !ok {
+		return &UnknownComponentError{Name: name}
+	}
+	if !rt.cfg.MessagePassing {
+		return fmt.Errorf("core: checkpoint of %q requires message passing", name)
+	}
+	if !tc.desc.Stateful || !tc.desc.Checkpoint || tc.checkpoint == nil {
+		return fmt.Errorf("core: component %q is not checkpoint-eligible (needs Stateful with Checkpoint)", name)
+	}
+	g := tc.group
+	if g.failedTwice {
+		return fmt.Errorf("%w: %s", ErrComponentFailed, name)
+	}
+	if c.comp != nil && c.comp.group == g {
+		return fmt.Errorf("core: component %q cannot checkpoint itself", name)
+	}
+	// Wait until the group is between requests; cooperative scheduling
+	// makes the check race-free (nothing runs between check and capture).
+	for g.rebooting || g.currentSeq != 0 {
+		c.th.Sleep(10 * time.Microsecond)
+	}
+	if g.failedTwice {
+		return fmt.Errorf("%w: %s", ErrComponentFailed, name)
+	}
+	return rt.checkpointComponent(tc)
+}
+
+// CheckpointStats returns the named component's checkpoint accounting.
+// The second result is false when the component is unknown or not
+// checkpoint-eligible.
+func (rt *Runtime) CheckpointStats(name string) (ckpt.Stats, bool) {
+	c, ok := rt.comps[name]
+	if !ok || c.tracker == nil {
+		return ckpt.Stats{}, false
+	}
+	return c.tracker.Stats(), true
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"vampos/internal/ckpt"
+	"vampos/internal/msg"
+	"vampos/internal/trace"
+)
+
+// TestCadenceCheckpointBoundsReplay: with a call-count cadence, the
+// worker re-checkpoints at quiescent points, truncates the covered log
+// prefix, and recovery restores the latest image plus only the short
+// tail — while every key survives.
+func TestCadenceCheckpointBoundsReplay(t *testing.T) {
+	kv := &kvComp{name: "kv", checkpointed: true, initSeed: "seed"}
+	cfg := DaSConfig()
+	cfg.Ckpt = ckpt.Policy{EveryCalls: 4}
+	rt := run(t, cfg, []Component{kv}, func(c *Ctx) {
+		for i := 0; i < 10; i++ {
+			mustCall(t, c, "kv", "put", "k"+strconv.Itoa(i), strconv.Itoa(i))
+		}
+		if err := c.Reboot("kv"); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			rets := mustCall(t, c, "kv", "get", "k"+strconv.Itoa(i))
+			if v, _ := rets.Str(0); v != strconv.Itoa(i) {
+				t.Errorf("k%d = %q after checkpointed recovery", i, v)
+			}
+		}
+	})
+	cs, ok := rt.CheckpointStats("kv")
+	if !ok {
+		t.Fatal("kv not checkpoint-eligible")
+	}
+	if cs.CheckpointCount < 2 {
+		t.Fatalf("CheckpointCount = %d over 10 calls at cadence 4, want >= 2", cs.CheckpointCount)
+	}
+	if cs.TruncatedEntries == 0 {
+		t.Fatal("cadence checkpoints truncated nothing")
+	}
+	rec := rt.Reboots()[0]
+	if rec.ReplayedEntries > 4 {
+		t.Fatalf("replayed %d entries, want <= cadence 4", rec.ReplayedEntries)
+	}
+	if kv.initCount != 1 {
+		t.Fatalf("initCount = %d, want 1 (image restore, no re-init)", kv.initCount)
+	}
+	if rt.Stats().Checkpoints != cs.CheckpointCount {
+		t.Fatalf("runtime checkpoints %d != component's %d", rt.Stats().Checkpoints, cs.CheckpointCount)
+	}
+}
+
+// TestPerComponentPolicyOverride: CkptPerComponent overrides the global
+// cadence for the named component only.
+func TestPerComponentPolicyOverride(t *testing.T) {
+	a := &kvComp{name: "kva", checkpointed: true}
+	b := &kvComp{name: "kvb", checkpointed: true}
+	cfg := DaSConfig()
+	cfg.CkptPerComponent = map[string]ckpt.Policy{"kva": {EveryCalls: 2}}
+	rt := run(t, cfg, []Component{a, b}, func(c *Ctx) {
+		for i := 0; i < 6; i++ {
+			k := strconv.Itoa(i)
+			mustCall(t, c, "kva", "put", k, k)
+			mustCall(t, c, "kvb", "put", k, k)
+		}
+	})
+	csa, _ := rt.CheckpointStats("kva")
+	csb, _ := rt.CheckpointStats("kvb")
+	if csa.CheckpointCount == 0 {
+		t.Fatal("per-component cadence never checkpointed kva")
+	}
+	if csb.CheckpointCount != 0 {
+		t.Fatalf("kvb checkpointed %d times with no policy", csb.CheckpointCount)
+	}
+}
+
+// TestLogThresholdTrigger: the log-length trigger checkpoints once the
+// retained log outgrows the threshold, independent of call counts.
+func TestLogThresholdTrigger(t *testing.T) {
+	kv := &kvComp{name: "kv", checkpointed: true}
+	cfg := DaSConfig()
+	cfg.Ckpt = ckpt.Policy{LogThreshold: 5}
+	rt := run(t, cfg, []Component{kv}, func(c *Ctx) {
+		for i := 0; i < 12; i++ {
+			k := strconv.Itoa(i)
+			mustCall(t, c, "kv", "put", k, k)
+		}
+	})
+	cs, _ := rt.CheckpointStats("kv")
+	if cs.CheckpointCount == 0 {
+		t.Fatal("log-threshold trigger never fired")
+	}
+	if got := rt.LogLen("kv"); got > 6 {
+		t.Fatalf("retained log = %d entries, threshold 5 never enforced", got)
+	}
+}
+
+// TestManualCheckpoint: Ctx.Checkpoint forces an image regardless of
+// policy; the covered prefix is truncated and later recovery replays
+// only calls made after it.
+func TestManualCheckpoint(t *testing.T) {
+	kv := &kvComp{name: "kv", checkpointed: true}
+	rt := run(t, DaSConfig(), []Component{kv}, func(c *Ctx) {
+		mustCall(t, c, "kv", "put", "a", "1")
+		mustCall(t, c, "kv", "put", "b", "2")
+		if err := c.Checkpoint("kv"); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.rt.LogLen("kv"); got != 0 {
+			t.Fatalf("log = %d entries after manual checkpoint, want 0", got)
+		}
+		mustCall(t, c, "kv", "put", "c", "3")
+		if err := c.Reboot("kv"); err != nil {
+			t.Fatal(err)
+		}
+		for _, pair := range [][2]string{{"a", "1"}, {"b", "2"}, {"c", "3"}} {
+			rets := mustCall(t, c, "kv", "get", pair[0])
+			if v, _ := rets.Str(0); v != pair[1] {
+				t.Errorf("%s = %q after recovery, want %s", pair[0], v, pair[1])
+			}
+		}
+	})
+	cs, _ := rt.CheckpointStats("kv")
+	if cs.CheckpointCount != 1 {
+		t.Fatalf("CheckpointCount = %d, want 1", cs.CheckpointCount)
+	}
+	if rec := rt.Reboots()[0]; rec.ReplayedEntries != 1 {
+		t.Fatalf("replayed %d entries, want 1 (only the post-checkpoint put)", rec.ReplayedEntries)
+	}
+}
+
+// TestManualCheckpointValidation: ineligible targets are rejected.
+func TestManualCheckpointValidation(t *testing.T) {
+	kv := &kvComp{name: "kv", checkpointed: true}
+	plain := &statelessComp{name: "plain"}
+	run(t, DaSConfig(), []Component{kv, plain}, func(c *Ctx) {
+		if err := c.Checkpoint("nosuch"); err == nil {
+			t.Error("checkpoint of unknown component succeeded")
+		}
+		if err := c.Checkpoint("plain"); err == nil {
+			t.Error("checkpoint of non-eligible component succeeded")
+		}
+	})
+}
+
+// nondetComp returns a host-side counter its SaveState does not capture:
+// replaying its calls after a restore produces different results than
+// the log recorded — exactly the divergence ReplayRetCheck exists to
+// surface.
+type nondetComp struct {
+	name  string
+	n     int
+	crash bool
+}
+
+func (d *nondetComp) Describe() Descriptor {
+	return Descriptor{Name: d.name, Stateful: true, Checkpoint: true, HeapPages: 8, DomainPages: 8}
+}
+
+func (d *nondetComp) Init(*Ctx) error { return nil }
+
+func (d *nondetComp) Exports() map[string]Handler {
+	return map[string]Handler{
+		"bump": func(ctx *Ctx, args msg.Args) (msg.Args, error) {
+			if d.crash {
+				d.crash = false
+				panic("injected crash in bump")
+			}
+			d.n++
+			return msg.Args{d.n}, nil
+		},
+	}
+}
+
+func (d *nondetComp) LogPolicies() map[string]LogPolicy {
+	return map[string]LogPolicy{
+		"bump": {Classify: func(args, rets msg.Args, callErr error) (msg.SessionID, msg.Class) {
+			return "", msg.ClassDurable
+		}},
+	}
+}
+
+// SaveState deliberately omits n.
+func (d *nondetComp) SaveState() ([]byte, error)  { return []byte("x"), nil }
+func (d *nondetComp) RestoreState(p []byte) error { return nil }
+
+// TestReplayRetCheckSurfacesDivergence: with the opt-in check enabled, a
+// replayed call whose results differ from the log fails the restoration
+// with a ReplayDivergenceError and leaves a detection instant in the
+// trace; with the check off, the same divergence passes silently.
+func TestReplayRetCheckSurfacesDivergence(t *testing.T) {
+	for _, check := range []bool{false, true} {
+		t.Run(fmt.Sprintf("check=%v", check), func(t *testing.T) {
+			d := &nondetComp{name: "nd"}
+			cfg := DaSConfig()
+			cfg.ReplayRetCheck = check
+			cfg.MaxVirtualTime = time.Hour
+			rt := NewRuntime(cfg)
+			rec := rt.NewTracer("retcheck-test")
+			if err := rt.Register(d); err != nil {
+				t.Fatal(err)
+			}
+			err := rt.Run(func(c *Ctx) {
+				mustCall(t, c, "nd", "bump") // logged ret: 1
+				mustCall(t, c, "nd", "bump") // logged ret: 2
+				d.crash = true
+				// The crash reboots nd; replay re-runs both bumps against the
+				// live n=2, returning 3 and 4 — diverging from the log.
+				_, _ = c.Call("nd", "bump")
+			})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			var diverged bool
+			for _, e := range rec.Snapshot() {
+				if e.Kind == trace.KindDetect && e.Name == "replay-divergence" {
+					diverged = true
+				}
+			}
+			failed := rt.Stats().FailedRestores
+			if check {
+				if failed == 0 {
+					t.Fatal("divergent replay restored successfully despite ReplayRetCheck")
+				}
+				if !diverged {
+					t.Fatal("no replay-divergence detection instant in the trace")
+				}
+			} else {
+				if failed != 0 {
+					t.Fatalf("FailedRestores = %d with the check off", failed)
+				}
+				if diverged {
+					t.Fatal("divergence reported with the check off")
+				}
+			}
+		})
+	}
+}
+
+// TestReplayDivergenceErrorShape: the error names the component, the
+// function and the mismatch so forensics can localise the
+// nondeterminism.
+func TestReplayDivergenceErrorShape(t *testing.T) {
+	de := &ReplayDivergenceError{Component: "nd", WantFn: "bump", GotFn: "bump", RetMismatch: true, Detail: "logged rets [1], replay produced [3]"}
+	var target *ReplayDivergenceError
+	if !errors.As(fmt.Errorf("wrap: %w", de), &target) {
+		t.Fatal("ReplayDivergenceError does not unwrap")
+	}
+	text := de.Error()
+	for _, want := range []string{"nd", "bump", "[1]", "[3]"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("error %q missing %q", text, want)
+		}
+	}
+}

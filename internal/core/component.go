@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vampos/internal/ckpt"
 	"vampos/internal/mem"
 	"vampos/internal/msg"
 	"vampos/internal/trace"
@@ -129,6 +130,12 @@ type component struct {
 
 	checkpoint   *checkpoint
 	runtimeState msg.Args
+
+	// tracker carries the incremental-checkpoint cadence and statistics;
+	// nil for components that are not checkpoint-eligible or when the
+	// runtime is not message-passing. Touched only under the cooperative
+	// scheduler baton.
+	tracker *ckpt.Tracker
 
 	// fallback is the §VIII multi-version alternate implementation.
 	fallback     Component

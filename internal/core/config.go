@@ -2,6 +2,8 @@ package core
 
 import (
 	"time"
+
+	"vampos/internal/ckpt"
 )
 
 // SchedPolicy selects the component-thread scheduling policy.
@@ -64,6 +66,29 @@ type Config struct {
 	// MaxVirtualTime aborts the simulation when the virtual clock passes
 	// it — a backstop against livelocked experiments. Zero disables.
 	MaxVirtualTime time.Duration
+	// Ckpt is the incremental-checkpoint cadence applied to every
+	// checkpoint-eligible component (Stateful with Checkpoint set). The
+	// zero policy keeps the paper's behaviour: one post-init checkpoint,
+	// full-log replay on every recovery.
+	Ckpt ckpt.Policy
+	// CkptPerComponent overrides Ckpt for the named components.
+	CkptPerComponent map[string]ckpt.Policy
+	// ReplayRetCheck compares each replayed call's return values and
+	// error against the logged originals during encapsulated restoration
+	// and fails the restore with a *ReplayDivergenceError on mismatch.
+	// Off by default: divergence checking doubles as a determinism oracle
+	// for campaigns but costs an encode per replayed entry.
+	ReplayRetCheck bool
+}
+
+// CkptPolicyFor returns the checkpoint cadence for the named component:
+// its per-component override if present, the config-wide default
+// otherwise.
+func (c Config) CkptPolicyFor(name string) ckpt.Policy {
+	if p, ok := c.CkptPerComponent[name]; ok {
+		return p
+	}
+	return c.Ckpt
 }
 
 // Defaults mirrored from the paper's prototype.

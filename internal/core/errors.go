@@ -95,17 +95,27 @@ func (e *UnknownFunctionError) Error() string {
 }
 
 // ReplayDivergenceError reports that during encapsulated restoration a
-// component issued an outbound call that does not match the logged one —
-// the log can no longer restore this component consistently.
+// component diverged from its log: it issued an outbound call that does
+// not match the logged one, or (with Config.ReplayRetCheck enabled) a
+// replayed call produced different results than the original — either
+// way, the log can no longer restore this component consistently.
 type ReplayDivergenceError struct {
 	Component  string
 	WantTarget string
 	WantFn     string
 	GotTarget  string
 	GotFn      string
+	// RetMismatch marks a return-value divergence found by the opt-in
+	// ReplayRetCheck; Detail describes the mismatch.
+	RetMismatch bool
+	Detail      string
 }
 
 func (e *ReplayDivergenceError) Error() string {
+	if e.RetMismatch {
+		return fmt.Sprintf("core: replay of %q diverged on %s results: %s",
+			e.Component, e.WantFn, e.Detail)
+	}
 	return fmt.Sprintf("core: replay of %q diverged: logged outbound %s.%s, component issued %s.%s",
 		e.Component, e.WantTarget, e.WantFn, e.GotTarget, e.GotFn)
 }

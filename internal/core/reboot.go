@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"time"
@@ -145,8 +146,12 @@ func (rt *Runtime) restoreGroup(t *sched.Thread, g *group) error {
 				return err
 			}
 			c.heap = c.checkpoint.heap.Clone()
-			restoredPages += c.checkpoint.memSnap.Pages
-			rt.charge(time.Duration(c.checkpoint.memSnap.Pages) * rt.costs.SnapshotPerPage)
+			// Charge what the restore actually copies: the image's resident
+			// pages. Absent pages restore as dropped frames (zeros) for
+			// free, so a mostly-untouched arena no longer bills its full
+			// span on every reboot.
+			restoredPages += c.checkpoint.memSnap.Resident
+			rt.charge(time.Duration(c.checkpoint.memSnap.Resident) * rt.costs.SnapshotPerPage)
 			if ss, ok := c.comp.(StateSaver); ok && c.checkpoint.control != nil {
 				if err := ss.RestoreState(c.checkpoint.control); err != nil {
 					return fmt.Errorf("core: restore state of %q: %w", c.desc.Name, err)
@@ -218,7 +223,23 @@ func (rt *Runtime) restoreGroup(t *sched.Thread, g *group) error {
 			// it swallowed the error, the restored state is untrusted.
 			return rs.diverged
 		}
-		_ = rets // replay results are not compared; the call already ran once
+		if rt.cfg.ReplayRetCheck && !it.v.Synthetic && it.v.Class != msg.ClassCanceler {
+			// Opt-in determinism oracle: a replayed call must reproduce the
+			// results the original produced, or the restored state cannot
+			// be trusted. Synthetic records are exempt — they are
+			// state-install commands, not calls with a logged outcome.
+			// Cancelers are exempt too: they stay in the log only to
+			// reproduce resource numbering, and when the session they close
+			// was created on the unlogged data path (an accepted
+			// connection) replay legitimately answers "already gone" —
+			// idempotent dissolution, not corruption.
+			if de := replayRetDivergence(it.c.desc.Name, &it.v, rets, err); de != nil {
+				if tr != nil {
+					tr.Instant(phaseSpan, trace.KindDetect, it.c.desc.Name, "replay-divergence", de.Error())
+				}
+				return de
+			}
+		}
 		rt.charge(rt.costs.ReplayPerEntry)
 		it.c.domain.Log().MarkReplayed(1)
 		replayed++
@@ -263,6 +284,30 @@ func (rt *Runtime) restoreGroup(t *sched.Thread, g *group) error {
 		tr.End(phaseSpan)
 		tr.EndErr(g.rebootSpan, "ok")
 		g.rebootSpan = 0
+	}
+	return nil
+}
+
+// replayRetDivergence compares a replayed call's outcome against the
+// logged one, byte-for-byte over the encoded results. Encoding both
+// sides through the message codec sidesteps any-typed comparison
+// pitfalls (ints decoded as their original widths, []byte identity):
+// two results are the same iff they transport the same.
+func replayRetDivergence(comp string, v *msg.RecordView, rets msg.Args, err error) *ReplayDivergenceError {
+	de := &ReplayDivergenceError{Component: comp, WantFn: v.Fn, GotFn: v.Fn, RetMismatch: true}
+	if got := errnoString(err); got != v.Err {
+		de.Detail = fmt.Sprintf("logged error %q, replay returned %q", v.Err, got)
+		return de
+	}
+	wantB, werr := msg.EncodeArgs(v.Rets)
+	gotB, gerr := msg.EncodeArgs(rets)
+	if werr != nil || gerr != nil {
+		de.Detail = fmt.Sprintf("result encoding failed (logged: %v, replay: %v)", werr, gerr)
+		return de
+	}
+	if !bytes.Equal(wantB, gotB) {
+		de.Detail = fmt.Sprintf("logged rets %v, replay produced %v", v.Rets, rets)
+		return de
 	}
 	return nil
 }

@@ -338,6 +338,7 @@ func (rt *Runtime) Boot(boot *sched.Thread) error {
 	if err := rt.allocateRegions(); err != nil {
 		return err
 	}
+	rt.installTrackers()
 	rt.booted = true
 	rt.bootThread = boot
 	if rt.cfg.MessagePassing {

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vampos/internal/ckpt"
 	"vampos/internal/mem"
 	"vampos/internal/msg"
 	"vampos/internal/sched"
@@ -22,6 +23,8 @@ type RuntimeStats struct {
 	FailedRestores  uint64 // restorations that themselves failed
 	CompactErrors   uint64 // log compactions that returned an error
 	VersionSwitches uint64 // fallback implementations swapped in (§VIII)
+	Checkpoints     uint64 // incremental checkpoints taken
+	CheckpointErrs  uint64 // incremental checkpoints that failed (old image kept)
 }
 
 // runtimeCounters backs RuntimeStats with atomics: the counters are
@@ -29,15 +32,17 @@ type RuntimeStats struct {
 // any goroutine (a monitor, a test asserting under -race), so plain
 // fields would make every snapshot a data race.
 type runtimeCounters struct {
-	calls           atomic.Uint64
-	messages        atomic.Uint64
-	directCalls     atomic.Uint64
-	injects         atomic.Uint64
-	failures        atomic.Uint64
-	hangs           atomic.Uint64
-	failedRestores  atomic.Uint64
-	compactErrors   atomic.Uint64
-	versionSwitches atomic.Uint64
+	calls            atomic.Uint64
+	messages         atomic.Uint64
+	directCalls      atomic.Uint64
+	injects          atomic.Uint64
+	failures         atomic.Uint64
+	hangs            atomic.Uint64
+	failedRestores   atomic.Uint64
+	compactErrors    atomic.Uint64
+	versionSwitches  atomic.Uint64
+	checkpoints      atomic.Uint64
+	checkpointErrors atomic.Uint64
 }
 
 // RebootRecord describes one completed component(-group) reboot; the
@@ -66,6 +71,9 @@ type ComponentStats struct {
 	DomainBytes int64
 	Heap        mem.BuddyStats
 	Pending     int
+	// Ckpt is the component's incremental-checkpoint accounting (zero
+	// for components that are not checkpoint-eligible).
+	Ckpt ckpt.Stats
 }
 
 // Stats returns a snapshot of the runtime counters. Safe to call from
@@ -81,6 +89,8 @@ func (rt *Runtime) Stats() RuntimeStats {
 		FailedRestores:  rt.stats.failedRestores.Load(),
 		CompactErrors:   rt.stats.compactErrors.Load(),
 		VersionSwitches: rt.stats.versionSwitches.Load(),
+		Checkpoints:     rt.stats.checkpoints.Load(),
+		CheckpointErrs:  rt.stats.checkpointErrors.Load(),
 	}
 }
 
@@ -121,6 +131,9 @@ func (rt *Runtime) ComponentStats(name string) (ComponentStats, bool) {
 	}
 	if c.heap != nil {
 		cs.Heap = c.heap.Stats()
+	}
+	if c.tracker != nil {
+		cs.Ckpt = c.tracker.Stats()
 	}
 	return cs, true
 }

@@ -81,6 +81,9 @@ func (rt *Runtime) workerMain(t *sched.Thread, g *group, w *workerThread) {
 		if !rt.execMessage(t, g, m) {
 			return // component crashed; the message thread takes over
 		}
+		// The call completed and its reply was submitted: the group is
+		// quiescent, making this the incremental-checkpoint point.
+		rt.maybeCheckpoint(g)
 	}
 }
 
@@ -131,6 +134,9 @@ func (rt *Runtime) execMessage(t *sched.Thread, g *group, m *msg.Message) bool {
 	}
 	if tr := rt.tracer; tr != nil {
 		tr.EndErr(ctx.span, errnoString(err))
+	}
+	if c.tracker != nil {
+		c.tracker.NoteCall()
 	}
 	rt.submit(mqItem{kind: mqReply, pc: pc, rets: rets, errStr: errnoString(err)})
 	return true

@@ -55,6 +55,11 @@ type Comp struct {
 	nextSock int
 	isn      uint32
 
+	// staticBase is the component's data/bss analogue: a region Init
+	// writes into the arena so the post-init checkpoint has the resident
+	// image a snapshot restore actually copies.
+	staticBase mem.Addr
+
 	// curCtxs maps each simulated thread to its in-flight handler
 	// context; the machines' segment output runs through it. In
 	// message-passing mode only the component worker appears here, but
@@ -83,6 +88,14 @@ func (c *Comp) Describe() core.Descriptor {
 	}
 }
 
+// staticPages is the size of LWIP's static data region: the stack's
+// compiled-in tables (PCB pools, ARP cache, timer wheels) that occupy
+// data/bss in the real unikernel and dominate the snapshot image. It is
+// exactly half the arena so the remaining free space is one contiguous
+// buddy block: the steady-state heap reports zero external
+// fragmentation, as a fixed data/bss segment beside a heap would.
+const staticPages = 512
+
 // Init implements core.Component.
 func (c *Comp) Init(ctx *core.Ctx) error {
 	c.socks = make(map[int]*sock)
@@ -94,6 +107,26 @@ func (c *Comp) Init(ctx *core.Ctx) error {
 		c.curCtxs = make(map[*sched.Thread]*core.Ctx)
 	}
 	c.sch = ctx.Runtime().Scheduler()
+	return c.writeStatic(ctx)
+}
+
+// writeStatic materialises the stack's static data region in the arena.
+// Without it the component would hold all state in host structs, the
+// post-init snapshot would have zero resident pages, and checkpoint
+// restores would be free — breaking the Fig. 6 cost model.
+func (c *Comp) writeStatic(ctx *core.Ctx) error {
+	addr, err := ctx.Heap().Alloc(staticPages * mem.PageSize)
+	if err != nil {
+		return err
+	}
+	c.staticBase = addr
+	seed := make([]byte, staticPages*mem.PageSize)
+	for i := range seed {
+		seed[i] = byte(i * 7)
+	}
+	if err := ctx.Mem().Write(addr, seed); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -216,7 +249,14 @@ func (c *Comp) InstallRuntimeState(ctx *core.Ctx, state msg.Args) error {
 		s := &sock{ID: sc.ID, State: sockConn, Listener: sc.Listener, Opts: map[int]int{}}
 		s.m = Restore(sc.Machine, c.emit)
 		s.LocalPort = sc.Machine.LocalPort
-		c.allocPCB(ctx, s)
+		if old := c.socks[sc.ID]; old != nil && old.ctlBlock != 0 {
+			// A quiescent-point checkpoint already restored this socket's
+			// PCB allocation; reuse it instead of leaking it.
+			s.ctlBlock = old.ctlBlock
+			c.writePCB(ctx, s)
+		} else {
+			c.allocPCB(ctx, s)
+		}
 		c.socks[sc.ID] = s
 		c.conns[connKey{Remote: sc.Machine.Remote, RemotePort: sc.Machine.RemotePort, LocalPort: sc.Machine.LocalPort}] = sc.ID
 	}
@@ -229,10 +269,31 @@ func (c *Comp) InstallRuntimeState(ctx *core.Ctx, state msg.Args) error {
 }
 
 // allocPCB reserves an arena block for the socket's protocol control
-// block, making socket churn visible to the allocator (aging substrate).
+// block, making socket churn visible to the allocator (aging substrate)
+// and the PCB contents visible to dirty-page tracking.
 func (c *Comp) allocPCB(ctx *core.Ctx, s *sock) {
-	if addr, err := ctx.Heap().Alloc(256); err == nil {
-		s.ctlBlock = addr
+	addr, err := ctx.Heap().Alloc(256)
+	if err != nil {
+		return
+	}
+	s.ctlBlock = addr
+	c.writePCB(ctx, s)
+}
+
+// writePCB syncs the socket's identity into its PCB block, dirtying the
+// page for incremental snapshots.
+func (c *Comp) writePCB(ctx *core.Ctx, s *sock) {
+	pcb := make([]byte, 256)
+	putU64(pcb[0:], uint64(s.ID))
+	putU64(pcb[8:], uint64(s.LocalPort))
+	putU64(pcb[16:], uint64(s.State))
+	_ = ctx.Mem().Write(s.ctlBlock, pcb)
+}
+
+// putU64 encodes v little-endian into b[:8].
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
 	}
 }
 
@@ -639,16 +700,61 @@ var (
 	_ core.StateSaver        = (*Comp)(nil)
 )
 
-// SaveState / RestoreState serialise the control structures for the
-// post-init checkpoint. At checkpoint time (right after Init) the table
-// is empty, so the blob is small; what matters is that restore brings
-// the component back to the exact post-boot structure.
+// savedSock is the gob image of one socket-table entry. CtlBlock is the
+// PCB's arena address: checkpoint restore brings back the heap clone and
+// the memory image together, so the allocation (and its contents) are
+// valid again at the same address.
+type savedSock struct {
+	ID        int
+	State     sockState
+	LocalPort uint16
+	Backlog   int
+	AcceptQ   []int
+	Listener  int
+	CtlBlock  uint64
+	Opts      map[int]int
+	HasMach   bool
+	Machine   MachineState
+}
+
+// controlState is the checkpoint control blob: the full socket table,
+// not just allocation counters. Incremental checkpoints truncate the
+// socket/bind/listen records whose replay used to rebuild the table, so
+// the image itself must carry it — folding a durable record is only
+// sound if its effect survives in the checkpoint.
+type controlState struct {
+	NextSock int
+	ISN      uint32
+	Socks    []savedSock
+}
+
+// SaveState serialises the control structures for checkpoints. The
+// post-init blob has an empty table; quiescent-point blobs carry every
+// live socket, listener registration and connection machine, because
+// the records that created them are truncated from the log.
 func (c *Comp) SaveState() ([]byte, error) {
+	st := controlState{NextSock: c.nextSock, ISN: c.isn}
+	for id := 1; id <= c.nextSock; id++ {
+		s, ok := c.socks[id]
+		if !ok {
+			continue
+		}
+		ss := savedSock{
+			ID: id, State: s.State, LocalPort: s.LocalPort,
+			Backlog: s.Backlog, AcceptQ: append([]int(nil), s.AcceptQ...),
+			Listener: s.Listener, CtlBlock: uint64(s.ctlBlock),
+			Opts: make(map[int]int, len(s.Opts)),
+		}
+		for k, v := range s.Opts {
+			ss.Opts[k] = v
+		}
+		if s.m != nil {
+			ss.HasMach = true
+			ss.Machine = s.m.Snapshot()
+		}
+		st.Socks = append(st.Socks, ss)
+	}
 	var buf bytes.Buffer
-	st := struct {
-		NextSock int
-		ISN      uint32
-	}{c.nextSock, c.isn}
 	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
 		return nil, err
 	}
@@ -657,10 +763,7 @@ func (c *Comp) SaveState() ([]byte, error) {
 
 // RestoreState implements core.StateSaver.
 func (c *Comp) RestoreState(p []byte) error {
-	var st struct {
-		NextSock int
-		ISN      uint32
-	}
+	var st controlState
 	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&st); err != nil {
 		return err
 	}
@@ -669,5 +772,24 @@ func (c *Comp) RestoreState(p []byte) error {
 	c.conns = make(map[connKey]int)
 	c.nextSock = st.NextSock
 	c.isn = st.ISN
+	for _, ss := range st.Socks {
+		s := &sock{
+			ID: ss.ID, State: ss.State, LocalPort: ss.LocalPort,
+			Backlog: ss.Backlog, AcceptQ: append([]int(nil), ss.AcceptQ...),
+			Listener: ss.Listener, ctlBlock: mem.Addr(ss.CtlBlock),
+			Opts: ss.Opts,
+		}
+		if s.Opts == nil {
+			s.Opts = map[int]int{}
+		}
+		if ss.HasMach {
+			s.m = Restore(ss.Machine, c.emit)
+			c.conns[connKey{Remote: ss.Machine.Remote, RemotePort: ss.Machine.RemotePort, LocalPort: ss.Machine.LocalPort}] = ss.ID
+		}
+		c.socks[ss.ID] = s
+		if ss.State == sockListening {
+			c.listens[ss.LocalPort] = ss.ID
+		}
+	}
 	return nil
 }

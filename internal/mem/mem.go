@@ -135,6 +135,13 @@ type Memory struct {
 	owned    []bool // page is part of some mapping
 	faults   uint64
 	searchAt int // next-fit cursor for page allocation
+	// vers holds a per-page write-version stamp assigned from verClk on
+	// every mutation, the model's analogue of hardware dirty bits: a page
+	// is dirty relative to a Snapshot iff its stamp differs from the one
+	// the snapshot recorded. Restore resets stamps to the snapshot's, so
+	// a page written and then restored back reads clean again.
+	vers   []uint64
+	verClk uint64
 }
 
 // New creates an address space of the given size, rounded up to whole
@@ -149,6 +156,7 @@ func New(size int64) *Memory {
 		keys:   make([]Key, n),
 		frames: make([][]byte, n),
 		owned:  make([]bool, n),
+		vers:   make([]uint64, n),
 	}
 }
 
@@ -241,6 +249,10 @@ func (m *Memory) FreePages(base Addr, n int) error {
 		m.owned[i] = false
 		m.keys[i] = 0
 		m.frames[i] = nil
+		// Unmapping changes content (to zeros), so the page is dirty
+		// relative to any snapshot that saw the old bytes.
+		m.verClk++
+		m.vers[i] = m.verClk
 	}
 	return nil
 }
@@ -338,6 +350,8 @@ func (m *Memory) access(addr Addr, p []byte, pkru PKRU, write, host bool) error 
 		}
 		f := m.frame(pg)
 		if write {
+			m.verClk++
+			m.vers[pg] = m.verClk
 			copy(f[inPage:inPage+chunk], p[off:off+chunk])
 		} else {
 			copy(p[off:off+chunk], f[inPage:inPage+chunk])
@@ -400,12 +414,24 @@ func (a *Accessor) ReadBytes(addr Addr, n int) ([]byte, error) {
 }
 
 // Snapshot is a verbatim copy of a page range and its keys, used by
-// checkpoint-based initialization (paper §V-E).
+// checkpoint-based initialization (paper §V-E) and by the incremental
+// checkpoint manager.
 type Snapshot struct {
 	Base  Addr
 	Pages int
 	Data  []byte
 	Keys  []Key
+	// Vers records each page's write-version stamp at capture time.
+	// SnapshotDelta compares the live stamps against these to find pages
+	// dirtied since this snapshot was taken.
+	Vers []uint64
+	// Present marks pages that were materialised at capture time. Absent
+	// pages hold zeros, so Restore skips copying them (and drops their
+	// frames), making restore cost proportional to Resident rather than
+	// to the arena span.
+	Present []bool
+	// Resident counts the present pages.
+	Resident int
 }
 
 // Snapshot captures n pages starting at base. The host takes snapshots,
@@ -416,20 +442,104 @@ func (m *Memory) Snapshot(base Addr, n int) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Snapshot{Base: base, Pages: n, Data: make([]byte, n*PageSize), Keys: make([]Key, n)}
+	s := &Snapshot{
+		Base: base, Pages: n,
+		Data:    make([]byte, n*PageSize),
+		Keys:    make([]Key, n),
+		Vers:    make([]uint64, n),
+		Present: make([]bool, n),
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for i := 0; i < n; i++ {
 		s.Keys[i] = m.keys[start+i]
+		s.Vers[i] = m.vers[start+i]
 		if f := m.frames[start+i]; f != nil {
 			copy(s.Data[i*PageSize:(i+1)*PageSize], f)
+			s.Present[i] = true
+			s.Resident++
 		}
 	}
 	return s, nil
 }
 
+// DirtyPages counts the pages of prev's range whose write-version stamp
+// has moved since prev was captured — the pages a SnapshotDelta would
+// re-copy. prev must carry version stamps.
+func (m *Memory) DirtyPages(prev *Snapshot) (int, error) {
+	if prev == nil || len(prev.Vers) != prev.Pages {
+		return 0, fmt.Errorf("mem: DirtyPages: snapshot lacks version stamps")
+	}
+	start, err := m.pageIndex(prev.Base, prev.Pages)
+	if err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dirty := 0
+	for i := 0; i < prev.Pages; i++ {
+		if m.vers[start+i] != prev.Vers[i] {
+			dirty++
+		}
+	}
+	return dirty, nil
+}
+
+// SnapshotDelta captures a new full snapshot of prev's page range by
+// copying only the pages dirtied since prev was taken and layering them
+// over prev's image — the incremental-checkpoint primitive. The returned
+// snapshot is self-contained (Restore needs no chain of deltas); the
+// second result is the number of dirty pages actually copied, which is
+// what the cost model should charge. prev must carry version stamps.
+func (m *Memory) SnapshotDelta(prev *Snapshot) (*Snapshot, int, error) {
+	if prev == nil || len(prev.Vers) != prev.Pages {
+		return nil, 0, fmt.Errorf("mem: SnapshotDelta: snapshot lacks version stamps")
+	}
+	start, err := m.pageIndex(prev.Base, prev.Pages)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := prev.Pages
+	s := &Snapshot{
+		Base: prev.Base, Pages: n,
+		Data:    make([]byte, n*PageSize),
+		Keys:    make([]Key, n),
+		Vers:    make([]uint64, n),
+		Present: make([]bool, n),
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dirty := 0
+	for i := 0; i < n; i++ {
+		pg := start + i
+		s.Keys[i] = m.keys[pg]
+		if m.vers[pg] == prev.Vers[i] {
+			// Clean since prev: carry the old image through untouched.
+			copy(s.Data[i*PageSize:(i+1)*PageSize], prev.Data[i*PageSize:(i+1)*PageSize])
+			s.Vers[i] = prev.Vers[i]
+			s.Present[i] = i < len(prev.Present) && prev.Present[i]
+		} else {
+			dirty++
+			s.Vers[i] = m.vers[pg]
+			if f := m.frames[pg]; f != nil {
+				copy(s.Data[i*PageSize:(i+1)*PageSize], f)
+				s.Present[i] = true
+			}
+			// A dirtied-then-unmapped page is absent again: zeros.
+		}
+		if s.Present[i] {
+			s.Resident++
+		}
+	}
+	return s, dirty, nil
+}
+
 // Restore writes a snapshot back over its original page range, restoring
-// both contents and keys.
+// both contents and keys. Only present (resident-at-capture) pages are
+// copied; absent pages get their frames dropped, which reads as zeros.
+// Version stamps are reset to the snapshot's, so restored pages read
+// clean relative to it. Snapshots built without Present/Vers metadata
+// (hand-assembled in tests) restore every page and stamp them dirty.
 func (m *Memory) Restore(s *Snapshot) error {
 	start, err := m.pageIndex(s.Base, s.Pages)
 	if err != nil {
@@ -437,9 +547,22 @@ func (m *Memory) Restore(s *Snapshot) error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	hasPresent := len(s.Present) == s.Pages
+	hasVers := len(s.Vers) == s.Pages
 	for i := 0; i < s.Pages; i++ {
-		m.keys[start+i] = s.Keys[i]
-		copy(m.frame(start+i), s.Data[i*PageSize:(i+1)*PageSize])
+		pg := start + i
+		m.keys[pg] = s.Keys[i]
+		if !hasPresent || s.Present[i] {
+			copy(m.frame(pg), s.Data[i*PageSize:(i+1)*PageSize])
+		} else {
+			m.frames[pg] = nil
+		}
+		if hasVers {
+			m.vers[pg] = s.Vers[i]
+		} else {
+			m.verClk++
+			m.vers[pg] = m.verClk
+		}
 	}
 	return nil
 }

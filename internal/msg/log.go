@@ -83,6 +83,11 @@ type LogStats struct {
 	Removed   uint64
 	Compacted uint64 // entries removed by threshold compaction
 	Replayed  uint64
+	// Truncated counts non-durable entries dropped by epoch truncation;
+	// Folded counts durable entries whose effects were folded into a
+	// checkpoint image instead of being retained for replay.
+	Truncated uint64
+	Folded    uint64
 }
 
 // Log is the function-call and return-value log of one component, stored
@@ -96,10 +101,17 @@ type Log struct {
 	// "normal log entries" column is measured with it off.
 	ShrinkEnabled bool
 	// Observer, if set, is told about every log mutation: op is one of
-	// "append", "drop", "shrink", "compact" or "replay"; fn names the
-	// function or session involved; n counts affected records. The
-	// runtime's flight recorder hooks it to trace log activity.
+	// "append", "drop", "shrink", "compact", "truncate" or "replay"; fn
+	// names the function or session involved; n counts affected records.
+	// The runtime's flight recorder hooks it to trace log activity.
 	Observer func(op, fn string, n int)
+
+	// epoch counts completed truncations; epochSeq is the highest sequence
+	// number covered by the current checkpoint epoch — every completed
+	// record at or below it has been dropped, because the checkpoint image
+	// already contains its effects.
+	epoch    uint64
+	epochSeq uint64
 }
 
 // note reports a mutation to the observer, if any.
@@ -288,6 +300,8 @@ func (l *Log) freeRecord(e *Record) {
 func (l *Log) Reset() {
 	l.removeWhere(func(*Record) bool { return true })
 	l.closed = make(map[SessionID]bool)
+	l.epoch = 0
+	l.epochSeq = 0
 }
 
 // RecordView is a decoded, read-only view of a log record handed to
@@ -350,6 +364,64 @@ func (l *Log) Entries() ([]RecordView, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// Epoch returns the number of truncations applied so far.
+func (l *Log) Epoch() uint64 { return l.epoch }
+
+// EpochSeq returns the highest sequence number folded into the current
+// checkpoint epoch (zero before the first truncation). Replay after a
+// restore covers only records above it — the log tail.
+func (l *Log) EpochSeq() uint64 { return l.epochSeq }
+
+// MaxCompletedSeq returns the highest sequence number among completed
+// records, or zero when none exist. The checkpoint manager truncates up
+// to this point after capturing an image at a quiescent boundary.
+func (l *Log) MaxCompletedSeq() uint64 {
+	var max uint64
+	for _, e := range l.entries {
+		if !e.open && e.Seq > max {
+			max = e.Seq
+		}
+	}
+	return max
+}
+
+// TruncateBefore atomically drops every completed record with sequence
+// number at or below seq, advancing the log's epoch. It is only safe to
+// call when a checkpoint image capturing the component's state *after*
+// all those calls exists: the image replaces replay of the prefix.
+//
+// ClassDurable session semantics are preserved by folding: durable
+// entries in the prefix are counted in LogStats.Folded rather than
+// Truncated, because their effects (mounts, binds, listens) live on in
+// the checkpoint image — replaying them against a quiescent image would
+// double-apply them (a replayed bind would fail EADDRINUSE against the
+// very socket the image restored). In-flight (open) records always carry
+// sequence numbers above every completed record in a FIFO-executed group
+// log, so truncation never touches them. Closed-session marks survive
+// truncation: a later opener reusing the id clears the mark and removes
+// nothing, which is exactly the post-truncation state of that session.
+func (l *Log) TruncateBefore(seq uint64) (dropped, folded int) {
+	before := l.stats.Removed
+	l.removeWhere(func(e *Record) bool {
+		if e.open || e.Seq > seq {
+			return false
+		}
+		if e.Class == ClassDurable {
+			folded++
+		}
+		return true
+	})
+	dropped = int(l.stats.Removed-before) - folded
+	l.stats.Truncated += uint64(dropped)
+	l.stats.Folded += uint64(folded)
+	l.epoch++
+	if seq > l.epochSeq {
+		l.epochSeq = seq
+	}
+	l.note("truncate", "", dropped+folded)
+	return dropped, folded
 }
 
 // MarkReplayed counts n replayed records in the statistics.

@@ -1,0 +1,143 @@
+package msg
+
+import (
+	"testing"
+)
+
+// TestTruncateBeforeDropsCompletedPrefix: epoch truncation removes every
+// completed record at or below the watermark, counting durables as
+// folded (their effects live in the checkpoint image) and the rest as
+// truncated.
+func TestTruncateBeforeDropsCompletedPrefix(t *testing.T) {
+	l := newTestLog(t)
+	logCall(t, l, 1, "mount", Args{"/", "9pfs"}, "", ClassDurable)
+	logCall(t, l, 2, "open", Args{"/a"}, "fd:3", ClassOpener)
+	logCall(t, l, 3, "write", Args{3, []byte("x")}, "fd:3", ClassTransient)
+	logCall(t, l, 4, "write", Args{3, []byte("y")}, "fd:3", ClassTransient)
+
+	if got := l.MaxCompletedSeq(); got != 4 {
+		t.Fatalf("MaxCompletedSeq = %d, want 4", got)
+	}
+	epoch0 := l.Epoch()
+	dropped, folded := l.TruncateBefore(4)
+	if dropped != 3 || folded != 1 {
+		t.Fatalf("TruncateBefore = (dropped %d, folded %d), want (3, 1)", dropped, folded)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d after full truncation, want 0", l.Len())
+	}
+	if l.Epoch() != epoch0+1 {
+		t.Fatalf("epoch = %d, want %d", l.Epoch(), epoch0+1)
+	}
+	if l.EpochSeq() != 4 {
+		t.Fatalf("EpochSeq = %d, want 4", l.EpochSeq())
+	}
+	st := l.Stats()
+	if st.Truncated != 3 || st.Folded != 1 {
+		t.Fatalf("stats = truncated %d folded %d, want 3/1", st.Truncated, st.Folded)
+	}
+}
+
+// TestTruncateBeforeKeepsSuffixAndOpenRecords: records above the
+// watermark and in-flight records survive truncation untouched.
+func TestTruncateBeforeKeepsSuffixAndOpenRecords(t *testing.T) {
+	l := newTestLog(t)
+	logCall(t, l, 1, "open", Args{"/a"}, "fd:3", ClassOpener)
+	logCall(t, l, 2, "write", Args{3, []byte("x")}, "fd:3", ClassTransient)
+	logCall(t, l, 3, "write", Args{3, []byte("y")}, "fd:3", ClassTransient)
+	inflight, err := l.BeginInbound(4, "read", Args{3, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dropped, folded := l.TruncateBefore(2)
+	if dropped != 2 || folded != 0 {
+		t.Fatalf("TruncateBefore = (%d, %d), want (2, 0)", dropped, folded)
+	}
+	entries, err := l.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Fn != "write" || entries[0].Seq != 3 {
+		t.Fatalf("completed survivors = %+v, want the seq-3 write", entries)
+	}
+	// Finish the in-flight read: it must still be a live, completable
+	// record after the epoch boundary.
+	if err := l.EndInbound(inflight, "fd:3", ClassTransient, Args{[]byte("z")}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d after completing in-flight record, want 2", l.Len())
+	}
+}
+
+// TestOpenerReuseAcrossEpochBoundary: the session-aware shrinker and
+// epoch truncation must compose. A session closed before the checkpoint
+// leaves only its closed-mark behind once truncation folds the records;
+// an opener reusing the id in the next epoch clears the mark, removes
+// nothing (there is nothing left — that is exactly the post-truncation
+// state of the session), and the new session shrinks normally.
+func TestOpenerReuseAcrossEpochBoundary(t *testing.T) {
+	l := newTestLog(t)
+	logCall(t, l, 1, "open", Args{"/a"}, "fd:3", ClassOpener)
+	logCall(t, l, 2, "write", Args{3, []byte("x")}, "fd:3", ClassTransient)
+	logCall(t, l, 3, "close", Args{3}, "fd:3", ClassCanceler)
+	// The canceler dropped the transient and marked fd:3 closed.
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d after close, want 2 (open+close)", l.Len())
+	}
+
+	dropped, folded := l.TruncateBefore(l.MaxCompletedSeq())
+	if dropped != 2 || folded != 0 {
+		t.Fatalf("TruncateBefore = (%d, %d), want (2, 0)", dropped, folded)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d after truncation, want 0", l.Len())
+	}
+
+	// Reuse fd 3 across the epoch boundary: the stale closed-mark must
+	// not confuse the shrinker — the reuse removes nothing extra.
+	removedAtReuse := l.Stats().Removed
+	logCall(t, l, 4, "open", Args{"/b"}, "fd:3", ClassOpener)
+	if l.Stats().Removed != removedAtReuse {
+		t.Fatalf("opener reuse after truncation removed %d records, want 0",
+			l.Stats().Removed-removedAtReuse)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d after reuse, want 1", l.Len())
+	}
+
+	// The reborn session shrinks like any live one: close drops its
+	// transients, a second reuse drops the stale pair.
+	logCall(t, l, 5, "write", Args{3, []byte("z")}, "fd:3", ClassTransient)
+	logCall(t, l, 6, "close", Args{3}, "fd:3", ClassCanceler)
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d after second close, want 2", l.Len())
+	}
+	logCall(t, l, 7, "open", Args{"/c"}, "fd:3", ClassOpener)
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d after second reuse, want 1", l.Len())
+	}
+	entries, _ := l.Entries()
+	if p, _ := entries[0].Args.Str(0); p != "/c" {
+		t.Fatalf("survivor opens %q, want /c", p)
+	}
+}
+
+// TestTruncateEmptyLogAdvancesEpoch: truncating an empty (or fully
+// in-flight) log is a no-op apart from the epoch bump — checkpointing a
+// quiescent idle component must be safe.
+func TestTruncateEmptyLogAdvancesEpoch(t *testing.T) {
+	l := newTestLog(t)
+	epoch0 := l.Epoch()
+	dropped, folded := l.TruncateBefore(0)
+	if dropped != 0 || folded != 0 {
+		t.Fatalf("TruncateBefore on empty log = (%d, %d), want (0, 0)", dropped, folded)
+	}
+	if l.Epoch() != epoch0+1 {
+		t.Fatalf("epoch = %d, want %d", l.Epoch(), epoch0+1)
+	}
+	if l.EpochSeq() != 0 {
+		t.Fatalf("EpochSeq = %d, want 0", l.EpochSeq())
+	}
+}

@@ -14,9 +14,53 @@ const (
 	PhaseResume  = "resume"
 )
 
+// PhaseCheckpoint names the span the checkpoint manager emits around one
+// incremental checkpoint (KindCkpt). It is not a reboot lifecycle phase
+// — checkpoints happen between calls, not inside a recovery — so it is
+// deliberately absent from PhaseNames and from RebootTimelines' tiling.
+const PhaseCheckpoint = "checkpoint"
+
 // PhaseNames lists the reboot phases in lifecycle order.
 func PhaseNames() []string {
 	return []string{PhaseQuiesce, PhaseRestore, PhaseReplay, PhaseResume}
+}
+
+// CheckpointSpan is one incremental checkpoint reconstructed from a
+// KindCkpt span.
+type CheckpointSpan struct {
+	Component  string
+	Start, End time.Duration // virtual offsets since boot
+	Detail     string        // "dirty=N truncated=M folded=K", or the error
+	Failed     bool
+}
+
+// Virtual is the checkpoint's virtual duration.
+func (c CheckpointSpan) Virtual() time.Duration { return c.End - c.Start }
+
+// Checkpoints extracts every completed checkpoint span, in start order.
+// KindCkpt events live in the bounded ring, so old checkpoints may have
+// been evicted on long runs; the component Stats counters remain exact.
+func Checkpoints(events []Event) []CheckpointSpan {
+	var out []CheckpointSpan
+	for _, e := range events {
+		if e.Kind != KindCkpt || e.Open {
+			continue
+		}
+		out = append(out, CheckpointSpan{
+			Component: e.Component,
+			Start:     e.VirtStart, End: e.VirtEnd,
+			Detail: e.Detail,
+			Failed: e.Name != PhaseCheckpoint || (e.Detail != "" && !isCkptOK(e.Detail)),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// isCkptOK reports whether a checkpoint span's detail is the success
+// summary the checkpoint manager writes, rather than an error string.
+func isCkptOK(detail string) bool {
+	return len(detail) >= 6 && detail[:6] == "dirty="
 }
 
 // RebootTimeline is one component-group reboot reconstructed from the

@@ -79,6 +79,13 @@ const (
 	KindHostIO
 	// KindMark is a free-form annotation emitted by experiments.
 	KindMark
+	// KindCkpt covers one incremental checkpoint of a component: dirty
+	// page delta capture, control-state save, and log truncation. It is a
+	// span kind but deliberately NOT sticky — checkpoints recur for the
+	// whole run, and making them sticky would grow the recorder without
+	// bound. Recovery timelines do not need them: the restore phase of
+	// the next reboot tells the same story.
+	KindCkpt
 )
 
 func (k Kind) String() string {
@@ -113,6 +120,8 @@ func (k Kind) String() string {
 		return "hostio"
 	case KindMark:
 		return "mark"
+	case KindCkpt:
+		return "ckpt"
 	default:
 		return "event"
 	}

@@ -82,7 +82,20 @@ type Comp struct {
 	pipes    map[int]*pipeBuf
 	nextPipe int
 	maxFDs   int
+
+	// staticBase is the component's data/bss analogue: a region Init
+	// writes into the arena so the post-init checkpoint has the resident
+	// image the paper's snapshot restore actually copies. Without it the
+	// fd table lives purely in Go structs and a restore would bill zero.
+	staticBase mem.Addr
 }
+
+// staticPages sizes the VFS data/bss analogue (mount table, fd-table
+// headers, path caches). Exactly half the arena, so the remaining free
+// space is one contiguous buddy block and the steady-state heap reports
+// zero external fragmentation — as a fixed data/bss segment beside a
+// heap would.
+const staticPages = 256
 
 // New creates the VFS component with the root mount enabled.
 func New() *Comp { return &Comp{MountRoot: true, maxFDs: 1024} }
@@ -104,6 +117,9 @@ func (c *Comp) Init(ctx *core.Ctx) error {
 	c.fds = make(map[int]*file)
 	c.pipes = make(map[int]*pipeBuf)
 	c.nextPipe = 0
+	if err := c.writeStatic(ctx); err != nil {
+		return err
+	}
 	if !c.MountRoot {
 		return nil
 	}
@@ -235,11 +251,49 @@ func (c *Comp) getFD(args msg.Args, idx int) (*file, error) {
 	return f, nil
 }
 
+// writeStatic materialises the component's static data region: the
+// bytes a checkpoint restore genuinely copies back. Runs at every Init
+// (the cold re-init path rebuilds the arena, so the region is
+// re-allocated each time).
+func (c *Comp) writeStatic(ctx *core.Ctx) error {
+	addr, err := ctx.Heap().Alloc(staticPages * mem.PageSize)
+	if err != nil {
+		return fmt.Errorf("vfs: static region: %w", err)
+	}
+	c.staticBase = addr
+	seed := make([]byte, staticPages*mem.PageSize)
+	for i := range seed {
+		seed[i] = byte(i)
+	}
+	return ctx.Mem().Write(addr, seed)
+}
+
 func (c *Comp) installFD(ctx *core.Ctx, f *file) {
 	if addr, err := ctx.Heap().Alloc(192); err == nil {
 		f.ctlBlock = addr
 	}
 	c.fds[f.FD] = f
+	c.syncFD(ctx, f)
+}
+
+// syncFD mirrors the fd's mutable control fields into its arena block,
+// so per-fd activity dirties real pages (what incremental checkpoint
+// deltas measure) instead of living only in Go structs.
+func (c *Comp) syncFD(ctx *core.Ctx, f *file) {
+	if f.ctlBlock == 0 {
+		return
+	}
+	var blk [24]byte
+	putU64(blk[0:], uint64(f.FD))
+	putU64(blk[8:], uint64(f.Offset))
+	putU64(blk[16:], uint64(f.Fid))
+	_ = ctx.Mem().Write(f.ctlBlock, blk[:])
+}
+
+func putU64(p []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		p[i] = byte(v >> (8 * i))
+	}
 }
 
 func (c *Comp) dropFD(ctx *core.Ctx, f *file) {
@@ -346,6 +400,7 @@ func (c *Comp) read(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
 			return nil, err
 		}
 		f.Offset += int64(len(data))
+		c.syncFD(ctx, f)
 		return msg.Args{data, len(data) == 0}, nil
 	case kindSock:
 		rets, err := ctx.Call("lwip", "recv", f.Sock, n)
@@ -422,6 +477,7 @@ func (c *Comp) write(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
 			return nil, err
 		}
 		f.Offset += int64(n)
+		c.syncFD(ctx, f)
 		return msg.Args{n}, nil
 	case kindSock:
 		rets, err := ctx.Call("lwip", "send", f.Sock, data)
@@ -510,6 +566,7 @@ func (c *Comp) lseek(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
 		f.Offset = 0
 		return nil, core.EINVAL
 	}
+	c.syncFD(ctx, f)
 	return msg.Args{f.Offset}, nil
 }
 
@@ -824,6 +881,7 @@ func (c *Comp) setOffsetSynthetic(ctx *core.Ctx, args msg.Args) (msg.Args, error
 		return nil, err
 	}
 	f.Offset = off
+	c.syncFD(ctx, f)
 	return nil, nil
 }
 

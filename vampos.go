@@ -41,6 +41,7 @@ package vampos
 import (
 	"io"
 
+	"vampos/internal/ckpt"
 	"vampos/internal/core"
 	"vampos/internal/faults"
 	"vampos/internal/trace"
@@ -72,6 +73,13 @@ type (
 	FaultSpec = core.FaultSpec
 	// Rejuvenator drives periodic proactive component reboots (§VII-D).
 	Rejuvenator = core.Rejuvenator
+	// CkptPolicy names an incremental quiescent-point checkpoint cadence
+	// (CoreConfig.Ckpt / CkptPerComponent). The zero policy is the
+	// paper's behaviour: one post-init checkpoint, full-log replay.
+	CkptPolicy = ckpt.Policy
+	// CkptStats is one component's lifetime checkpoint accounting
+	// (ComponentStats.Ckpt, Runtime.CheckpointStats).
+	CkptStats = ckpt.Stats
 )
 
 // Injectable fault kinds (§II-B fault model).
