@@ -25,7 +25,7 @@ func main() {
 		workloads  = flag.String("workloads", "", "comma-separated workloads (sqlite,nginx,redis,echo); empty = all")
 		configs    = flag.String("configs", "", "comma-separated configs (noop,das,fsm,netm); empty = noop,das")
 		components = flag.String("components", "", "comma-separated target components; empty = every registered component")
-		faultsF    = flag.String("faults", "", "comma-separated faults (crash,hang,errno,leak,wildwrite); empty = crash,hang")
+		faultsF    = flag.String("faults", "", "comma-separated faults (crash,hang,errno,leak,wildwrite,aging); empty = crash,hang")
 		functions  = flag.String("functions", "any", "fault-site granularity: any (one wildcard site per component) or each (one cell per exported function)")
 		seed       = flag.Int64("seed", 1, "campaign seed; every trial's randomness derives from it")
 		trial      = flag.String("trial", "", "run only these cell IDs (comma-separated, e.g. redis/das/9pfs/*/crash)")
@@ -36,6 +36,9 @@ func main() {
 		ckptEvery  = flag.Int("ckpt-every", 0, "incremental checkpoint cadence: re-checkpoint each eligible component after N completed calls (0 = paper behaviour, post-init checkpoint only)")
 		ckptThresh = flag.Int("ckpt-threshold", 0, "incremental checkpoint log trigger: re-checkpoint when the retained log exceeds N records (0 = off)")
 		replayChk  = flag.Bool("replay-check", false, "fail a restoration when a replayed call's results diverge from the log (determinism oracle)")
+		agingPd    = flag.Duration("aging", 0, "override the aging cells' adaptive sensor sample period (0 = campaign default)")
+		agingLeak  = flag.Float64("aging-leak", 0, "override the aging cells' leak-slope threshold (bytes per virtual second; 0 = campaign default)")
+		agingFrag  = flag.Float64("aging-frag", 0, "enable/override the aging cells' fragmentation threshold in [0,1] (0 = campaign default, negative = sensor off)")
 	)
 	flag.Parse()
 
@@ -53,6 +56,19 @@ func main() {
 		Trials:         splitList(*trial),
 		Ckpt:           ckpt.Policy{EveryCalls: *ckptEvery, LogThreshold: *ckptThresh},
 		ReplayRetCheck: *replayChk,
+	}
+	if *agingPd != 0 || *agingLeak != 0 || *agingFrag != 0 {
+		pol := campaign.DefaultAgingPolicy()
+		if *agingPd > 0 {
+			pol.SamplePeriod = *agingPd
+		}
+		if *agingLeak != 0 {
+			pol.Thresholds.LeakSlope = *agingLeak
+		}
+		if *agingFrag != 0 {
+			pol.Thresholds.Fragmentation = *agingFrag
+		}
+		opts.Aging = pol
 	}
 
 	if *list {

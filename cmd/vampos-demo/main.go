@@ -1,8 +1,10 @@
-// Command vampos-demo walks through the paper's two case studies in one
+// Command vampos-demo walks through the paper's case studies in one
 // scripted narrative: software rejuvenation of a live web server with
-// zero lost requests (§VII-D) and failure recovery of a warm key-value
-// store after an injected 9PFS fail-stop (§VII-E), with a full-reboot
-// baseline for contrast.
+// zero lost requests (§VII-D), failure recovery of a warm key-value
+// store after an injected 9PFS fail-stop (§VII-E) with a full-reboot
+// baseline for contrast, and sensor-driven adaptive rejuvenation of a
+// deliberately leaky TCP/IP stack (§IV's software-aging motivation;
+// tune it with -aging, -aging-leak and -aging-frag).
 //
 // With -trace <file>, every scene records into a flight recorder and the
 // merged Chrome trace-event JSON is written on exit; load it at
@@ -18,6 +20,7 @@ import (
 	"time"
 
 	"vampos"
+	"vampos/internal/apps/echo"
 	"vampos/internal/apps/nginx"
 	"vampos/internal/apps/redis"
 	"vampos/internal/sched"
@@ -28,10 +31,29 @@ import (
 var recorders []*vampos.TraceRecorder
 
 var (
-	tracePath  = flag.String("trace", "", "write a merged Chrome trace of both demos to this file")
+	tracePath  = flag.String("trace", "", "write a merged Chrome trace of the demos to this file")
 	ckptEvery  = flag.Int("ckpt-every", 0, "incremental checkpoint cadence for stateful components (completed calls; 0 = paper behaviour, post-init checkpoint only)")
 	ckptThresh = flag.Int("ckpt-threshold", 0, "incremental checkpoint log trigger (retained records; 0 = off)")
+	agingPd    = flag.Duration("aging", 10*time.Millisecond, "adaptive rejuvenation sensor sample period for the aging scene")
+	agingLeak  = flag.Float64("aging-leak", 256<<10, "adaptive leak-slope threshold (bytes per virtual second)")
+	agingFrag  = flag.Float64("aging-frag", -1, "adaptive fragmentation threshold in [0,1] (negative = sensor off)")
 )
+
+// demoAgingPolicy builds the aging scene's sensor policy from the flags.
+func demoAgingPolicy() vampos.AgingPolicy {
+	return vampos.AgingPolicy{
+		SamplePeriod: *agingPd,
+		Window:       4,
+		Thresholds: vampos.AgingThresholds{
+			LeakSlope:     *agingLeak,
+			Fragmentation: *agingFrag,
+			LogBacklog:    -1,
+			LatencyDrift:  -1,
+			ErrorRate:     -1,
+		},
+		Cooldown: 200 * time.Millisecond,
+	}
+}
 
 // demoConfig is the shared instance profile of both scenes, with the
 // checkpoint flags applied.
@@ -84,13 +106,17 @@ func run() error {
 		return err
 	}
 	fmt.Println()
-	return recoveryDemo()
+	if err := recoveryDemo(); err != nil {
+		return err
+	}
+	fmt.Println()
+	return agingDemo()
 }
 
 // rejuvenationDemo reboots every unikernel component under a live HTTP
 // client and shows that no request is lost.
 func rejuvenationDemo() error {
-	fmt.Println("\n[1/2] Software rejuvenation under load (paper §VII-D)")
+	fmt.Println("\n[1/3] Software rejuvenation under load (paper §VII-D)")
 	inst, err := vampos.New(demoConfig())
 	if err != nil {
 		return err
@@ -174,7 +200,7 @@ func rejuvenationDemo() error {
 // recoveryDemo injects a 9PFS fail-stop under a warm Redis and compares
 // VampOS recovery with the full-reboot baseline.
 func recoveryDemo() error {
-	fmt.Println("[2/2] Failure recovery of a warm Redis (paper §VII-E)")
+	fmt.Println("[2/3] Failure recovery of a warm Redis (paper §VII-E)")
 	for _, variant := range []string{"vampos", "full-reboot"} {
 		inst, err := vampos.New(demoConfig())
 		if err != nil {
@@ -227,6 +253,93 @@ func recoveryDemo() error {
 	}
 	fmt.Println("\nVampOS recovers in milliseconds; the full reboot pays boot + AOF reload.")
 	return nil
+}
+
+// agingDemo drips an allocator leak into the TCP/IP stack under a live
+// echo client and lets the sensor-driven controller notice and heal it.
+func agingDemo() error {
+	const target = "lwip"
+	fmt.Println("[3/3] Adaptive aging-driven rejuvenation (paper §IV motivation)")
+	cfg := demoConfig()
+	cfg.Core.Aging = demoAgingPolicy()
+	cfg.Core.AgingTargets = []string{target}
+	inst, err := vampos.New(cfg)
+	if err != nil {
+		return err
+	}
+	record(inst, "demo/aging")
+	return inst.Run(func(s *vampos.Sys) {
+		defer s.Stop()
+		if err := s.StartApp(echo.New()); err != nil {
+			fmt.Println("  start echo:", err)
+			return
+		}
+		pol := inst.Runtime().AgingDriver().Policy()
+		fmt.Printf("  watching %s: leak-slope > %.0f B/s (sampled every %v)\n",
+			target, pol.Thresholds.LeakSlope, pol.SamplePeriod)
+		var ok, fail int
+		clientDone := false
+		stop := false
+		peer := s.NewPeer()
+		s.GoHost("demo/echo-client", func(th *sched.Thread) {
+			defer func() { clientDone = true }()
+			conn, err := peer.Dial(th, echo.DefaultPort, 2*time.Second)
+			if err != nil {
+				fmt.Println("  client dial:", err)
+				return
+			}
+			defer conn.Close(th)
+			payload := []byte("ping-ping-ping-ping")
+			for !stop {
+				if err := conn.Send(th, payload); err != nil {
+					fail++
+				} else if _, err := conn.RecvExactly(th, len(payload), 2*time.Second); err != nil {
+					fail++
+				} else {
+					ok++
+				}
+				th.Sleep(10 * time.Millisecond)
+			}
+		})
+		inj := vampos.NewInjector(inst.Runtime())
+		before, err := inj.HeapStats(target)
+		if err != nil {
+			fmt.Println("  heap stats:", err)
+			return
+		}
+		var leaked int64
+		for i := 0; i < 64; i++ {
+			if _, err := inj.LeakBytes(target, 8<<10, 8<<10); err != nil {
+				fmt.Println("  leak:", err)
+				return
+			}
+			leaked += 8 << 10
+			s.Sleep(5 * time.Millisecond)
+		}
+		fmt.Printf("  dripped a %dKiB leak into %s (heap %dKiB -> observing...)\n",
+			leaked>>10, target, before.AllocatedBytes>>10)
+		deadline := s.Elapsed() + 10*time.Second
+		for s.Elapsed() < deadline {
+			if st, okst := inst.Runtime().AgingStats(target); okst && st.Rejuvenations > 0 {
+				break
+			}
+			s.Sleep(pol.SamplePeriod)
+		}
+		stop = true
+		for !clientDone {
+			s.Sleep(5 * time.Millisecond)
+		}
+		st, okst := inst.Runtime().AgingStats(target)
+		if !okst || st.Rejuvenations == 0 {
+			fmt.Println("  sensors never fired — leak too slow for the configured thresholds")
+			return
+		}
+		after, _ := inj.HeapStats(target)
+		fmt.Printf("  sensors fired (%s): %d rejuvenation(s), heap %dKiB -> %dKiB\n",
+			st.LastCause, st.Rejuvenations, (before.AllocatedBytes+leaked)>>10, after.AllocatedBytes>>10)
+		fmt.Printf("  requests during the scene: %d ok, %d failed\n", ok, fail)
+		fmt.Println("\nThe controller healed the aged component from observed health, not a wall timer.")
+	})
 }
 
 func min(a, b int) int {

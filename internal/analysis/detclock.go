@@ -19,6 +19,7 @@ var deterministicPkgs = map[string]bool{
 	modulePath + "/internal/bench":    true,
 	modulePath + "/internal/clock":    true,
 	modulePath + "/internal/ckpt":     true,
+	modulePath + "/internal/aging":    true,
 }
 
 // bannedTimeFuncs are the time package's ambient-wall-clock entry

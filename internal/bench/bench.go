@@ -93,32 +93,48 @@ type Scale struct {
 	RecoveryCalls         []int // calls-since-boot grid
 	RecoveryCkptEvery     int   // checkpoint cadence of the "on" arm
 	RecoveryCkptThreshold int   // optional log-length trigger of the "on" arm (0 = cadence only)
+
+	// Aging figure (adaptive vs periodic vs no rejuvenation)
+	AgingDuration      time.Duration // virtual run length per arm
+	AgingClients       int           // concurrent echo clients
+	AgingLeakStep      int64         // bytes dripped into the target per tick
+	AgingPeriodicEvery time.Duration // fixed interval of the periodic arm
+	AgingSamplePeriod  time.Duration // adaptive arm's sensor sample period
+	AgingLeakSlope     float64       // adaptive leak-slope threshold (B per virtual second)
+	AgingFrag          float64       // adaptive fragmentation threshold (negative = sensor off)
 }
 
 // DefaultScale keeps the full suite fast while preserving every shape.
 func DefaultScale() Scale {
 	return Scale{
-		SyscallTrials:     50,
-		RebootTrials:      5,
-		RebootWarmGETs:    200,
-		SQLiteInserts:     1500,
-		NginxRequests:     800,
-		NginxConns:        8,
-		RedisSets:         1500,
-		EchoMessages:      1500,
-		SiegeClients:      10,
-		SiegeRequests:     40,
-		RejuvInterval:     2 * time.Second,
-		FullRebootEvery:   2 * time.Second,
-		SiegeTimeout:      2 * time.Second,
-		ClientsReconnect:  true,
-		Fig8WarmKeys:      4000,
-		Fig8Duration:      30 * time.Second,
-		Fig8GETRate:       200,
-		Fig8InjectAt:      10 * time.Second,
-		Fig8ProbeEach:     time.Second,
-		RecoveryCalls:     []int{32, 128, 512},
-		RecoveryCkptEvery: 32,
+		SyscallTrials:      50,
+		RebootTrials:       5,
+		RebootWarmGETs:     200,
+		SQLiteInserts:      1500,
+		NginxRequests:      800,
+		NginxConns:         8,
+		RedisSets:          1500,
+		EchoMessages:       1500,
+		SiegeClients:       10,
+		SiegeRequests:      40,
+		RejuvInterval:      2 * time.Second,
+		FullRebootEvery:    2 * time.Second,
+		SiegeTimeout:       2 * time.Second,
+		ClientsReconnect:   true,
+		Fig8WarmKeys:       4000,
+		Fig8Duration:       30 * time.Second,
+		Fig8GETRate:        200,
+		Fig8InjectAt:       10 * time.Second,
+		Fig8ProbeEach:      time.Second,
+		RecoveryCalls:      []int{32, 128, 512},
+		RecoveryCkptEvery:  32,
+		AgingDuration:      2 * time.Second,
+		AgingClients:       4,
+		AgingLeakStep:      4 << 10,
+		AgingPeriodicEvery: 150 * time.Millisecond,
+		AgingSamplePeriod:  10 * time.Millisecond,
+		AgingLeakSlope:     256 << 10,
+		AgingFrag:          -1,
 	}
 }
 
@@ -143,6 +159,9 @@ func PaperScale() Scale {
 	s.Fig8InjectAt = 20 * time.Second
 	s.RecoveryCalls = []int{64, 256, 1024, 4096}
 	s.RecoveryCkptEvery = 64
+	s.AgingDuration = 8 * time.Second
+	s.AgingClients = 8
+	s.AgingPeriodicEvery = 500 * time.Millisecond
 	return s
 }
 

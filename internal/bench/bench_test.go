@@ -25,6 +25,8 @@ func tinyScale() Scale {
 	s.Fig8Duration = 12 * time.Second
 	s.Fig8GETRate = 60
 	s.Fig8InjectAt = 4 * time.Second
+	s.AgingDuration = 1200 * time.Millisecond
+	s.AgingClients = 2
 	return s
 }
 
@@ -322,5 +324,90 @@ func TestFig8ShapeInvariants(t *testing.T) {
 	}
 	if out := res.Render(); !strings.Contains(out, "Fig. 8") {
 		t.Error("render missing title")
+	}
+}
+
+func TestAgingShapeInvariants(t *testing.T) {
+	res, err := RunAging(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[AgingArm]AgingRow{}
+	for _, r := range res.Rows {
+		rows[r.Arm] = r
+	}
+	none, periodic, adaptive := rows[AgingNone], rows[AgingPeriodic], rows[AgingAdaptive]
+	for _, r := range []AgingRow{none, periodic, adaptive} {
+		if r.Arm == "" {
+			t.Fatalf("missing arm in %+v", res.Rows)
+		}
+		// Zero lost requests on every arm: component reboots pause the
+		// mailbox, they never drop traffic (the Table V property).
+		if r.Fails != 0 {
+			t.Errorf("%s: %d failed round trips, want 0", r.Arm, r.Fails)
+		}
+		if r.Success == 0 {
+			t.Errorf("%s: no successful round trips", r.Arm)
+		}
+		if r.LeakedBytes == 0 {
+			t.Errorf("%s: injector dripped nothing", r.Arm)
+		}
+	}
+	// No rejuvenation: the leak accumulates monotonically — nothing but
+	// a reboot reclaims arena allocations (the paper's aging motivation).
+	if none.Reboots != 0 {
+		t.Errorf("none arm rebooted %d times", none.Reboots)
+	}
+	if none.HeapEnd < none.HeapStart+none.LeakedBytes {
+		t.Errorf("none arm heap %d -> %d did not retain the %d B leak",
+			none.HeapStart, none.HeapEnd, none.LeakedBytes)
+	}
+	// Monotone growth over the in-run samples (the final sample is taken
+	// after the clients hang up, which frees their lwip socket state; a
+	// small tolerance absorbs transient per-round-trip churn).
+	const churn = 16 << 10
+	for i := 1; i < len(none.Trajectory)-1; i++ {
+		if none.Trajectory[i].Allocated < none.Trajectory[i-1].Allocated-churn {
+			t.Errorf("none arm trajectory not monotone at %v", none.Trajectory[i].At)
+		}
+	}
+	// Periodic: blind reboots on a wall schedule, aged or not.
+	if periodic.Reboots == 0 {
+		t.Error("periodic arm never rebooted")
+	}
+	if periodic.Rejuvenations != 0 {
+		t.Errorf("periodic arm recorded %d sensor-triggered rejuvenations", periodic.Rejuvenations)
+	}
+	// Adaptive: sensor-triggered rejuvenation fires, attributed to the
+	// leak-slope sensor, and sheds the leak with fewer reboots than the
+	// blind schedule.
+	if adaptive.Rejuvenations == 0 {
+		t.Fatal("adaptive arm never rejuvenated")
+	}
+	if adaptive.Reboots != adaptive.Rejuvenations {
+		t.Errorf("adaptive arm: %d reboots but %d rejuvenations — non-sensor reboots happened",
+			adaptive.Reboots, adaptive.Rejuvenations)
+	}
+	if adaptive.Cause != "leak-slope" {
+		t.Errorf("adaptive cause = %q, want leak-slope", adaptive.Cause)
+	}
+	if adaptive.Reboots >= periodic.Reboots {
+		t.Errorf("adaptive reboots (%d) not fewer than periodic (%d)",
+			adaptive.Reboots, periodic.Reboots)
+	}
+	// Bounded aging: the adaptive arm ends well below the none arm's
+	// retained leak, and external fragmentation stays bounded.
+	if adaptive.HeapEnd >= none.HeapEnd {
+		t.Errorf("adaptive heap end %d not below none arm %d", adaptive.HeapEnd, none.HeapEnd)
+	}
+	if adaptive.HeapEnd > none.HeapStart+none.LeakedBytes/2 {
+		t.Errorf("adaptive heap end %d retains more than half the leak (start %d, leaked %d)",
+			adaptive.HeapEnd, none.HeapStart, none.LeakedBytes)
+	}
+	if adaptive.FragEnd > 0.6 {
+		t.Errorf("adaptive fragmentation %.2f not bounded", adaptive.FragEnd)
+	}
+	if out := res.Render(); !strings.Contains(out, "adaptive") || !strings.Contains(out, "leak-slope") {
+		t.Error("render missing adaptive row")
 	}
 }

@@ -22,10 +22,11 @@ type Suite struct {
 	Fig8     *Fig8Result
 	Ablate   *AblationResult
 	Recovery *RecoveryResult
+	Aging    *AgingResult
 }
 
 // experiment names accepted by Run.
-var experimentNames = []string{"fig5", "table3", "fig6", "fig7", "table4", "table5", "fig8", "ablation", "recovery"}
+var experimentNames = []string{"fig5", "table3", "fig6", "fig7", "table4", "table5", "fig8", "ablation", "recovery", "aging"}
 
 // ExperimentNames lists the runnable experiment ids.
 func ExperimentNames() []string {
@@ -89,6 +90,11 @@ func (s *Suite) Run(name string, w io.Writer) error {
 			s.Recovery, err = RunRecovery(s.Scale)
 			if err == nil {
 				out = s.Recovery.Render()
+			}
+		case "aging":
+			s.Aging, err = RunAging(s.Scale)
+			if err == nil {
+				out = s.Aging.Render()
 			}
 		default:
 			return fmt.Errorf("bench: unknown experiment %q (have %v)", id, experimentNames)

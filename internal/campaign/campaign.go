@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"sync"
 
+	"vampos/internal/aging"
 	"vampos/internal/ckpt"
 )
 
@@ -43,6 +44,10 @@ type Options struct {
 	// in every trial instance: replayed calls whose results differ from
 	// the log fail the restoration with a ReplayDivergenceError.
 	ReplayRetCheck bool
+	// Aging, when enabled, replaces DefaultAgingPolicy as the adaptive-
+	// rejuvenation policy aging cells arm. The leak-slope sensor should
+	// stay enabled: the aging oracle attributes the rejuvenation to it.
+	Aging aging.Policy
 }
 
 // Run enumerates the selected injection space and executes it.

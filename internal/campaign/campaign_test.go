@@ -138,6 +138,93 @@ func TestCheckpointedCampaignSlice(t *testing.T) {
 	}
 }
 
+// TestAgingCampaignSlice: aging cells must recover via sensor-triggered
+// adaptive rejuvenation — the reboot reason is "rejuvenation" and the
+// aging monitor names the sensor cause, not a wall timer — with the
+// leak reclaimed and fragmentation bounded, byte-identically whatever
+// the worker-pool size.
+func TestAgingCampaignSlice(t *testing.T) {
+	space := SpaceOptions{
+		Workloads:  []string{"echo"},
+		Configs:    []string{"das"},
+		Components: []string{"lwip"},
+		Faults:     []FaultName{FaultAging},
+	}
+	runAging := func(parallel int) *Matrix {
+		t.Helper()
+		m, err := Run(Options{Space: space, Seed: 21, Parallel: parallel})
+		if err != nil {
+			t.Fatalf("campaign run: %v", err)
+		}
+		return m
+	}
+	serial := runAging(1)
+	parallel := runAging(4)
+	sj, pj := matrixJSON(t, serial), matrixJSON(t, parallel)
+	if !bytes.Equal(sj, pj) {
+		t.Fatalf("aging matrix differs between -parallel 1 and 4:\nserial:   %s\nparallel: %s", sj, pj)
+	}
+	if len(serial.Cells) == 0 {
+		t.Fatal("empty aging slice")
+	}
+	for _, c := range serial.Cells {
+		if c.Verdict != VerdictPass {
+			t.Errorf("%s: verdict %s (detail: %s)", c.TrialID, c.Verdict, c.Detail)
+		}
+		if c.Reboots < 1 {
+			t.Errorf("%s: no rejuvenation reboot recorded", c.TrialID)
+		}
+		sawRejuv := false
+		for _, o := range c.Oracles {
+			if o.Name == "rejuvenation" {
+				sawRejuv = true
+				if !o.OK {
+					t.Errorf("%s: rejuvenation oracle failed: %s", c.TrialID, o.Detail)
+				}
+			}
+		}
+		if !sawRejuv {
+			t.Errorf("%s: rejuvenation oracle never ran", c.TrialID)
+		}
+	}
+	if un := serial.Unexpected(); len(un) != 0 {
+		t.Fatalf("unexpected failures: %v", un)
+	}
+}
+
+// TestAgingVirtioExpected: an aging fault on the documented-unrebootable
+// VIRTIO component classifies as expected-unrecoverable — the adaptive
+// controller keeps being refused (backoff), and nothing reboots.
+func TestAgingVirtioExpected(t *testing.T) {
+	space := SpaceOptions{
+		Workloads:  []string{"echo"},
+		Configs:    []string{"das"},
+		Components: []string{"virtio"},
+		Faults:     []FaultName{FaultAging},
+	}
+	cells, err := EnumerateSpace(space)
+	if err != nil {
+		t.Fatalf("enumerate: %v", err)
+	}
+	if len(cells) != 1 || !cells[0].Expected {
+		t.Fatalf("virtio aging cell not marked expected: %+v", cells)
+	}
+	m, err := RunCells(cells, Options{Seed: 13, Parallel: 1})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	res := m.Cells[0]
+	if res.Verdict != VerdictExpected {
+		t.Fatalf("verdict = %s, want %s (detail: %s)", res.Verdict, VerdictExpected, res.Detail)
+	}
+	if res.Reboots != 0 {
+		t.Fatalf("unrebootable target rebooted %d times", res.Reboots)
+	}
+	if un := m.Unexpected(); len(un) != 0 {
+		t.Fatalf("expected-unrecoverable aging cell counted as regression: %v", un)
+	}
+}
+
 // TestVirtioExpectedUnrecoverable: reboot-inducing faults on the
 // documented-unrebootable VIRTIO component classify as
 // expected-unrecoverable and never count as regressions.

@@ -103,6 +103,17 @@ func judge(t *trial, inst *unikernel.Instance, events []trace.Event, phaseErr er
 				"reboots=%d stray=%v failedRestores=%d (want exactly group %q)",
 				len(reboots), stray, st.FailedRestores, targetGroup)
 		}
+	case FaultAging:
+		stray := strayReboots(reboots, targetGroup)
+		if cell.Expected {
+			// The controller must keep retrying-with-backoff, never
+			// actually rebooting the unrebootable target.
+			oc("containment", len(reboots) == 0, "unrebootable target still rebooted: %d", len(reboots))
+		} else {
+			oc("containment", len(reboots) >= 1 && len(stray) == 0 && st.FailedRestores == 0,
+				"reboots=%d stray=%v failedRestores=%d (want only group %q)",
+				len(reboots), stray, st.FailedRestores, targetGroup)
+		}
 	}
 
 	// Fault-specific recovery oracle.
@@ -135,6 +146,36 @@ func judge(t *trial, inst *unikernel.Instance, events []trace.Event, phaseErr er
 	case FaultWildWrite:
 		oc("confinement", t.wildEFault && t.wildIntact && t.wildFaultsDelta > 0,
 			"efault=%v intact=%v protectionFaults=%d", t.wildEFault, t.wildIntact, t.wildFaultsDelta)
+	case FaultAging:
+		// Adaptive rejuvenation: the reboot must be sensor-triggered (the
+		// aging monitor names the cause, every reboot record carries
+		// reason "rejuvenation" — no wall timer involved), the leak must
+		// be reclaimed, and fragmentation must stay bounded afterwards.
+		sensorOnly := true
+		for _, r := range reboots {
+			if r.Reason != "rejuvenation" {
+				sensorOnly = false
+			}
+		}
+		if cell.Expected {
+			ok := t.agingDone && t.agingStatsOK &&
+				t.agingStats.Rejuvenations == 0 && t.agingStats.Failures > 0
+			oc("rejuvenation", ok,
+				"done=%v statsOK=%v rejuvenations=%d failures=%d (want refused attempts only)",
+				t.agingDone, t.agingStatsOK, t.agingStats.Rejuvenations, t.agingStats.Failures)
+		} else {
+			ok := t.agingDone && t.agingStatsOK &&
+				t.agingStats.Rejuvenations > 0 &&
+				t.agingStats.LastCause == "leak-slope" &&
+				sensorOnly &&
+				t.agingAfter.AllocatedBytes < t.agingBefore.AllocatedBytes &&
+				t.agingAfter.Fragmentation <= 0.5
+			oc("rejuvenation", ok,
+				"done=%v statsOK=%v rejuvenations=%d cause=%q sensorOnly=%v heap %d -> %d bytes frag %.2f",
+				t.agingDone, t.agingStatsOK, t.agingStats.Rejuvenations, t.agingStats.LastCause,
+				sensorOnly, t.agingBefore.AllocatedBytes, t.agingAfter.AllocatedBytes,
+				t.agingAfter.Fragmentation)
+		}
 	}
 
 	oc("service", t.errs <= serviceBudget(cell),

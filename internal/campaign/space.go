@@ -23,11 +23,15 @@ const (
 	FaultErrno     FaultName = "errno"
 	FaultLeak      FaultName = "leak"
 	FaultWildWrite FaultName = "wildwrite"
+	// FaultAging arms a gradual allocator leak while an adaptive
+	// rejuvenation controller (Config.Aging) watches the component's
+	// health sensors: recovery must be sensor-triggered, not scheduled.
+	FaultAging FaultName = "aging"
 )
 
 // AllFaults lists every fault kind in presentation order.
 func AllFaults() []FaultName {
-	return []FaultName{FaultCrash, FaultHang, FaultErrno, FaultLeak, FaultWildWrite}
+	return []FaultName{FaultCrash, FaultHang, FaultErrno, FaultLeak, FaultWildWrite, FaultAging}
 }
 
 // DefaultFaults is the default campaign slice: the paper's two fail-stop
@@ -37,7 +41,7 @@ func DefaultFaults() []FaultName { return []FaultName{FaultCrash, FaultHang} }
 // rebootInducing reports whether a fault kind is expected to reboot the
 // target component (directly or via a proactive rejuvenation).
 func (f FaultName) rebootInducing() bool {
-	return f == FaultCrash || f == FaultHang || f == FaultLeak
+	return f == FaultCrash || f == FaultHang || f == FaultLeak || f == FaultAging
 }
 
 // AllWorkloads lists the paper's four applications in §VI order.
@@ -177,7 +181,7 @@ func EnumerateSpace(o SpaceOptions) ([]Cell, error) {
 				unrebootable := byComp[comp][0].Unrebootable
 				for _, fault := range o.Faults {
 					fns := []string{core.AnyFunction}
-					if o.Functions == "each" && fault != FaultLeak && fault != FaultWildWrite {
+					if o.Functions == "each" && fault != FaultLeak && fault != FaultWildWrite && fault != FaultAging {
 						fns = fns[:0]
 						for _, p := range byComp[comp] {
 							fns = append(fns, p.Fn)

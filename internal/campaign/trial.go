@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"vampos/internal/aging"
 	"vampos/internal/ckpt"
 	"vampos/internal/core"
 	"vampos/internal/faults"
@@ -26,7 +27,36 @@ const (
 	trialSettle         = 2 * time.Second  // recovery settling before verify
 	leakBytes           = 128 << 10
 	leakBlock           = 4 << 10
+
+	// Aging-trial shape: the gradual leak drips agingLeakStep bytes every
+	// agingLeakPause of virtual time (an ~8 MB/s slope, well above the
+	// policy threshold below), and the trial waits up to agingWait for the
+	// adaptive controller to react before judging.
+	agingLeakStep  = 8 << 10
+	agingLeakTotal = 128 << 10
+	agingLeakPause = time.Millisecond
+	agingWait      = 2 * time.Second
 )
+
+// DefaultAgingPolicy is the adaptive-rejuvenation policy aging cells
+// arm when Options.Aging is unset: leak-slope only, with every other
+// sensor disabled so the trial observes a deterministic cause, and a
+// threshold far above the target workloads' own allocation churn but
+// far below the injected drip.
+func DefaultAgingPolicy() aging.Policy {
+	return aging.Policy{
+		SamplePeriod: 5 * time.Millisecond,
+		Window:       4,
+		Thresholds: aging.Thresholds{
+			LeakSlope:     1 << 20, // bytes per virtual second
+			Fragmentation: -1,
+			LogBacklog:    -1,
+			LatencyDrift:  -1,
+			ErrorRate:     -1,
+		},
+		Cooldown: 50 * time.Millisecond,
+	}
+}
 
 // trial is the mutable state one cell's execution threads share.
 type trial struct {
@@ -50,6 +80,13 @@ type trial struct {
 	wildEFault      bool
 	wildIntact      bool
 	wildFaultsDelta uint64
+
+	// aging-fault observations
+	agingPolicy             aging.Policy // the effective adaptive policy
+	agingBefore, agingAfter core.HeapStats
+	agingStats              aging.Stats
+	agingStatsOK            bool
+	agingDone               bool
 }
 
 func (t *trial) pastDeadline(s *unikernel.Sys) bool {
@@ -100,6 +137,16 @@ func runTrial(cell Cell, opts Options) (res CellResult) {
 	cc.MaxVirtualTime = trialMaxVirtual
 	cc.Ckpt = opts.Ckpt
 	cc.ReplayRetCheck = opts.ReplayRetCheck
+	if cell.Fault == FaultAging {
+		// Boot starts the adaptive controller; the trial only arms the
+		// leak and observes — any reboot must come from the sensors.
+		t.agingPolicy = DefaultAgingPolicy()
+		if opts.Aging.Enabled() {
+			t.agingPolicy = opts.Aging
+		}
+		cc.Aging = t.agingPolicy
+		cc.AgingTargets = []string{cell.Component}
+	}
 	d, err := driverFor(cell.Workload)
 	if err != nil {
 		return failResult(res, err)
@@ -189,6 +236,46 @@ func (t *trial) inject(s *unikernel.Sys, inst *unikernel.Instance) error {
 		t.leakRebootErr = s.Reboot(cell.Component)
 		t.leakAfter, _ = inj.HeapStats(cell.Component)
 		t.leakDone = true
+		return nil
+	case FaultAging:
+		inj := faults.NewInjector(rt)
+		before, err := inj.HeapStats(cell.Component)
+		if err != nil {
+			return err
+		}
+		// Drip the leak so the controller's sample window observes a
+		// slope, rather than a step it could only see once. The
+		// controller may fire mid-drip (the whole point), so the "before"
+		// observation is the peak allocation seen during the drip, not
+		// the end state.
+		t.agingBefore = before
+		for leaked := int64(0); leaked < agingLeakTotal; leaked += agingLeakStep {
+			if _, err := inj.LeakBytes(cell.Component, agingLeakStep, agingLeakStep); err != nil {
+				return err
+			}
+			if hs, err := inj.HeapStats(cell.Component); err == nil &&
+				hs.AllocatedBytes > t.agingBefore.AllocatedBytes {
+				t.agingBefore = hs
+			}
+			s.Sleep(agingLeakPause)
+		}
+		if t.agingBefore.AllocatedBytes <= before.AllocatedBytes {
+			return fmt.Errorf("aging leak did not grow %s's heap", cell.Component)
+		}
+		// Wait (bounded, virtual time) for the sensor-driven controller
+		// to act: a successful rejuvenation, or — for unrebootable
+		// targets — a refused one that armed backoff.
+		deadline := s.Elapsed() + agingWait
+		for s.Elapsed() < deadline {
+			st, ok := rt.AgingStats(cell.Component)
+			if ok && (st.Rejuvenations > 0 || st.Failures > 0) {
+				break
+			}
+			s.Sleep(t.agingPolicy.WithDefaults().SamplePeriod)
+		}
+		t.agingStats, t.agingStatsOK = rt.AgingStats(cell.Component)
+		t.agingAfter, _ = inj.HeapStats(cell.Component)
+		t.agingDone = true
 		return nil
 	case FaultWildWrite:
 		heap, ok := rt.ComponentHeap(cell.Component)

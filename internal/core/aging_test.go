@@ -1,0 +1,418 @@
+package core
+
+import (
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"vampos/internal/aging"
+	"vampos/internal/ckpt"
+	"vampos/internal/msg"
+	"vampos/internal/trace"
+)
+
+// leakComp is a stateless toy component that leaks from its arena on
+// every call: the canonical aging workload. A reboot cold-reinitialises
+// it, scrubbing the arena — rejuvenation reclaims the leak.
+type leakComp struct {
+	name     string
+	leakEach int64
+}
+
+func (l *leakComp) Describe() Descriptor {
+	return Descriptor{Name: l.name, HeapPages: 64, DomainPages: 16}
+}
+
+func (l *leakComp) Init(*Ctx) error { return nil }
+
+func (l *leakComp) Exports() map[string]Handler {
+	return map[string]Handler{
+		"work": func(ctx *Ctx, _ msg.Args) (msg.Args, error) {
+			if l.leakEach > 0 {
+				if _, err := ctx.Heap().Alloc(l.leakEach); err != nil {
+					return nil, err
+				}
+			}
+			return msg.Args{1}, nil
+		},
+	}
+}
+
+// leakOnlyPolicy fires on leak slope alone, with every other sensor
+// disabled, so the tests observe a deterministic cause.
+func leakOnlyPolicy() aging.Policy {
+	return aging.Policy{
+		SamplePeriod: time.Millisecond,
+		Window:       4,
+		Thresholds: aging.Thresholds{
+			LeakSlope:     50_000, // bytes per virtual second
+			Fragmentation: -1,
+			LogBacklog:    -1,
+			LatencyDrift:  -1,
+			ErrorRate:     -1,
+		},
+		Cooldown: 10 * time.Millisecond,
+	}
+}
+
+func TestAgingDriverRejuvenatesLeakyComponent(t *testing.T) {
+	leaky := &leakComp{name: "leaky", leakEach: 256}
+	stable := &statelessComp{name: "stable"}
+	rt := run(t, DaSConfig(), []Component{leaky, stable}, func(c *Ctx) {
+		d := c.Runtime().NewAgingDriver(leakOnlyPolicy())
+		c.Go("aging", d.Run)
+		// 256 B leaked every ~50µs of virtual time: ~5 MB/s, 100x the
+		// 50 kB/s threshold. The stable component serves alongside.
+		for i := 0; i < 300; i++ {
+			mustCall(t, c, "leaky", "work")
+			mustCall(t, c, "stable", "pid")
+			c.Sleep(50 * time.Microsecond)
+		}
+		for d.Reboots == 0 && c.Elapsed() < 30*time.Second {
+			c.Sleep(time.Millisecond)
+		}
+		d.Stop()
+		if d.Reboots == 0 {
+			t.Fatalf("adaptive driver never rejuvenated (errors=%d last=%v)", d.Errors, d.LastErr)
+		}
+		st, ok := d.Stats("leaky")
+		if !ok || st.Rejuvenations == 0 {
+			t.Fatalf("leaky monitor stats = %+v ok=%v", st, ok)
+		}
+		if st.LastCause != "leak-slope" {
+			t.Fatalf("rejuvenation cause = %q, want leak-slope", st.LastCause)
+		}
+		cs, _ := c.Runtime().ComponentStats("leaky")
+		// The reboot scrubbed the arena: far less than the ~77 kB leaked
+		// across the run remains allocated.
+		if cs.Heap.AllocatedBytes >= 256*300 {
+			t.Fatalf("arena still holds %d leaked bytes", cs.Heap.AllocatedBytes)
+		}
+	})
+	var rejuv int
+	for _, rec := range rt.Reboots() {
+		if rec.Reason != "rejuvenation" {
+			t.Fatalf("unexpected reboot reason %q", rec.Reason)
+		}
+		if rec.Group == "stable" {
+			t.Fatal("healthy component was rejuvenated")
+		}
+		rejuv++
+	}
+	if rejuv == 0 {
+		t.Fatal("no rejuvenation reboot recorded")
+	}
+	if cs, _ := rt.ComponentStats("stable"); cs.Reboots != 0 {
+		t.Fatalf("stable component rebooted %d times", cs.Reboots)
+	}
+}
+
+func TestConfigAgingAutoStartsDriver(t *testing.T) {
+	leaky := &leakComp{name: "leaky", leakEach: 256}
+	cfg := DaSConfig()
+	cfg.Aging = leakOnlyPolicy()
+	cfg.AgingTargets = []string{"leaky"}
+	rt := run(t, cfg, []Component{leaky, &statelessComp{name: "stable"}}, func(c *Ctx) {
+		d := c.Runtime().AgingDriver()
+		if d == nil {
+			t.Fatal("Boot did not start the aging driver")
+		}
+		if got := d.Targets(); len(got) != 1 || got[0] != "leaky" {
+			t.Fatalf("targets = %v, want [leaky]", got)
+		}
+		for i := 0; i < 300; i++ {
+			mustCall(t, c, "leaky", "work")
+			c.Sleep(50 * time.Microsecond)
+		}
+		for d.Reboots == 0 && c.Elapsed() < 30*time.Second {
+			c.Sleep(time.Millisecond)
+		}
+	})
+	st, ok := rt.AgingStats("leaky")
+	if !ok || st.Rejuvenations == 0 {
+		t.Fatalf("AgingStats(leaky) = %+v ok=%v, want rejuvenations", st, ok)
+	}
+	if _, ok := rt.AgingStats("stable"); ok {
+		t.Fatal("untargeted component has aging stats")
+	}
+}
+
+func TestVanillaConfigIgnoresAging(t *testing.T) {
+	cfg := VanillaConfig()
+	cfg.Aging = aging.DefaultPolicy()
+	rt := run(t, cfg, []Component{&kvComp{name: "kv"}}, func(c *Ctx) {
+		mustCall(t, c, "kv", "put", "a", "1")
+	})
+	if rt.AgingDriver() != nil {
+		t.Fatal("vanilla runtime started an aging driver")
+	}
+}
+
+// TestRejuvenateCheckpointAware shows the checkpoint-aware path: the
+// rejuvenation reboot restores from the last (pre-aging) image and
+// replays the full retained tail — shedding everything accumulated
+// since that image — then re-checkpoints the clean component, so the
+// NEXT reboot replays a near-empty tail. A pre-reboot checkpoint would
+// instead image the aged arena and resurrect it on restore.
+func TestRejuvenateCheckpointAware(t *testing.T) {
+	kv := &kvComp{name: "kv", checkpointed: true}
+	rt := run(t, DaSConfig(), []Component{kv}, func(c *Ctx) {
+		for i := 0; i < 40; i++ {
+			mustCall(t, c, "kv", "put", "k"+strconv.Itoa(i), "v")
+		}
+		if n := c.Runtime().LogLen("kv"); n < 40 {
+			t.Fatalf("retained log = %d, want >= 40", n)
+		}
+		if err := c.Rejuvenate("kv"); err != nil {
+			t.Fatalf("Rejuvenate: %v", err)
+		}
+		cps, _ := c.Runtime().CheckpointStats("kv")
+		if cps.CheckpointCount == 0 {
+			t.Fatal("rejuvenation took no post-reboot checkpoint")
+		}
+		// The post-reboot checkpoint truncated the replayed prefix: the
+		// next recovery starts from the clean image, near-empty tail.
+		if n := c.Runtime().LogLen("kv"); n > 2 {
+			t.Fatalf("retained log after rejuvenation = %d, want near-empty", n)
+		}
+		if err := c.Reboot("kv"); err != nil {
+			t.Fatalf("Reboot: %v", err)
+		}
+		// All state survived both reboots.
+		for i := 0; i < 40; i++ {
+			if v, _ := mustCall(t, c, "kv", "get", "k"+strconv.Itoa(i)).Str(0); v != "v" {
+				t.Fatalf("k%d lost after rejuvenation", i)
+			}
+		}
+	})
+	recs := rt.Reboots()
+	if len(recs) != 2 {
+		t.Fatalf("reboot records = %d, want 2", len(recs))
+	}
+	if recs[0].Reason != "rejuvenation" || recs[1].Reason != "proactive" {
+		t.Fatalf("reasons = %q, %q", recs[0].Reason, recs[1].Reason)
+	}
+	if recs[0].ReplayedEntries == 0 {
+		t.Fatal("rejuvenation replayed nothing: the aged tail was not re-executed from the clean image")
+	}
+	if recs[1].ReplayedEntries != 0 {
+		t.Fatalf("post-rejuvenation reboot replayed %d entries, want 0 (clean image + truncated log)", recs[1].ReplayedEntries)
+	}
+}
+
+// TestCadenceCheckpointGatedWhileAging: the checkpoint cadence must not
+// image a component the aging controller has latched over threshold —
+// the image would bake the leak into every later restore, and once the
+// log is truncated against it the pre-aging state is unrecoverable. The
+// gate holds while the monitor is Hot AND through the post-rejuvenation
+// cooldown: the monitor's window resets on rejuvenation, so the latch
+// needs a full window of samples to re-engage, and continuous aging
+// must not slip a checkpoint into that blind interval. The explicit
+// Ctx.Checkpoint path stays ungated — it is how Rejuvenate re-images
+// the clean component right after the reboot, while the latch is still
+// set. The driver is left inert (huge sample period) and the test
+// drives the engine by hand, so every transition is deterministic.
+func TestCadenceCheckpointGatedWhileAging(t *testing.T) {
+	kv := &kvComp{name: "kv", checkpointed: true}
+	cfg := DaSConfig()
+	cfg.Ckpt = ckpt.Policy{EveryCalls: 2}
+	pol := leakOnlyPolicy()
+	pol.SamplePeriod = time.Hour
+	pol.Cooldown = 50 * time.Millisecond
+	cfg.Aging = pol
+	cfg.AgingTargets = []string{"kv"}
+	run(t, cfg, []Component{kv}, func(c *Ctx) {
+		drv := c.Runtime().AgingDriver()
+		if drv == nil {
+			t.Fatal("Boot did not start the aging driver")
+		}
+		puts := func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				k := strconv.Itoa(i)
+				mustCall(t, c, "kv", "put", k, k)
+			}
+		}
+		count := func() uint64 {
+			cs, _ := c.Runtime().CheckpointStats("kv")
+			return cs.CheckpointCount
+		}
+		puts(0, 8)
+		healthy := count()
+		if healthy == 0 {
+			t.Fatal("cadence never checkpointed the healthy component")
+		}
+		// Latch the monitor: a window of samples whose leak slope is far
+		// over the 50 kB/s threshold.
+		for i := 0; i < 4; i++ {
+			drv.engine.Observe("kv", aging.Sample{
+				At:            c.Elapsed() + time.Duration(i)*time.Millisecond,
+				HeapAllocated: int64(i) * (1 << 20),
+			})
+		}
+		if st, _ := c.Runtime().AgingStats("kv"); !st.Hot {
+			t.Fatalf("monitor did not latch: %+v", st)
+		}
+		puts(8, 16)
+		if got := count(); got != healthy {
+			t.Fatalf("cadence checkpointed a Hot component: %d -> %d", healthy, got)
+		}
+		// Rejuvenate's post-reboot capture path is not gated.
+		if err := c.Checkpoint("kv"); err != nil {
+			t.Fatalf("explicit checkpoint while Hot: %v", err)
+		}
+		manual := count()
+		if manual != healthy+1 {
+			t.Fatalf("explicit checkpoint not taken: %d -> %d", healthy, manual)
+		}
+		// A successful rejuvenation releases the latch and starts the
+		// cooldown; the gate must hold until the cooldown lapses.
+		drv.engine.NoteResult("kv", c.Elapsed(), true)
+		if st, _ := c.Runtime().AgingStats("kv"); st.Hot || st.CooldownUntil <= c.Elapsed() {
+			t.Fatalf("NoteResult did not release the latch into cooldown: %+v", st)
+		}
+		puts(16, 24)
+		if got := count(); got != manual {
+			t.Fatalf("cadence checkpointed during cooldown: %d -> %d", manual, got)
+		}
+		c.Sleep(pol.Cooldown)
+		puts(24, 32)
+		if got := count(); got <= manual {
+			t.Fatal("cadence never resumed after the cooldown lapsed")
+		}
+	})
+}
+
+func TestRejuvenateEmitsTraceSpan(t *testing.T) {
+	kv := &kvComp{name: "kv", checkpointed: true}
+	cfg := DaSConfig()
+	cfg.MaxVirtualTime = time.Hour
+	rt := NewRuntime(cfg)
+	if err := rt.Register(kv); err != nil {
+		t.Fatal(err)
+	}
+	rec := rt.NewTracer("test/rejuv")
+	err := rt.Run(func(c *Ctx) {
+		mustCall(t, c, "kv", "put", "a", "1")
+		if err := c.Rejuvenate("kv"); err != nil {
+			t.Fatalf("Rejuvenate: %v", err)
+		}
+		if err := c.Rejuvenate("nope"); err == nil {
+			t.Fatal("rejuvenated unknown component")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rejuv *trace.Event
+	var reboot *trace.Event
+	for _, e := range rec.Snapshot() {
+		e := e
+		switch e.Kind {
+		case trace.KindRejuv:
+			rejuv = &e
+		case trace.KindReboot:
+			reboot = &e
+		}
+	}
+	if rejuv == nil {
+		t.Fatal("no KindRejuv span recorded")
+	}
+	if rejuv.Open || rejuv.Detail != "ok" {
+		t.Fatalf("rejuv span = %+v, want closed ok", rejuv)
+	}
+	if reboot == nil || reboot.Parent != rejuv.ID {
+		t.Fatalf("reboot span not parented under rejuvenation: %+v", reboot)
+	}
+	if reboot.Name != "rejuvenation" {
+		t.Fatalf("reboot span reason = %q", reboot.Name)
+	}
+}
+
+// TestRejuvenatorStopSafeFromHost is the regression test for the
+// unsynchronized Rejuvenator.stop flag: Stop is called from a host-side
+// goroutine while the schedule thread polls the flag. Run with -race
+// this proves the flag is safe to flip from outside the baton.
+func TestRejuvenatorStopSafeFromHost(t *testing.T) {
+	kv := &kvComp{name: "kv"}
+	cfg := DaSConfig()
+	cfg.MaxVirtualTime = time.Hour
+	rt := NewRuntime(cfg)
+	if err := rt.Register(kv); err != nil {
+		t.Fatal(err)
+	}
+	var rej *Rejuvenator
+	started := make(chan struct{})
+	stopped := make(chan struct{})
+	go func() {
+		<-started
+		for len(rt.Reboots()) == 0 {
+			runtime.Gosched()
+		}
+		rej.Stop()
+		close(stopped)
+	}()
+	err := rt.Run(func(c *Ctx) {
+		rej = c.Runtime().NewRejuvenator(300*time.Microsecond, "kv")
+		close(started)
+		c.Go("rej", rej.Run)
+		for {
+			select {
+			case <-stopped:
+				return
+			default:
+				mustCall(t, c, "kv", "put", "k", "v")
+				c.Sleep(100 * time.Microsecond)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Reboots()) == 0 {
+		t.Fatal("rejuvenator never ran")
+	}
+}
+
+// TestAgingDriverStopSafeFromHost gives the adaptive driver the same
+// outside-the-baton Stop guarantee.
+func TestAgingDriverStopSafeFromHost(t *testing.T) {
+	leaky := &leakComp{name: "leaky", leakEach: 256}
+	cfg := DaSConfig()
+	cfg.MaxVirtualTime = time.Hour
+	rt := NewRuntime(cfg)
+	if err := rt.Register(leaky); err != nil {
+		t.Fatal(err)
+	}
+	var drv *AgingDriver
+	started := make(chan struct{})
+	stopped := make(chan struct{})
+	go func() {
+		<-started
+		for len(rt.Reboots()) == 0 {
+			runtime.Gosched()
+		}
+		drv.Stop()
+		close(stopped)
+	}()
+	err := rt.Run(func(c *Ctx) {
+		drv = c.Runtime().NewAgingDriver(leakOnlyPolicy())
+		close(started)
+		c.Go("aging", drv.Run)
+		for {
+			select {
+			case <-stopped:
+				return
+			default:
+				mustCall(t, c, "leaky", "work")
+				c.Sleep(50 * time.Microsecond)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drv.Reboots == 0 {
+		t.Fatal("driver never rejuvenated")
+	}
+}

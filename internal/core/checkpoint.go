@@ -51,6 +51,18 @@ func (rt *Runtime) maybeCheckpoint(g *group) {
 		if c.tracker == nil || c.checkpoint == nil {
 			continue
 		}
+		if rt.agingHot(c.desc.Name) {
+			// The adaptive-aging monitor has this component latched over
+			// threshold: a rejuvenation is imminent, and imaging the arena
+			// now would bake the accumulated leak or fragmentation into
+			// the recovery image — the restore would resurrect exactly the
+			// state the rejuvenation exists to shed, and once the log is
+			// truncated against an aged image the pre-aging state is
+			// unrecoverable. Skip the cadence until the latch releases;
+			// explicit Ctx.Checkpoint stays ungated because Rejuvenate's
+			// post-reboot capture runs while the latch is still set.
+			continue
+		}
 		if !c.tracker.Due(c.domain.Log().Len()) {
 			continue
 		}

@@ -145,6 +145,15 @@ type component struct {
 	// them from arbitrary goroutines while the runtime increments them.
 	failures atomic.Uint64
 	reboots  atomic.Uint64
+
+	// calls/errs/busyV are the aging sensors' raw inputs: completed
+	// inbound calls, those that returned an error, and the cumulative
+	// virtual time their handlers ran. Atomics for the same reason as
+	// failures/reboots. Replayed calls during restoration do not count —
+	// replay latency is recovery cost, not service drift.
+	calls atomic.Uint64
+	errs  atomic.Uint64
+	busyV atomic.Int64 // virtual nanoseconds
 }
 
 // checkpoint is the post-init image used by checkpoint-based

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"vampos/internal/aging"
 	"vampos/internal/ckpt"
 )
 
@@ -73,6 +74,16 @@ type Config struct {
 	Ckpt ckpt.Policy
 	// CkptPerComponent overrides Ckpt for the named components.
 	CkptPerComponent map[string]ckpt.Policy
+	// Aging enables adaptive sensor-driven rejuvenation: when the policy
+	// is enabled (SamplePeriod > 0) and the runtime is message-passing,
+	// Boot starts a controller thread that samples every rebootable
+	// component's aging sensors on the virtual clock and schedules
+	// checkpoint-aware rolling rejuvenation through the reboot manager.
+	// The zero policy keeps rejuvenation manual (Ctx.Reboot, Rejuvenator).
+	Aging aging.Policy
+	// AgingTargets restricts the adaptive controller to the named
+	// components; empty means every rebootable component in boot order.
+	AgingTargets []string
 	// ReplayRetCheck compares each replayed call's return values and
 	// error against the logged originals during encapsulated restoration
 	// and fails the restore with a *ReplayDivergenceError on mismatch.

@@ -86,6 +86,13 @@ func (rt *Runtime) beginReboot(g *group, reason string, killWorker bool, parent 
 // rejuvenation entry point. It waits for the group to go idle, performs
 // the reboot, and returns once the group serves again.
 func (c *Ctx) Reboot(name string) error {
+	return c.rebootAs(name, "proactive")
+}
+
+// rebootAs is Reboot with an explicit RebootRecord reason, so adaptive
+// rejuvenation ("rejuvenation") is distinguishable from manual proactive
+// reboots ("proactive") in records, traces and oracles.
+func (c *Ctx) rebootAs(name, reason string) error {
 	rt := c.rt
 	tc, ok := rt.comps[name]
 	if !ok {
@@ -112,7 +119,7 @@ func (c *Ctx) Reboot(name string) error {
 	for g.rebooting || g.currentSeq != 0 {
 		c.th.Sleep(10 * time.Microsecond)
 	}
-	rt.beginReboot(g, "proactive", true, c.span)
+	rt.beginReboot(g, reason, true, c.span)
 	for g.rebooting {
 		c.th.Sleep(10 * time.Microsecond)
 	}

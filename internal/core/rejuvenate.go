@@ -1,18 +1,21 @@
 package core
 
 import (
+	//vampos:allow schedonly -- Rejuvenator.stop is flipped by host-side goroutines (tests, experiment monitors) while the schedule thread polls it; a plain bool would be a data race
+	"sync/atomic"
 	"time"
 )
 
 // Rejuvenator performs periodic proactive component reboots — the
 // administrator's software-rejuvenation schedule of §IV/§VII-D, where
 // component-level reboots are cheap enough to run "more frequently than
-// in the case of a regular reboot".
+// in the case of a regular reboot". For the sensor-driven alternative
+// see AgingDriver.
 type Rejuvenator struct {
 	rt       *Runtime
 	interval time.Duration
 	targets  []string
-	stop     bool
+	stop     atomic.Bool
 
 	// Stats
 	Rounds  uint64
@@ -45,9 +48,9 @@ func (r *Rejuvenator) Targets() []string {
 // Run executes the schedule on the calling thread until Stop is called
 // (or the simulation ends). Typically launched with ctx.Go.
 func (r *Rejuvenator) Run(ctx *Ctx) {
-	for i := 0; !r.stop && !r.rt.stopped; i++ {
+	for i := 0; !r.stop.Load() && !r.rt.stopped; i++ {
 		ctx.Sleep(r.interval)
-		if r.stop || r.rt.stopped {
+		if r.stop.Load() || r.rt.stopped {
 			return
 		}
 		target := r.targets[i%len(r.targets)]
@@ -63,5 +66,7 @@ func (r *Rejuvenator) Run(ctx *Ctx) {
 	}
 }
 
-// Stop ends the schedule after the current wait or reboot.
-func (r *Rejuvenator) Stop() { r.stop = true }
+// Stop ends the schedule after the current wait or reboot. Safe to call
+// from any goroutine, including host-side code outside the scheduler
+// baton.
+func (r *Rejuvenator) Stop() { r.stop.Store(true) }

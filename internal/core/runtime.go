@@ -89,6 +89,11 @@ type Runtime struct {
 	fullRestarts []FullRestartStats
 	armed        map[string]*armedFault
 
+	// agingDriver is the adaptive-rejuvenation controller Boot starts
+	// when cfg.Aging is enabled (nil otherwise or when one was created
+	// manually with NewAgingDriver).
+	agingDriver *AgingDriver
+
 	// tracer is the optional flight recorder. It lives in host memory,
 	// outside every component domain, so reboots cannot destroy it. A
 	// nil tracer is the common case and must stay free: every hook is a
@@ -344,6 +349,17 @@ func (rt *Runtime) Boot(boot *sched.Thread) error {
 	if rt.cfg.MessagePassing {
 		rt.msgThread = rt.sch.Spawn("vampos/msg", mem.Allow(keyDomains), rt.msgLoop)
 		rt.sch.Spawn("vampos/watchdog", mem.Allow(keyScheduler), rt.watchdogLoop)
+		if rt.cfg.Aging.Enabled() {
+			// Adaptive rejuvenation controller: samples aging sensors on
+			// the virtual clock and schedules checkpoint-aware rolling
+			// reboots. Vanilla mode has no component reboots to schedule,
+			// hence the message-passing gate.
+			d := rt.NewAgingDriver(rt.cfg.Aging, rt.cfg.AgingTargets...)
+			rt.agingDriver = d
+			rt.sch.Spawn("vampos/aging", mem.Allow(keyScheduler), func(t *sched.Thread) {
+				d.Run(&Ctx{rt: rt, th: t, appName: "aging"})
+			})
+		}
 		// Spawn workers first so components can call each other during
 		// later components' Init.
 		for _, g := range rt.groups {

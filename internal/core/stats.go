@@ -74,6 +74,12 @@ type ComponentStats struct {
 	// Ckpt is the component's incremental-checkpoint accounting (zero
 	// for components that are not checkpoint-eligible).
 	Ckpt ckpt.Stats
+	// Calls/Errors/Busy are the aging sensors' raw inputs: completed
+	// inbound calls, calls that returned an error, and cumulative virtual
+	// handler time (replay excluded).
+	Calls  uint64
+	Errors uint64
+	Busy   time.Duration
 }
 
 // Stats returns a snapshot of the runtime counters. Safe to call from
@@ -118,6 +124,9 @@ func (rt *Runtime) ComponentStats(name string) (ComponentStats, bool) {
 		Stateful: c.desc.Stateful,
 		Failures: c.failures.Load(),
 		Reboots:  c.reboots.Load(),
+		Calls:    c.calls.Load(),
+		Errors:   c.errs.Load(),
+		Busy:     time.Duration(c.busyV.Load()),
 	}
 	if c.group != nil {
 		cs.Group = c.group.name

@@ -138,6 +138,11 @@ func (rt *Runtime) execMessage(t *sched.Thread, g *group, m *msg.Message) bool {
 	if c.tracker != nil {
 		c.tracker.NoteCall()
 	}
+	c.calls.Add(1)
+	if err != nil {
+		c.errs.Add(1)
+	}
+	c.busyV.Add(int64(rt.clk.Elapsed() - g.busySinceV))
 	rt.submit(mqItem{kind: mqReply, pc: pc, rets: rets, errStr: errnoString(err)})
 	return true
 }

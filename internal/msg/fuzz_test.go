@@ -1,0 +1,104 @@
+package msg
+
+import (
+	"math"
+	"testing"
+
+	"vampos/internal/mem"
+)
+
+// fuzzEqual is equalVal plus NaN tolerance: the fuzzer will find NaN
+// float64s, which round-trip bit-exactly but compare unequal to
+// themselves.
+func fuzzEqual(a, b any) bool {
+	af, aok := a.(float64)
+	bf, bok := b.(float64)
+	if aok && bok && math.IsNaN(af) && math.IsNaN(bf) {
+		return true
+	}
+	return equalVal(a, b)
+}
+
+// FuzzCodecRoundTrip checks that every Args value built from the codec's
+// supported kinds encodes, and that decoding the encoding reproduces it
+// exactly — the invariant encapsulated restoration leans on: a replayed
+// call sees byte-identical arguments and results.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add(int64(0), uint64(0), 0.0, "", []byte(nil), false)
+	f.Add(int64(5), uint64(7), 3.14159, "open", []byte("payload"), true)
+	f.Add(int64(math.MinInt64), uint64(math.MaxUint64), math.Inf(-1), "/var/www/index.html", []byte{0, 255, 10}, true)
+	f.Add(int64(-1), uint64(1<<63), math.NaN(), "日本語", []byte("四十二"), false)
+	f.Fuzz(func(t *testing.T, i64 int64, u uint64, fl float64, s string, b []byte, ok bool) {
+		in := Args{int(i64), i64, u, fl, s, b, ok, nil}
+		enc, err := EncodeArgs(in)
+		if err != nil {
+			t.Fatalf("EncodeArgs(%#v): %v", in, err)
+		}
+		out, err := DecodeArgs(enc)
+		if err != nil {
+			t.Fatalf("DecodeArgs round trip: %v", err)
+		}
+		if len(out) != len(in) {
+			t.Fatalf("decoded %d args, want %d", len(out), len(in))
+		}
+		for i := range in {
+			if !fuzzEqual(out[i], in[i]) {
+				t.Fatalf("arg %d = %#v, want %#v", i, out[i], in[i])
+			}
+		}
+	})
+}
+
+// FuzzLogDecode poisons the encoded bytes a log record stored in its
+// message domain's pages — what a wild write from a faulty component
+// would do if the domain's protection key failed — and checks that
+// decoding the log degrades to an error, never a panic. The raw decoder
+// gets the same arbitrary bytes directly.
+func FuzzLogDecode(f *testing.F) {
+	f.Add([]byte(nil), uint8(0))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 1}, uint8(0))
+	f.Add([]byte{1, 99}, uint8(1))
+	f.Add([]byte{1, 7, 200, 'x'}, uint8(2))
+	f.Add([]byte("AAAAAAAAAAAAAAAA"), uint8(3))
+	f.Fuzz(func(t *testing.T, corrupt []byte, skew uint8) {
+		m := mem.New(256 * mem.PageSize)
+		d, err := NewDomain("vfs", m, 7, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := d.Log()
+		r, err := l.BeginInbound(1, "open", Args{"/www/index.html", 0x42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.AppendOutboundTo(r, "9pfs", "uk_9pfs_open", Args{7, []byte("fid")}, ""); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.EndInbound(r, "fd:3", ClassOpener, Args{3}, ""); err != nil {
+			t.Fatal(err)
+		}
+		logCall(t, l, 2, "write", Args{3, []byte("some body bytes")}, "fd:3", ClassTransient)
+		// Overwrite a window of the first record's stored argument bytes.
+		e := l.entries[0]
+		if e.argsN > 0 && len(corrupt) > 0 {
+			off := int(skew) % e.argsN
+			w := corrupt
+			if len(w) > e.argsN-off {
+				w = w[:e.argsN-off]
+			}
+			if len(w) > 0 {
+				if err := m.HostWrite(e.args+mem.Addr(off), w); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		// The poisoned log must decode to an error or well-formed views.
+		if entries, err := l.Entries(); err == nil {
+			for _, v := range entries {
+				_, _ = v.Args, v.Rets
+			}
+		}
+		// The raw decoder must also survive the bytes as-is.
+		_, _ = DecodeArgs(corrupt)
+	})
+}

@@ -1,0 +1,137 @@
+package msg
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"vampos/internal/mem"
+)
+
+// TestLogTruncateProperties drives a randomly generated call history
+// through the log and checks the contract TruncateBefore gives the
+// checkpoint manager, for every history and every cut point:
+//
+//   - in-flight (open) records are never touched by truncation;
+//   - Epoch advances by exactly one per truncation and EpochSeq is
+//     monotone (a smaller, later cut cannot move it backwards);
+//   - image + tail ≡ full replay: the records surviving a cut at seq
+//     are exactly the completed records above seq, byte-identical —
+//     so replaying them on top of a checkpoint image that captured
+//     the prefix reproduces what replaying the full log would have.
+func TestLogTruncateProperties(t *testing.T) {
+	sessions := []SessionID{"fd:3", "fd:4", "fd:5", "sock:1"}
+	classes := []Class{ClassDurable, ClassOpener, ClassTransient, ClassCanceler}
+	f := func(ops []uint16, cutFrac, openTail uint8) bool {
+		if len(ops) > 64 {
+			ops = ops[:64]
+		}
+		m := mem.New(1024 * mem.PageSize)
+		d, err := NewDomain("vfs", m, 7, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := d.Log()
+		seq := uint64(0)
+		for _, op := range ops {
+			seq++
+			class := classes[int(op)%len(classes)]
+			session := sessions[int(op>>2)%len(sessions)]
+			r, err := l.BeginInbound(seq, fmt.Sprintf("fn%d", op%7), Args{int(op), "payload"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := l.EndInbound(r, session, class, Args{int64(seq)}, ""); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Leave a few records in flight, carrying the highest sequence
+		// numbers, as a FIFO-executed group log guarantees.
+		nOpen := int(openTail) % 4
+		for i := 0; i < nOpen; i++ {
+			seq++
+			if _, err := l.BeginInbound(seq, "inflight", Args{i}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before, err := l.Entries()
+		if err != nil {
+			t.Fatal(err)
+		}
+		epoch0, epochSeq0 := l.Epoch(), l.EpochSeq()
+		cut := seq * uint64(cutFrac) / 255
+
+		dropped, folded := l.TruncateBefore(cut)
+
+		// Open records survive any cut.
+		open := 0
+		for _, e := range l.entries {
+			if e.open {
+				open++
+			}
+		}
+		if open != nOpen {
+			t.Fatalf("cut %d: %d open records survive, want %d", cut, open, nOpen)
+		}
+		// Epoch/EpochSeq advance monotonically.
+		if l.Epoch() != epoch0+1 {
+			t.Fatalf("epoch = %d, want %d", l.Epoch(), epoch0+1)
+		}
+		want := epochSeq0
+		if cut > want {
+			want = cut
+		}
+		if l.EpochSeq() != want {
+			t.Fatalf("epochSeq = %d, want %d", l.EpochSeq(), want)
+		}
+		// The surviving tail is exactly the completed records above the
+		// cut, unchanged.
+		var tail []RecordView
+		for _, v := range before {
+			if v.Seq > cut {
+				tail = append(tail, v)
+			}
+		}
+		after, err := l.Entries()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(after) != len(tail) {
+			t.Fatalf("cut %d: %d records survive, want %d", cut, len(after), len(tail))
+		}
+		for i := range tail {
+			a, b := after[i], tail[i]
+			if a.Seq != b.Seq || a.Fn != b.Fn || a.Session != b.Session ||
+				a.Class != b.Class || a.Err != b.Err {
+				t.Fatalf("cut %d: record %d = %+v, want %+v", cut, i, a, b)
+			}
+			for j := range b.Args {
+				if !fuzzEqual(a.Args[j], b.Args[j]) {
+					t.Fatalf("cut %d: record %d arg %d changed", cut, i, j)
+				}
+			}
+			for j := range b.Rets {
+				if !fuzzEqual(a.Rets[j], b.Rets[j]) {
+					t.Fatalf("cut %d: record %d ret %d changed", cut, i, j)
+				}
+			}
+		}
+		if dropped+folded != len(before)-len(after) {
+			t.Fatalf("cut %d: dropped %d + folded %d != %d removed",
+				cut, dropped, folded, len(before)-len(after))
+		}
+		// A second, lower cut is a no-op on the entries and cannot move
+		// EpochSeq backwards.
+		l.TruncateBefore(cut / 2)
+		if l.EpochSeq() != want || l.Epoch() != epoch0+2 {
+			t.Fatalf("lower re-cut moved epochSeq to %d (epoch %d)", l.EpochSeq(), l.Epoch())
+		}
+		if again, _ := l.Entries(); len(again) != len(after) {
+			t.Fatalf("lower re-cut removed %d records", len(after)-len(again))
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -86,6 +86,13 @@ const (
 	// bound. Recovery timelines do not need them: the restore phase of
 	// the next reboot tells the same story.
 	KindCkpt
+	// KindRejuv covers one adaptive rejuvenation of a component: the
+	// pre-reboot checkpoint and the proactive reboot it schedules are its
+	// children. Like KindCkpt it is a span kind but NOT sticky —
+	// rejuvenations recur for the whole run, and the sticky KindReboot
+	// child (reason "rejuvenation") already preserves the recovery
+	// timeline.
+	KindRejuv
 )
 
 func (k Kind) String() string {
@@ -122,6 +129,8 @@ func (k Kind) String() string {
 		return "mark"
 	case KindCkpt:
 		return "ckpt"
+	case KindRejuv:
+		return "rejuv"
 	default:
 		return "event"
 	}

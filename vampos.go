@@ -41,6 +41,7 @@ package vampos
 import (
 	"io"
 
+	"vampos/internal/aging"
 	"vampos/internal/ckpt"
 	"vampos/internal/core"
 	"vampos/internal/faults"
@@ -73,6 +74,21 @@ type (
 	FaultSpec = core.FaultSpec
 	// Rejuvenator drives periodic proactive component reboots (§VII-D).
 	Rejuvenator = core.Rejuvenator
+	// AgingDriver is the adaptive rejuvenation controller: it samples
+	// per-component aging sensors at quiescent points on the virtual
+	// clock and reboots only the components whose observed aging crossed
+	// the policy thresholds (CoreConfig.Aging, Runtime.NewAgingDriver).
+	AgingDriver = core.AgingDriver
+	// AgingPolicy configures the adaptive controller: sample period,
+	// sensor window, per-sensor thresholds, hysteresis, cooldown and
+	// failure backoff (internal/aging).
+	AgingPolicy = aging.Policy
+	// AgingThresholds are the per-sensor firing levels of an AgingPolicy
+	// (negative disables a sensor, zero takes the default).
+	AgingThresholds = aging.Thresholds
+	// AgingStats is one monitored component's rejuvenation accounting
+	// (Runtime.AgingStats).
+	AgingStats = aging.Stats
 	// CkptPolicy names an incremental quiescent-point checkpoint cadence
 	// (CoreConfig.Ckpt / CkptPerComponent). The zero policy is the
 	// paper's behaviour: one post-init checkpoint, full-log replay.
@@ -138,6 +154,9 @@ var (
 	FSmConfig = core.FSmConfig
 	// NETmConfig merges the network components LWIP and NETDEV.
 	NETmConfig = core.NETmConfig
+	// DefaultAgingPolicy is the enabled adaptive-rejuvenation policy with
+	// every sensor at its default threshold.
+	DefaultAgingPolicy = aging.DefaultPolicy
 )
 
 // File open flags and whence values (Linux numeric convention).
