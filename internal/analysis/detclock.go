@@ -12,14 +12,16 @@ import (
 // campaign matrices differ across -parallel settings and breaks
 // byte-identical replay.
 var deterministicPkgs = map[string]bool{
-	modulePath + "/internal/core":     true,
-	modulePath + "/internal/msg":      true,
-	modulePath + "/internal/sched":    true,
-	modulePath + "/internal/campaign": true,
-	modulePath + "/internal/bench":    true,
-	modulePath + "/internal/clock":    true,
-	modulePath + "/internal/ckpt":     true,
-	modulePath + "/internal/aging":    true,
+	modulePath + "/internal/core":           true,
+	modulePath + "/internal/msg":            true,
+	modulePath + "/internal/sched":          true,
+	modulePath + "/internal/campaign":       true,
+	modulePath + "/internal/bench":          true,
+	modulePath + "/internal/clock":          true,
+	modulePath + "/internal/ckpt":           true,
+	modulePath + "/internal/aging":          true,
+	modulePath + "/internal/cluster":        true,
+	modulePath + "/internal/cluster/gossip": true,
 }
 
 // bannedTimeFuncs are the time package's ambient-wall-clock entry

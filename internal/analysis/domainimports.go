@@ -18,6 +18,7 @@ var componentRoots = []string{
 	modulePath + "/internal/ninep",
 	modulePath + "/internal/netdev",
 	modulePath + "/internal/virtio",
+	modulePath + "/internal/cluster/gossip",
 }
 
 // appsPrefix is the root of the application components.

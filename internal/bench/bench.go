@@ -102,6 +102,14 @@ type Scale struct {
 	AgingSamplePeriod  time.Duration // adaptive arm's sensor sample period
 	AgingLeakSlope     float64       // adaptive leak-slope threshold (B per virtual second)
 	AgingFrag          float64       // adaptive fragmentation threshold (negative = sensor off)
+
+	// Cluster availability figure (sync vs async replication across an
+	// instance kill)
+	ClusterNodes       int // cluster members
+	ClusterWrites      int // total write stream length
+	ClusterKillAt      int // write index at which the victim dies
+	ClusterReviveAt    int // write index at which it revives and resyncs
+	ClusterGossipEvery int // background gossip round every N writes
 }
 
 // DefaultScale keeps the full suite fast while preserving every shape.
@@ -135,6 +143,14 @@ func DefaultScale() Scale {
 		AgingSamplePeriod:  10 * time.Millisecond,
 		AgingLeakSlope:     256 << 10,
 		AgingFrag:          -1,
+		ClusterNodes:  3,
+		ClusterWrites: 120,
+		// The kill lands mid-gossip-interval (44 % 8 != 0) so the victim
+		// holds an acknowledged, not-yet-gossiped tail when it dies — the
+		// tail the async arm loses and the sync arm does not.
+		ClusterKillAt:      44,
+		ClusterReviveAt:    80,
+		ClusterGossipEvery: 8,
 	}
 }
 
@@ -162,6 +178,10 @@ func PaperScale() Scale {
 	s.AgingDuration = 8 * time.Second
 	s.AgingClients = 8
 	s.AgingPeriodicEvery = 500 * time.Millisecond
+	s.ClusterWrites = 600
+	s.ClusterKillAt = 200
+	s.ClusterReviveAt = 400
+	s.ClusterGossipEvery = 16
 	return s
 }
 

@@ -27,6 +27,9 @@ func tinyScale() Scale {
 	s.Fig8InjectAt = 4 * time.Second
 	s.AgingDuration = 1200 * time.Millisecond
 	s.AgingClients = 2
+	s.ClusterWrites = 48
+	s.ClusterKillAt = 20
+	s.ClusterReviveAt = 32
 	return s
 }
 
@@ -409,5 +412,49 @@ func TestAgingShapeInvariants(t *testing.T) {
 	}
 	if out := res.Render(); !strings.Contains(out, "adaptive") || !strings.Contains(out, "leak-slope") {
 		t.Error("render missing adaptive row")
+	}
+}
+
+func TestClusterShapeInvariants(t *testing.T) {
+	res, err := RunCluster(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[ClusterArm]ClusterRow{}
+	for _, r := range res.Rows {
+		rows[r.Arm] = r
+	}
+	sync, async := rows[ClusterSync], rows[ClusterAsync]
+	if sync.Arm == "" || async.Arm == "" {
+		t.Fatalf("missing arm in %+v", res.Rows)
+	}
+	for _, r := range []ClusterRow{sync, async} {
+		// Both arms keep serving through the outage and reconverge.
+		if !r.Converged {
+			t.Errorf("%s: replicas did not converge", r.Arm)
+		}
+		if r.OutageAcked == 0 {
+			t.Errorf("%s: no writes acknowledged during the outage (no failover)", r.Arm)
+		}
+		if r.ReconvergeVirtual <= 0 || r.ReconvergeRounds < 1 {
+			t.Errorf("%s: no reconvergence recorded (virtual=%v rounds=%d)",
+				r.Arm, r.ReconvergeVirtual, r.ReconvergeRounds)
+		}
+		if r.Acked+r.Rejected != r.Writes {
+			t.Errorf("%s: acked %d + rejected %d != writes %d", r.Arm, r.Acked, r.Rejected, r.Writes)
+		}
+	}
+	// The figure's claim: synchronous quorum replication loses zero
+	// acknowledged writes across the kill; acking at the owner alone
+	// loses the un-gossiped tail.
+	if sync.AckedLost != 0 {
+		t.Errorf("sync-quorum lost %d acknowledged writes, want 0", sync.AckedLost)
+	}
+	if async.AckedLost <= sync.AckedLost {
+		t.Errorf("async-gossip lost %d acknowledged writes, want more than sync's %d",
+			async.AckedLost, sync.AckedLost)
+	}
+	if out := res.Render(); !strings.Contains(out, "sync-quorum") || !strings.Contains(out, "acked lost") {
+		t.Error("render missing cluster rows")
 	}
 }

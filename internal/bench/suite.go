@@ -23,10 +23,11 @@ type Suite struct {
 	Ablate   *AblationResult
 	Recovery *RecoveryResult
 	Aging    *AgingResult
+	Cluster  *ClusterResult
 }
 
 // experiment names accepted by Run.
-var experimentNames = []string{"fig5", "table3", "fig6", "fig7", "table4", "table5", "fig8", "ablation", "recovery", "aging"}
+var experimentNames = []string{"fig5", "table3", "fig6", "fig7", "table4", "table5", "fig8", "ablation", "recovery", "aging", "cluster"}
 
 // ExperimentNames lists the runnable experiment ids.
 func ExperimentNames() []string {
@@ -95,6 +96,11 @@ func (s *Suite) Run(name string, w io.Writer) error {
 			s.Aging, err = RunAging(s.Scale)
 			if err == nil {
 				out = s.Aging.Render()
+			}
+		case "cluster":
+			s.Cluster, err = RunCluster(s.Scale)
+			if err == nil {
+				out = s.Cluster.Render()
 			}
 		default:
 			return fmt.Errorf("bench: unknown experiment %q (have %v)", id, experimentNames)

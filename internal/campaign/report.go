@@ -112,6 +112,11 @@ func (m *Matrix) Render() string {
 		}
 		sort.Strings(comps)
 		width := 12
+		for _, f := range faultOrder {
+			if len(f)+2 > width {
+				width = len(f) + 2
+			}
+		}
 		fmt.Fprintf(&b, "  %-10s", "component")
 		for _, f := range faultOrder {
 			fmt.Fprintf(&b, "%-*s", width, f)

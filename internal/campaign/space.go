@@ -27,11 +27,34 @@ const (
 	// rejuvenation controller (Config.Aging) watches the component's
 	// health sensors: recovery must be sensor-triggered, not scheduled.
 	FaultAging FaultName = "aging"
+	// FaultInstanceKill is an instance-level fault of the cluster
+	// workload: a VIRTIO fault on one member that component reboot
+	// cannot contain, forcing escalation to whole-instance kill,
+	// failover, and reboot-and-resync from the surviving replicas.
+	FaultInstanceKill FaultName = "instancekill"
+	// FaultPartition is an instance-level fault of the cluster
+	// workload: one member is cut off from its peers; the majority must
+	// keep acknowledging writes, the minority must refuse them, and the
+	// heal must reconverge every replica to one state.
+	FaultPartition FaultName = "partition"
 )
 
 // AllFaults lists every fault kind in presentation order.
 func AllFaults() []FaultName {
-	return []FaultName{FaultCrash, FaultHang, FaultErrno, FaultLeak, FaultWildWrite, FaultAging}
+	return []FaultName{FaultCrash, FaultHang, FaultErrno, FaultLeak, FaultWildWrite, FaultAging,
+		FaultInstanceKill, FaultPartition}
+}
+
+// ClusterWorkload is the multi-instance workload name: N replicated
+// members instead of one instance. It only pairs with the cluster
+// fault kinds and is opted into via -workloads, never by default.
+const ClusterWorkload = "cluster"
+
+// clusterFaults lists the instance-level fault kinds.
+func clusterFaults() []FaultName { return []FaultName{FaultInstanceKill, FaultPartition} }
+
+func (f FaultName) clusterFault() bool {
+	return f == FaultInstanceKill || f == FaultPartition
 }
 
 // DefaultFaults is the default campaign slice: the paper's two fail-stop
@@ -150,6 +173,40 @@ func EnumerateSpace(o SpaceOptions) ([]Cell, error) {
 	var cells []Cell
 	seenComponents := map[string]bool{}
 	for _, w := range o.Workloads {
+		if w == ClusterWorkload {
+			// Multi-instance cells: the component dimension selects the
+			// victim member, the fault dimension the instance-level fault.
+			// When the selected faults include no cluster fault (the
+			// default slice is crash/hang), both cluster kinds run.
+			sel := make([]FaultName, 0, 2)
+			for _, f := range o.Faults {
+				if f.clusterFault() {
+					sel = append(sel, f)
+				}
+			}
+			if len(sel) == 0 {
+				sel = clusterFaults()
+			}
+			for _, cfg := range o.Configs {
+				if _, err := coreConfigFor(cfg); err != nil {
+					return nil, err
+				}
+				for v := 0; v < clusterNodes; v++ {
+					comp := fmt.Sprintf("node%d", v)
+					seenComponents[comp] = true
+					if len(o.Components) > 0 && !containsString(o.Components, comp) {
+						continue
+					}
+					for _, fault := range sel {
+						cells = append(cells, Cell{
+							Workload: w, Config: cfg, Component: comp,
+							Function: core.AnyFunction, Fault: fault,
+						})
+					}
+				}
+			}
+			continue
+		}
 		for _, cfg := range o.Configs {
 			cc, err := coreConfigFor(cfg)
 			if err != nil {
@@ -180,6 +237,9 @@ func EnumerateSpace(o SpaceOptions) ([]Cell, error) {
 				}
 				unrebootable := byComp[comp][0].Unrebootable
 				for _, fault := range o.Faults {
+					if fault.clusterFault() {
+						continue // instance-level kinds only pair with the cluster workload
+					}
 					fns := []string{core.AnyFunction}
 					if o.Functions == "each" && fault != FaultLeak && fault != FaultWildWrite && fault != FaultAging {
 						fns = fns[:0]

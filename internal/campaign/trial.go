@@ -114,6 +114,9 @@ func trialSeed(campaignSeed int64, id string) uint64 {
 // runTrial executes one cell on a fresh, fully isolated instance and
 // judges it. Safe to call from any goroutine: instances share no state.
 func runTrial(cell Cell, opts Options) (res CellResult) {
+	if cell.Workload == ClusterWorkload {
+		return runClusterTrial(cell, opts)
+	}
 	res = CellResult{Cell: cell, TrialID: cell.ID()}
 	defer func() {
 		if r := recover(); r != nil {

@@ -1,0 +1,588 @@
+// Package cluster runs N unikernel instances in one process and
+// replicates the redis/KVS application state between them with a
+// delta-gossip protocol over per-key vector clocks (internal/cluster/
+// gossip). It extends the paper's recovery hierarchy one level up:
+// component reboot remains the first rung, but a fault the instance
+// cannot contain — a VIRTIO failure, a whole-instance crash, a network
+// partition — escalates to killing the member and rebuilding it from
+// its peers by anti-entropy resync, the microreboot ladder Candea
+// argues for and ReHype applies below the kernel.
+//
+// The coordinator is strictly single-threaded and every member only
+// executes while the coordinator waits on it (see node), so a
+// multi-instance cluster is as deterministic as one instance: the same
+// seed yields byte-identical trial matrices regardless of -parallel.
+//
+// Routing is per-key ownership on a hash ring: the owner is the first
+// live reachable candidate in ring order, writes are acknowledged only
+// after the owner and Replication-1 backups applied them (synchronous
+// W-replication), so a partitioned minority rejects writes instead of
+// accepting ones it could later lose — the invariant behind the
+// campaign oracle's "zero acknowledged writes lost".
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"vampos/internal/cluster/gossip"
+	"vampos/internal/core"
+	"vampos/internal/unikernel"
+)
+
+// Config sizes and parameterises a cluster.
+type Config struct {
+	// Nodes is the member count. Default 3.
+	Nodes int
+	// Replication is the synchronous write quorum W: the owner plus W-1
+	// backups must apply a write before it is acknowledged. Default 2.
+	Replication int
+	// Core is the per-member runtime configuration. Default DaSConfig.
+	Core core.Config
+	// BootDelay is the out-of-simulation boot cost charged to a revived
+	// member's virtual clock. Zero takes the unikernel default (300ms).
+	BootDelay time.Duration
+	// MaxGossipRounds bounds GossipUntilQuiet. Default 64.
+	MaxGossipRounds int
+	// OnInstance, when set, is called for every assembled member (boots
+	// and revivals) before it starts — the hook campaigns use to attach
+	// flight recorders.
+	OnInstance func(id int, inst *unikernel.Instance)
+}
+
+func (c Config) fill() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 3
+	}
+	if c.Replication == 0 {
+		c.Replication = 2
+	}
+	if c.Core.MemorySize == 0 {
+		c.Core = core.DaSConfig()
+	}
+	if c.MaxGossipRounds == 0 {
+		c.MaxGossipRounds = 64
+	}
+	return c
+}
+
+// Stats is the cluster's lifetime accounting.
+type Stats struct {
+	Puts, Gets, Dels uint64
+	// Acked counts writes acknowledged to the client (owner + W-1
+	// backups applied); Rejected counts writes refused or failed before
+	// acknowledgement. Every write is exactly one of the two.
+	Acked, Rejected uint64
+	// Kills/Revives/Resyncs count whole-instance deaths, rebuilds, and
+	// anti-entropy full-state syncs into revived members.
+	Kills, Revives, Resyncs uint64
+	// ComponentReboots counts first-rung recoveries that sufficed;
+	// Escalations counts containment failures promoted to instance kill.
+	ComponentReboots, Escalations uint64
+	// GossipRounds / DeltasDelivered account the background anti-entropy
+	// traffic the coordinator pumped.
+	GossipRounds, DeltasDelivered uint64
+}
+
+// EscalationRecord reports how RecoverComponent resolved a fault.
+type EscalationRecord struct {
+	Node      int
+	Component string
+	// Err is the component-reboot failure that forced escalation; nil
+	// when the first rung sufficed.
+	Err error
+	// Escalated is true when the member was killed (second rung); the
+	// caller decides when to ReviveInstance.
+	Escalated bool
+}
+
+// ErrNotReplicated reports a write that could not reach a full quorum
+// and therefore was NOT acknowledged.
+var ErrNotReplicated = errors.New("cluster: write not replicated to quorum")
+
+// Cluster is the coordinator over N member instances.
+type Cluster struct {
+	cfg   Config
+	nodes []*node
+	alive []bool
+	cut   [][]bool // cut[i][j]: link i->j severed by a partition
+	stats Stats
+}
+
+// New assembles and boots a cluster. On error, members already running
+// are stopped.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.fill()
+	if cfg.Replication > cfg.Nodes {
+		return nil, fmt.Errorf("cluster: replication %d exceeds %d nodes", cfg.Replication, cfg.Nodes)
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		nodes: make([]*node, cfg.Nodes),
+		alive: make([]bool, cfg.Nodes),
+		cut:   make([][]bool, cfg.Nodes),
+	}
+	for i := range c.cut {
+		c.cut[i] = make([]bool, cfg.Nodes)
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		n, err := newNode(i, cfg.Nodes, cfg.Core, cfg.BootDelay)
+		if err != nil {
+			c.Stop()
+			return nil, err
+		}
+		if cfg.OnInstance != nil {
+			cfg.OnInstance(i, n.inst)
+		}
+		n.start()
+		c.nodes[i] = n
+		c.alive[i] = true
+		if err := n.barrier(); err != nil {
+			c.Stop()
+			return nil, fmt.Errorf("cluster: boot node %d: %w", i, err)
+		}
+	}
+	return c, nil
+}
+
+// Stop kills every live member.
+func (c *Cluster) Stop() {
+	for i, n := range c.nodes {
+		if n != nil && c.alive[i] {
+			_ = n.kill()
+			c.alive[i] = false
+		}
+	}
+}
+
+// Nodes returns the member count.
+func (c *Cluster) Nodes() int { return c.cfg.Nodes }
+
+// Alive reports whether member id is running.
+func (c *Cluster) Alive(id int) bool { return id >= 0 && id < len(c.alive) && c.alive[id] }
+
+// Stats returns a copy of the lifetime accounting.
+func (c *Cluster) Stats() Stats { return c.stats }
+
+// Instance exposes a member's unikernel instance (read-only use: the
+// member only executes inside coordinator calls).
+func (c *Cluster) Instance(id int) *unikernel.Instance { return c.nodes[id].inst }
+
+// NodeVirtual returns member id's virtual clock reading.
+func (c *Cluster) NodeVirtual(id int) time.Duration { return c.nodes[id].virtual() }
+
+// fnv1a is the same hash the campaign seeder uses; here it anchors
+// per-key ring placement.
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (c *Cluster) reachable(i, j int) bool {
+	return c.alive[i] && c.alive[j] && !c.cut[i][j]
+}
+
+// candidates returns the replica ring for key, in ownership order,
+// filtered to members that are alive and reachable from via. The first
+// entry is the acting owner — when the home node is dead or cut off,
+// ownership fails over to the next candidate, invisibly to the client.
+func (c *Cluster) candidates(key string, via int) []int {
+	start := int(fnv1a(key) % uint64(c.cfg.Nodes))
+	var out []int
+	for k := 0; k < c.cfg.Nodes; k++ {
+		id := (start + k) % c.cfg.Nodes
+		if id == via && c.alive[id] {
+			out = append(out, id)
+			continue
+		}
+		if c.reachable(via, id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// validate enforces the line-protocol constraints replication inherits
+// from redis: keys are space- and newline-free, values newline-free.
+func validate(key, val string) error {
+	if key == "" || strings.ContainsAny(key, " \n") {
+		return fmt.Errorf("cluster: invalid key %q", key)
+	}
+	if strings.Contains(val, "\n") {
+		return fmt.Errorf("cluster: invalid value %q", val)
+	}
+	return nil
+}
+
+// execKV runs one redis command inside a member and checks the reply.
+func execKV(s *unikernel.Sys, n *node, line, wantPrefix string) error {
+	resp := n.kv.Execute(s, line)
+	if !strings.HasPrefix(resp, wantPrefix) {
+		return fmt.Errorf("cluster: node %d: %q -> %q", n.id, line, strings.TrimSuffix(resp, "\n"))
+	}
+	return nil
+}
+
+// applyEntries installs accepted gossip entries into a member's redis
+// store, keeping the app state in step with the replication table.
+func applyEntries(s *unikernel.Sys, n *node, entries []gossip.Entry) error {
+	for _, e := range entries {
+		if e.Deleted {
+			if err := execKV(s, n, "DEL "+e.Key, ":"); err != nil {
+				return err
+			}
+		} else {
+			if err := execKV(s, n, "SET "+e.Key+" "+string(e.Val), "+OK"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// deliver hands a gossip payload from member `from` to member `to`:
+// merge into the table, then mirror the accepted winners into redis.
+func (c *Cluster) deliver(to, from int, payload []byte) error {
+	n := c.nodes[to]
+	return n.do(func(s *unikernel.Sys) error {
+		rets, err := s.Ctx().Call(gossip.Name, "gsp_apply", payload, from)
+		if err != nil {
+			return err
+		}
+		acc, err := rets.Bytes(0)
+		if err != nil {
+			return err
+		}
+		entries, err := gossip.DecodeEntries(acc)
+		if err != nil {
+			return err
+		}
+		return applyEntries(s, n, entries)
+	})
+}
+
+// PutVia writes key=val as a client attached to member via. The write
+// is acknowledged (nil error) only after the owner and Replication-1
+// backups applied it; any other outcome returns an error and the write
+// was never acknowledged.
+func (c *Cluster) PutVia(via int, key, val string) error {
+	c.stats.Puts++
+	return c.writeVia(via, key, val, false)
+}
+
+// DelVia deletes key as a client attached to member via, with the same
+// acknowledgement rule as PutVia.
+func (c *Cluster) DelVia(via int, key string) error {
+	c.stats.Dels++
+	return c.writeVia(via, key, "", true)
+}
+
+func (c *Cluster) writeVia(via int, key, val string, del bool) error {
+	if err := validate(key, val); err != nil {
+		c.stats.Rejected++
+		return err
+	}
+	if !c.Alive(via) {
+		c.stats.Rejected++
+		return fmt.Errorf("cluster: via node %d is down", via)
+	}
+	cands := c.candidates(key, via)
+	if len(cands) < c.cfg.Replication {
+		c.stats.Rejected++
+		return fmt.Errorf("%w: %d of %d replicas reachable from node %d",
+			ErrNotReplicated, len(cands), c.cfg.Replication, via)
+	}
+	owner, backups := cands[0], cands[1:c.cfg.Replication]
+	for _, b := range backups {
+		if !c.reachable(owner, b) {
+			c.stats.Rejected++
+			return fmt.Errorf("%w: owner %d cannot reach backup %d", ErrNotReplicated, owner, b)
+		}
+	}
+	on := c.nodes[owner]
+	var delta []byte
+	err := on.do(func(s *unikernel.Sys) error {
+		rets, err := s.Ctx().Call(gossip.Name, "gsp_put", key, []byte(val), del)
+		if err != nil {
+			return err
+		}
+		if delta, err = rets.Bytes(0); err != nil {
+			return err
+		}
+		if del {
+			return execKV(s, on, "DEL "+key, ":")
+		}
+		return execKV(s, on, "SET "+key+" "+val, "+OK")
+	})
+	if err != nil {
+		c.stats.Rejected++
+		return fmt.Errorf("cluster: owner %d: %w", owner, err)
+	}
+	for _, b := range backups {
+		if err := c.deliver(b, owner, delta); err != nil {
+			c.stats.Rejected++
+			return fmt.Errorf("%w: backup %d: %v", ErrNotReplicated, b, err)
+		}
+	}
+	c.stats.Acked++
+	return nil
+}
+
+// GetVia reads key as a client attached to member via, served by the
+// first reachable candidate in ring order.
+func (c *Cluster) GetVia(via int, key string) (string, bool, error) {
+	c.stats.Gets++
+	if !c.Alive(via) {
+		return "", false, fmt.Errorf("cluster: via node %d is down", via)
+	}
+	cands := c.candidates(key, via)
+	if len(cands) == 0 {
+		return "", false, fmt.Errorf("cluster: no replica of %q reachable from node %d", key, via)
+	}
+	return c.GetFrom(cands[0], key)
+}
+
+// GetFrom reads key from one specific member — the durability oracle's
+// view of a single replica.
+func (c *Cluster) GetFrom(id int, key string) (string, bool, error) {
+	var val string
+	var ok bool
+	n := c.nodes[id]
+	err := n.do(func(s *unikernel.Sys) error {
+		resp := n.kv.Execute(s, "GET "+key)
+		if resp == "$-1\n" {
+			return nil
+		}
+		nl := strings.IndexByte(resp, '\n')
+		if !strings.HasPrefix(resp, "$") || nl < 0 {
+			return fmt.Errorf("cluster: node %d: GET %q -> %q", id, key, resp)
+		}
+		size, err := strconv.Atoi(resp[1:nl])
+		if err != nil || len(resp) < nl+1+size+1 {
+			return fmt.Errorf("cluster: node %d: bad GET reply %q", id, resp)
+		}
+		val, ok = resp[nl+1:nl+1+size], true
+		return nil
+	})
+	return val, ok, err
+}
+
+// GossipRound pumps one anti-entropy round: for every ordered live,
+// uncut pair (i, j), drain i's pending deltas for j and deliver them.
+// Severed links keep their queues, so healing a partition releases the
+// backlog. Returns the number of entries delivered.
+func (c *Cluster) GossipRound() (int, error) {
+	delivered := 0
+	for i := range c.nodes {
+		if !c.alive[i] {
+			continue
+		}
+		for j := range c.nodes {
+			if i == j || !c.reachable(i, j) {
+				continue
+			}
+			var payload []byte
+			var cnt int
+			err := c.nodes[i].do(func(s *unikernel.Sys) error {
+				rets, err := s.Ctx().Call(gossip.Name, "gsp_drain", j)
+				if err != nil {
+					return err
+				}
+				if payload, err = rets.Bytes(0); err != nil {
+					return err
+				}
+				cnt, err = rets.Int(1)
+				return err
+			})
+			if err != nil {
+				return delivered, err
+			}
+			if cnt == 0 {
+				continue
+			}
+			if err := c.deliver(j, i, payload); err != nil {
+				return delivered, err
+			}
+			delivered += cnt
+		}
+	}
+	c.stats.GossipRounds++
+	c.stats.DeltasDelivered += uint64(delivered)
+	return delivered, nil
+}
+
+// GossipUntilQuiet pumps rounds until one delivers nothing (the flood
+// converged) or MaxGossipRounds is hit. Returns the rounds pumped.
+func (c *Cluster) GossipUntilQuiet() (int, error) {
+	for r := 1; r <= c.cfg.MaxGossipRounds; r++ {
+		n, err := c.GossipRound()
+		if err != nil {
+			return r, err
+		}
+		if n == 0 {
+			return r, nil
+		}
+	}
+	return c.cfg.MaxGossipRounds, fmt.Errorf("cluster: gossip not quiet after %d rounds", c.cfg.MaxGossipRounds)
+}
+
+// Isolate severs every link between member id and the rest: a network
+// partition splitting {id} from the majority.
+func (c *Cluster) Isolate(id int) {
+	for j := range c.nodes {
+		if j != id {
+			c.cut[id][j] = true
+			c.cut[j][id] = true
+		}
+	}
+}
+
+// Heal restores every severed link; queued deltas flow on the next
+// gossip round.
+func (c *Cluster) Heal() {
+	for i := range c.cut {
+		for j := range c.cut[i] {
+			c.cut[i][j] = false
+		}
+	}
+}
+
+// KillInstance kills member id outright: its redis store, gossip table
+// and component state are lost; only the replicas survive.
+func (c *Cluster) KillInstance(id int) error {
+	if !c.Alive(id) {
+		return fmt.Errorf("cluster: node %d already down", id)
+	}
+	err := c.nodes[id].kill()
+	c.alive[id] = false
+	c.stats.Kills++
+	return err
+}
+
+// ReviveInstance rebuilds member id from scratch: fresh instance,
+// boot-delay charge, then an anti-entropy full-state sync from the
+// first reachable live donor BEFORE the member becomes eligible for
+// routing — a revived member must never serve (or mint clocks) from a
+// state older than what the cluster acknowledged.
+func (c *Cluster) ReviveInstance(id int) error {
+	if c.Alive(id) {
+		return fmt.Errorf("cluster: node %d still alive", id)
+	}
+	n, err := newNode(id, c.cfg.Nodes, c.cfg.Core, c.cfg.BootDelay)
+	if err != nil {
+		return err
+	}
+	if c.cfg.OnInstance != nil {
+		c.cfg.OnInstance(id, n.inst)
+	}
+	n.start()
+	if err := n.barrier(); err != nil {
+		return fmt.Errorf("cluster: reboot node %d: %w", id, err)
+	}
+	if err := n.do(func(s *unikernel.Sys) error {
+		s.Sleep(n.inst.Config().BootDelay)
+		return nil
+	}); err != nil {
+		return err
+	}
+	c.nodes[id] = n
+	donor := -1
+	for j := range c.nodes {
+		if j != id && c.alive[j] && !c.cut[id][j] {
+			donor = j
+			break
+		}
+	}
+	if donor >= 0 {
+		var state []byte
+		err := c.nodes[donor].do(func(s *unikernel.Sys) error {
+			rets, err := s.Ctx().Call(gossip.Name, "gsp_state")
+			if err != nil {
+				return err
+			}
+			state, err = rets.Bytes(0)
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("cluster: resync donor %d: %w", donor, err)
+		}
+		if err := c.deliver(id, donor, state); err != nil {
+			return fmt.Errorf("cluster: resync node %d: %w", id, err)
+		}
+		c.stats.Resyncs++
+	}
+	c.alive[id] = true
+	c.stats.Revives++
+	return nil
+}
+
+// RecoverComponent climbs the escalation ladder for a faulted component
+// on member id: try the paper's component-level reboot first; when the
+// instance cannot contain the fault (ErrUnrebootable VIRTIO, failed
+// restore), escalate to killing the whole member. The caller revives it
+// when ready; until then the survivors carry the load.
+func (c *Cluster) RecoverComponent(id int, component string) (EscalationRecord, error) {
+	rec := EscalationRecord{Node: id, Component: component}
+	if !c.Alive(id) {
+		return rec, fmt.Errorf("cluster: node %d is down", id)
+	}
+	err := c.nodes[id].do(func(s *unikernel.Sys) error { return s.Reboot(component) })
+	if err == nil {
+		c.stats.ComponentReboots++
+		return rec, nil
+	}
+	rec.Err = err
+	rec.Escalated = true
+	c.stats.Escalations++
+	if kerr := c.KillInstance(id); kerr != nil && !errors.Is(kerr, err) {
+		return rec, kerr
+	}
+	return rec, nil
+}
+
+// Snapshot returns member id's canonical replication state: the sorted,
+// encoded gossip table. Two members byte-agree iff converged.
+func (c *Cluster) Snapshot(id int) ([]byte, error) {
+	var state []byte
+	err := c.nodes[id].do(func(s *unikernel.Sys) error {
+		rets, err := s.Ctx().Call(gossip.Name, "gsp_state")
+		if err != nil {
+			return err
+		}
+		state, err = rets.Bytes(0)
+		return err
+	})
+	return state, err
+}
+
+// Converged reports whether every live member holds byte-identical
+// replication state.
+func (c *Cluster) Converged() (bool, error) {
+	var ref []byte
+	first := true
+	for i := range c.nodes {
+		if !c.alive[i] {
+			continue
+		}
+		snap, err := c.Snapshot(i)
+		if err != nil {
+			return false, err
+		}
+		if first {
+			ref, first = snap, false
+			continue
+		}
+		if !bytes.Equal(ref, snap) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"vampos/internal/core"
+)
+
+func newTestCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := New(Config{Nodes: 3, Replication: 2, Core: core.DaSConfig()})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+// quiesce pumps gossip to convergence and asserts every live replica
+// byte-agrees.
+func quiesce(t *testing.T, c *Cluster) {
+	t.Helper()
+	if _, err := c.GossipUntilQuiet(); err != nil {
+		t.Fatalf("GossipUntilQuiet: %v", err)
+	}
+	ok, err := c.Converged()
+	if err != nil {
+		t.Fatalf("Converged: %v", err)
+	}
+	if !ok {
+		t.Fatal("replicas disagree after quiet gossip")
+	}
+}
+
+// expectEverywhere asserts key=val is readable on every live member.
+func expectEverywhere(t *testing.T, c *Cluster, key, val string) {
+	t.Helper()
+	for id := 0; id < c.Nodes(); id++ {
+		if !c.Alive(id) {
+			continue
+		}
+		got, ok, err := c.GetFrom(id, key)
+		if err != nil {
+			t.Fatalf("GetFrom(%d, %q): %v", id, key, err)
+		}
+		if !ok || got != val {
+			t.Fatalf("node %d: %q = %q (present=%v), want %q", id, key, got, ok, val)
+		}
+	}
+}
+
+func TestClusterReplication(t *testing.T) {
+	c := newTestCluster(t)
+	for i := 0; i < 9; i++ {
+		key := fmt.Sprintf("k%02d", i)
+		if err := c.PutVia(i%3, key, fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatalf("PutVia(%q): %v", key, err)
+		}
+	}
+	quiesce(t, c)
+	for i := 0; i < 9; i++ {
+		expectEverywhere(t, c, fmt.Sprintf("k%02d", i), fmt.Sprintf("v%d", i))
+	}
+	// Overwrite and delete propagate too.
+	if err := c.PutVia(1, "k00", "v0b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DelVia(2, "k01"); err != nil {
+		t.Fatal(err)
+	}
+	quiesce(t, c)
+	expectEverywhere(t, c, "k00", "v0b")
+	for id := 0; id < 3; id++ {
+		if _, ok, _ := c.GetFrom(id, "k01"); ok {
+			t.Fatalf("node %d still holds deleted k01", id)
+		}
+	}
+	st := c.Stats()
+	if st.Acked != 11 || st.Rejected != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestKillReviveDurability(t *testing.T) {
+	c := newTestCluster(t)
+	acked := map[string]string{}
+	put := func(via int, key, val string) {
+		t.Helper()
+		if err := c.PutVia(via, key, val); err != nil {
+			t.Fatalf("PutVia(%d, %q): %v", via, key, err)
+		}
+		acked[key] = val
+	}
+	for i := 0; i < 8; i++ {
+		put(i%3, fmt.Sprintf("warm%02d", i), fmt.Sprintf("w%d", i))
+	}
+	quiesce(t, c)
+
+	victim := 1
+	if err := c.KillInstance(victim); err != nil {
+		t.Fatalf("KillInstance: %v", err)
+	}
+	// Writes during the outage fail over to the survivors and still ack.
+	for i := 0; i < 6; i++ {
+		put((victim + 1 + i%2) % 3, fmt.Sprintf("out%02d", i), fmt.Sprintf("o%d", i))
+	}
+	if err := c.ReviveInstance(victim); err != nil {
+		t.Fatalf("ReviveInstance: %v", err)
+	}
+	quiesce(t, c)
+	// Zero acknowledged writes lost: every acked key on every member,
+	// including the revived one whose local state died with it.
+	for k, v := range acked {
+		expectEverywhere(t, c, k, v)
+	}
+	st := c.Stats()
+	if st.Kills != 1 || st.Revives != 1 || st.Resyncs != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Rejected != 0 {
+		t.Fatalf("unexpected rejects: %+v", st)
+	}
+	if v := c.NodeVirtual(victim); v <= 0 {
+		t.Fatalf("revived node virtual clock %v", v)
+	}
+}
+
+func TestPartitionHeal(t *testing.T) {
+	c := newTestCluster(t)
+	for i := 0; i < 6; i++ {
+		if err := c.PutVia(0, fmt.Sprintf("w%02d", i), "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	quiesce(t, c)
+
+	victim := 2
+	c.Isolate(victim)
+	// The majority side keeps acknowledging writes.
+	for i := 0; i < 4; i++ {
+		via := (victim + 1 + i%2) % 3
+		if err := c.PutVia(via, fmt.Sprintf("maj%02d", i), "m"); err != nil {
+			t.Fatalf("majority write %d: %v", i, err)
+		}
+	}
+	// The isolated minority cannot reach a quorum: every write is
+	// refused, never acknowledged — so none can be lost.
+	for i := 0; i < 3; i++ {
+		if err := c.PutVia(victim, fmt.Sprintf("min%02d", i), "m"); err == nil {
+			t.Fatalf("minority write %d was acknowledged", i)
+		}
+	}
+	c.Heal()
+	quiesce(t, c)
+	for i := 0; i < 4; i++ {
+		expectEverywhere(t, c, fmt.Sprintf("maj%02d", i), "m")
+	}
+	st := c.Stats()
+	if st.Rejected != 3 {
+		t.Fatalf("want 3 rejected minority writes, stats %+v", st)
+	}
+}
+
+// TestEscalationLadder: a reboot-able component recovers on the first
+// rung without touching the instance; the unrebootable VIRTIO escalates
+// to instance kill + revive + resync.
+func TestEscalationLadder(t *testing.T) {
+	c := newTestCluster(t)
+	for i := 0; i < 6; i++ {
+		if err := c.PutVia(i%3, fmt.Sprintf("k%02d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	quiesce(t, c)
+
+	rec, err := c.RecoverComponent(0, "vfs")
+	if err != nil {
+		t.Fatalf("RecoverComponent(vfs): %v", err)
+	}
+	if rec.Escalated {
+		t.Fatalf("vfs reboot escalated: %+v", rec)
+	}
+	if !c.Alive(0) {
+		t.Fatal("node 0 died on a component reboot")
+	}
+
+	rec, err = c.RecoverComponent(0, "virtio")
+	if err != nil {
+		t.Fatalf("RecoverComponent(virtio): %v", err)
+	}
+	if !rec.Escalated || rec.Err == nil {
+		t.Fatalf("virtio fault did not escalate: %+v", rec)
+	}
+	if c.Alive(0) {
+		t.Fatal("escalation left node 0 alive")
+	}
+	if err := c.ReviveInstance(0); err != nil {
+		t.Fatalf("ReviveInstance: %v", err)
+	}
+	quiesce(t, c)
+	for i := 0; i < 6; i++ {
+		expectEverywhere(t, c, fmt.Sprintf("k%02d", i), "v")
+	}
+	st := c.Stats()
+	if st.ComponentReboots != 1 || st.Escalations != 1 || st.Kills != 1 || st.Revives != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestGossipComponentReboot: the gossip component itself is stateful
+// and recovers by encapsulated replay — rebooting it must reproduce the
+// exact replication table.
+func TestGossipComponentReboot(t *testing.T) {
+	c := newTestCluster(t)
+	for i := 0; i < 6; i++ {
+		if err := c.PutVia(i%3, fmt.Sprintf("k%02d", i), fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	quiesce(t, c)
+	before, err := c.Snapshot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.RecoverComponent(1, "gossip")
+	if err != nil || rec.Escalated {
+		t.Fatalf("gossip reboot: rec=%+v err=%v", rec, err)
+	}
+	after, err := c.Snapshot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("gossip table diverged across component reboot")
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.PutVia(0, "bad key", "v"); err == nil {
+		t.Fatal("key with space accepted")
+	}
+	if err := c.PutVia(0, "k", "bad\nval"); err == nil {
+		t.Fatal("value with newline accepted")
+	}
+	if st := c.Stats(); st.Rejected != 2 || st.Acked != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

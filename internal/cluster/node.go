@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"vampos/internal/apps/redis"
+	"vampos/internal/cluster/gossip"
+	"vampos/internal/core"
+	"vampos/internal/unikernel"
+)
+
+// node is one cluster member: a full unikernel instance (redis app,
+// VFS/9PFS, LWIP/NETDEV, VIRTIO, plus the gossip component) driven in
+// lockstep by the coordinator. The member's discrete-event simulation
+// lives on a dedicated host goroutine, but it only ever executes while
+// the coordinator is blocked inside do(): the control thread parks on
+// the cmds channel — freezing the whole instance, virtual clock
+// included, at a quiescent point — until the coordinator hands it a
+// command and waits for the reply. At most one simulated world runs at
+// any real-time instant, which is what keeps multi-instance trials as
+// deterministic as single-instance ones.
+type node struct {
+	id   int
+	inst *unikernel.Instance
+	kv   *redis.App
+
+	cmds chan func(*unikernel.Sys) error
+	done chan error
+	exit chan error
+
+	bootErr error // set by serve before exit when StartApp failed
+	reaped  bool  // coordinator-side: exit consumed
+	exitErr error
+}
+
+// newNode assembles (but does not boot) member id of an n-member
+// cluster. The redis app runs without its AOF: in a cluster, durability
+// comes from replication, and losing the local store on instance death
+// is exactly the failure the anti-entropy resync must cover.
+func newNode(id, nodes int, coreCfg core.Config, bootDelay time.Duration) (*node, error) {
+	kv := redis.New()
+	kv.AOF = false
+	cfg := kv.Profile(unikernel.Config{Core: coreCfg, BootDelay: bootDelay})
+	inst, err := unikernel.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: assemble node %d: %w", id, err)
+	}
+	if err := inst.Runtime().Register(gossip.New(id, nodes)); err != nil {
+		return nil, fmt.Errorf("cluster: register gossip on node %d: %w", id, err)
+	}
+	return &node{
+		id:   id,
+		inst: inst,
+		kv:   kv,
+		cmds: make(chan func(*unikernel.Sys) error),
+		done: make(chan error),
+		exit: make(chan error, 1),
+	}, nil
+}
+
+// start boots the member on its own host goroutine. The goroutine is
+// not free-running concurrency: serve immediately parks on cmds, and
+// every subsequent step happens inside a do() rendezvous with the
+// coordinator, so execution stays coordinator-serialised.
+func (n *node) start() {
+	//vampos:allow schedonly -- one host goroutine per member instance is required to hold its simulation; the coordinator serialises all execution through the cmds/done rendezvous, so only one simulated world ever runs at a time
+	go func() {
+		err := n.inst.Run(n.serve)
+		if err == nil {
+			err = n.bootErr
+		}
+		n.exit <- err
+	}()
+}
+
+// serve is the member's control thread: boot the app, then execute
+// coordinator commands until the channel closes (instance kill).
+// Blocking on the cmds receive holds the scheduler baton, so the
+// instance is frozen — no virtual time passes — between commands.
+func (n *node) serve(s *unikernel.Sys) {
+	defer s.Stop()
+	if err := s.StartApp(n.kv); err != nil {
+		n.bootErr = err
+		return
+	}
+	for cmd := range n.cmds {
+		n.done <- cmd(s)
+	}
+}
+
+// do runs one command inside the member's simulation and returns its
+// result. The exit arm catches a member that died (boot failure,
+// virtual-time backstop) instead of deadlocking; the two ready states
+// are mutually exclusive, so the select is deterministic.
+func (n *node) do(cmd func(*unikernel.Sys) error) error {
+	if n.reaped {
+		return fmt.Errorf("cluster: node %d is down: %w", n.id, n.exitErr)
+	}
+	select {
+	case n.cmds <- cmd:
+	case err := <-n.exit:
+		n.reap(err)
+		return fmt.Errorf("cluster: node %d died: %w", n.id, err)
+	}
+	select {
+	case err := <-n.done:
+		return err
+	case err := <-n.exit:
+		n.reap(err)
+		return fmt.Errorf("cluster: node %d died mid-command: %w", n.id, err)
+	}
+}
+
+// barrier waits for the member to finish booting (a no-op command only
+// completes once StartApp returned and serve is accepting commands).
+func (n *node) barrier() error {
+	return n.do(func(*unikernel.Sys) error { return nil })
+}
+
+// kill simulates whole-instance death: close the command channel so
+// serve unwinds, the simulation stops, and all in-instance state —
+// redis store, gossip table, component logs — is gone for good.
+func (n *node) kill() error {
+	if n.reaped {
+		return n.exitErr
+	}
+	close(n.cmds)
+	n.reap(<-n.exit)
+	return n.exitErr
+}
+
+func (n *node) reap(err error) {
+	if err == nil && n.bootErr != nil {
+		err = n.bootErr
+	}
+	n.reaped = true
+	n.exitErr = err
+}
+
+// virtual reads the member's virtual clock: through the simulation for
+// a live member, directly off the (now quiescent) runtime clock for a
+// dead one — the reap rendezvous established the happens-before.
+func (n *node) virtual() time.Duration {
+	if n.reaped {
+		return n.inst.Runtime().Clock().Elapsed()
+	}
+	var d time.Duration
+	if err := n.do(func(s *unikernel.Sys) error { d = s.Elapsed(); return nil }); err != nil {
+		return n.inst.Runtime().Clock().Elapsed()
+	}
+	return d
+}

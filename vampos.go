@@ -42,7 +42,9 @@ import (
 	"io"
 
 	"vampos/internal/aging"
+	"vampos/internal/campaign"
 	"vampos/internal/ckpt"
+	"vampos/internal/cluster"
 	"vampos/internal/core"
 	"vampos/internal/faults"
 	"vampos/internal/trace"
@@ -184,6 +186,39 @@ const (
 	ECONNRESET = core.ECONNRESET
 )
 
+// Multi-instance clustering (internal/cluster): N unikernel instances
+// in one process replicate the Redis KVS with per-key vector clocks and
+// delta gossip, so the system as a whole survives failures the
+// component-reboot ladder cannot absorb — an unrebootable VIRTIO fault
+// escalates to killing and resyncing the whole member instance.
+type (
+	// Cluster coordinates the member instances: quorum-replicated
+	// writes, background gossip, partitions, instance kill/revive and
+	// the component-reboot -> instance-reboot escalation ladder.
+	Cluster = cluster.Cluster
+	// ClusterConfig sizes the cluster (members, write quorum W, core
+	// configuration, boot delay, gossip round cap).
+	ClusterConfig = cluster.Config
+	// ClusterStats is the cluster-wide recovery and replication
+	// accounting (Cluster.Stats).
+	ClusterStats = cluster.Stats
+	// ClusterEscalation records one walk up the escalation ladder: a
+	// component reboot that either succeeded or escalated to an
+	// instance kill (Cluster.RecoverComponent).
+	ClusterEscalation = cluster.EscalationRecord
+)
+
+// NewCluster boots a gossip-replicated cluster of unikernel instances.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// Instance-level fault kinds understood by the campaign engine's
+// cluster workload ("-workloads cluster"): the victim member is killed
+// outright, or partitioned from its peers until the cell heals it.
+const (
+	FaultInstanceKill = campaign.FaultInstanceKill
+	FaultPartition    = campaign.FaultPartition
+)
+
 // Sentinel errors from the runtime.
 var (
 	// ErrComponentRebooted reports a call interrupted by the target's
@@ -194,4 +229,8 @@ var (
 	// ErrUnrebootable reports a reboot attempt on a component whose
 	// state is shared with the host (VIRTIO).
 	ErrUnrebootable = core.ErrUnrebootable
+	// ErrNotReplicated reports a cluster write rejected because the
+	// owner could not reach a full write quorum; rejected writes mutate
+	// nothing and are never acknowledged.
+	ErrNotReplicated = cluster.ErrNotReplicated
 )
