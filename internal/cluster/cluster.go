@@ -18,7 +18,10 @@
 // after the owner and Replication-1 backups applied them (synchronous
 // W-replication), so a partitioned minority rejects writes instead of
 // accepting ones it could later lose — the invariant behind the
-// campaign oracle's "zero acknowledged writes lost".
+// campaign oracle's "zero acknowledged writes lost". A backup that
+// rejects a delta under the LWW merge (a stale-clocked owner, fresh
+// from a heal or revive) fails the write too, and reads through GetVia
+// are quorum reads, so acknowledged state is also what clients read.
 package cluster
 
 import (
@@ -117,6 +120,9 @@ type Cluster struct {
 // are stopped.
 func New(cfg Config) (*Cluster, error) {
 	cfg = cfg.fill()
+	if cfg.Nodes < 1 || cfg.Nodes > gossip.MaxClockLen {
+		return nil, fmt.Errorf("cluster: node count %d out of range 1..%d", cfg.Nodes, gossip.MaxClockLen)
+	}
 	if cfg.Replication > cfg.Nodes {
 		return nil, fmt.Errorf("cluster: replication %d exceeds %d nodes", cfg.Replication, cfg.Nodes)
 	}
@@ -211,8 +217,13 @@ func (c *Cluster) candidates(key string, via int) []int {
 }
 
 // validate enforces the line-protocol constraints replication inherits
-// from redis: keys are space- and newline-free, values newline-free.
+// from redis — keys are space- and newline-free, values newline-free —
+// plus the gossip wire format's u16 key-length bound, which would
+// otherwise silently truncate the encoded delta.
 func validate(key, val string) error {
+	if len(key) > gossip.MaxKeyLen {
+		return fmt.Errorf("cluster: key length %d exceeds %d", len(key), gossip.MaxKeyLen)
+	}
 	if key == "" || strings.ContainsAny(key, " \n") {
 		return fmt.Errorf("cluster: invalid key %q", key)
 	}
@@ -250,9 +261,13 @@ func applyEntries(s *unikernel.Sys, n *node, entries []gossip.Entry) error {
 
 // deliver hands a gossip payload from member `from` to member `to`:
 // merge into the table, then mirror the accepted winners into redis.
-func (c *Cluster) deliver(to, from int, payload []byte) error {
+// It returns how many entries the receiver's merge accepted — the
+// signal writeVia needs to distinguish "backup applied the write" from
+// "backup already holds a newer entry and rejected it".
+func (c *Cluster) deliver(to, from int, payload []byte) (int, error) {
 	n := c.nodes[to]
-	return n.do(func(s *unikernel.Sys) error {
+	accepted := 0
+	err := n.do(func(s *unikernel.Sys) error {
 		rets, err := s.Ctx().Call(gossip.Name, "gsp_apply", payload, from)
 		if err != nil {
 			return err
@@ -265,8 +280,48 @@ func (c *Cluster) deliver(to, from int, payload []byte) error {
 		if err != nil {
 			return err
 		}
+		accepted = len(entries)
 		return applyEntries(s, n, entries)
 	})
+	return accepted, err
+}
+
+// entryOf reads member id's current gossip entry for key.
+func (c *Cluster) entryOf(id int, key string) (gossip.Entry, bool, error) {
+	var e gossip.Entry
+	var ok bool
+	err := c.nodes[id].do(func(s *unikernel.Sys) error {
+		rets, err := s.Ctx().Call(gossip.Name, "gsp_get", key)
+		if err != nil {
+			return err
+		}
+		payload, err := rets.Bytes(0)
+		if err != nil {
+			return err
+		}
+		entries, err := gossip.DecodeEntries(payload)
+		if err != nil {
+			return err
+		}
+		if len(entries) == 1 {
+			e, ok = entries[0], true
+		}
+		return nil
+	})
+	return e, ok, err
+}
+
+// syncKey pulls `from`'s current entry for key into `to` through the
+// normal merge+apply path: the targeted anti-entropy repair writeVia
+// runs when a backup proves the owner's clock stale, so the owner's
+// very next mint dominates again.
+func (c *Cluster) syncKey(to, from int, key string) error {
+	e, ok, err := c.entryOf(from, key)
+	if err != nil || !ok {
+		return err
+	}
+	_, err = c.deliver(to, from, gossip.EncodeEntries([]gossip.Entry{e}))
+	return err
 }
 
 // PutVia writes key=val as a client attached to member via. The write
@@ -327,27 +382,67 @@ func (c *Cluster) writeVia(via int, key, val string, del bool) error {
 		return fmt.Errorf("cluster: owner %d: %w", owner, err)
 	}
 	for _, b := range backups {
-		if err := c.deliver(b, owner, delta); err != nil {
+		acc, err := c.deliver(b, owner, delta)
+		if err != nil {
 			c.stats.Rejected++
 			return fmt.Errorf("%w: backup %d: %v", ErrNotReplicated, b, err)
+		}
+		if acc == 0 {
+			// The backup's LWW merge already holds an entry that beats the
+			// owner's freshly minted clock: the owner was stale (healed or
+			// revived before an anti-entropy round caught it up). The write
+			// must NOT be acknowledged — the backup never applied it, and
+			// the next gossip round would overwrite the owner's copy with
+			// the winning entry. Pull the backup's winner into the owner so
+			// an immediate retry mints a dominating clock.
+			rej := fmt.Errorf("%w: backup %d rejected stale-clocked delta for %q", ErrNotReplicated, b, key)
+			if serr := c.syncKey(owner, b, key); serr != nil {
+				rej = fmt.Errorf("%v (owner resync from backup %d: %v)", rej, b, serr)
+			}
+			c.stats.Rejected++
+			return rej
 		}
 	}
 	c.stats.Acked++
 	return nil
 }
 
-// GetVia reads key as a client attached to member via, served by the
-// first reachable candidate in ring order.
+// GetVia reads key as a client attached to member via. The read is a
+// quorum read: it compares the entries of the first Replication ring
+// candidates reachable from via and returns the Merge winner's value.
+// Whenever 2*Replication > Nodes (the default 2-of-3), any read quorum
+// intersects any write quorum, so the winner is never older than an
+// acknowledged write — read-your-writes holds for acked state even
+// immediately after a Heal() or revive, before any gossip round.
+// Mirroring the write path, a client on a partitioned minority that
+// cannot reach Replication candidates gets an error rather than a
+// possibly-stale local answer; GetFrom remains the explicit
+// single-replica read.
 func (c *Cluster) GetVia(via int, key string) (string, bool, error) {
 	c.stats.Gets++
 	if !c.Alive(via) {
 		return "", false, fmt.Errorf("cluster: via node %d is down", via)
 	}
 	cands := c.candidates(key, via)
-	if len(cands) == 0 {
-		return "", false, fmt.Errorf("cluster: no replica of %q reachable from node %d", key, via)
+	if len(cands) < c.cfg.Replication {
+		return "", false, fmt.Errorf("cluster: only %d of %d replicas of %q reachable from node %d",
+			len(cands), c.cfg.Replication, key, via)
 	}
-	return c.GetFrom(cands[0], key)
+	var win gossip.Entry
+	found := false
+	for _, id := range cands[:c.cfg.Replication] {
+		e, ok, err := c.entryOf(id, key)
+		if err != nil {
+			return "", false, err
+		}
+		if ok && (!found || gossip.Compare(e, win) > 0) {
+			win, found = e, true
+		}
+	}
+	if !found || win.Deleted {
+		return "", false, nil
+	}
+	return string(win.Val), true, nil
 }
 
 // GetFrom reads key from one specific member — the durability oracle's
@@ -408,7 +503,7 @@ func (c *Cluster) GossipRound() (int, error) {
 			if cnt == 0 {
 				continue
 			}
-			if err := c.deliver(j, i, payload); err != nil {
+			if _, err := c.deliver(j, i, payload); err != nil {
 				return delivered, err
 			}
 			delivered += cnt
@@ -471,10 +566,27 @@ func (c *Cluster) KillInstance(id int) error {
 // boot-delay charge, then an anti-entropy full-state sync from the
 // first reachable live donor BEFORE the member becomes eligible for
 // routing — a revived member must never serve (or mint clocks) from a
-// state older than what the cluster acknowledged.
+// state older than what the cluster acknowledged. When live peers exist
+// but none is reachable (revived while still partitioned), the revival
+// is refused and the member stays down; the caller retries after the
+// partition heals. Only when no peer is alive at all — the acknowledged
+// state is gone with the cluster — does the member cold-start empty.
 func (c *Cluster) ReviveInstance(id int) error {
 	if c.Alive(id) {
 		return fmt.Errorf("cluster: node %d still alive", id)
+	}
+	donor, peers := -1, 0
+	for j := range c.nodes {
+		if j == id || !c.alive[j] {
+			continue
+		}
+		peers++
+		if donor < 0 && !c.cut[id][j] {
+			donor = j
+		}
+	}
+	if donor < 0 && peers > 0 {
+		return fmt.Errorf("cluster: revive node %d: %d live peers but none reachable for anti-entropy resync", id, peers)
 	}
 	n, err := newNode(id, c.cfg.Nodes, c.cfg.Core, c.cfg.BootDelay)
 	if err != nil {
@@ -494,13 +606,6 @@ func (c *Cluster) ReviveInstance(id int) error {
 		return err
 	}
 	c.nodes[id] = n
-	donor := -1
-	for j := range c.nodes {
-		if j != id && c.alive[j] && !c.cut[id][j] {
-			donor = j
-			break
-		}
-	}
 	if donor >= 0 {
 		var state []byte
 		err := c.nodes[donor].do(func(s *unikernel.Sys) error {
@@ -514,7 +619,7 @@ func (c *Cluster) ReviveInstance(id int) error {
 		if err != nil {
 			return fmt.Errorf("cluster: resync donor %d: %w", donor, err)
 		}
-		if err := c.deliver(id, donor, state); err != nil {
+		if _, err := c.deliver(id, donor, state); err != nil {
 			return fmt.Errorf("cluster: resync node %d: %w", id, err)
 		}
 		c.stats.Resyncs++

@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
 	"vampos/internal/core"
@@ -244,7 +246,111 @@ func TestWriteValidation(t *testing.T) {
 	if err := c.PutVia(0, "k", "bad\nval"); err == nil {
 		t.Fatal("value with newline accepted")
 	}
-	if st := c.Stats(); st.Rejected != 2 || st.Acked != 0 {
+	// A key longer than the wire format's u16 length field would silently
+	// truncate in the gossip codec; it must be refused up front.
+	if err := c.PutVia(0, strings.Repeat("k", 1<<16), "v"); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+	if st := c.Stats(); st.Rejected != 3 || st.Acked != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// keyOwnedBy finds a key whose ring placement starts at node id.
+func keyOwnedBy(t *testing.T, c *Cluster, id int) string {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("sk%03d", i)
+		if int(fnv1a(k)%uint64(c.Nodes())) == id {
+			return k
+		}
+	}
+	t.Fatal("no key found for owner")
+	return ""
+}
+
+// TestStaleOwnerWriteRejected pins the ack-loss hole: a formerly
+// isolated member whose key was overwritten by the majority mints a
+// clock that ties on sum and loses the LWW tiebreak. The backup rejects
+// the delta, so the write must be refused — acknowledging it would lose
+// it on the very next gossip round. The rejection also repairs the
+// owner, so an immediate retry dominates and acks.
+func TestStaleOwnerWriteRejected(t *testing.T) {
+	c := newTestCluster(t)
+	victim := 2
+	key := keyOwnedBy(t, c, victim)
+	if err := c.PutVia(0, key, "v1"); err != nil {
+		t.Fatal(err)
+	}
+	quiesce(t, c)
+
+	c.Isolate(victim)
+	// The majority overwrites the key while its home node is cut off.
+	if err := c.PutVia((victim+1)%3, key, "v2"); err != nil {
+		t.Fatalf("majority overwrite: %v", err)
+	}
+	// Quorum reads on the minority fail instead of serving stale state.
+	if _, _, err := c.GetVia(victim, key); err == nil {
+		t.Fatal("minority quorum read served an answer")
+	}
+	c.Heal()
+
+	// Before any gossip round: the victim's replica is stale, but a
+	// quorum read via the victim still returns the acknowledged value.
+	if got, ok, err := c.GetVia(victim, key); err != nil || !ok || got != "v2" {
+		t.Fatalf("quorum read after heal: %q (present=%v, err=%v), want v2", got, ok, err)
+	}
+
+	// A write minted from the victim's stale clock loses at the backup
+	// and must NOT be acknowledged.
+	err := c.PutVia(victim, key, "v3")
+	if err == nil {
+		t.Fatal("stale-clocked write was acknowledged")
+	}
+	if !errors.Is(err, ErrNotReplicated) {
+		t.Fatalf("want ErrNotReplicated, got %v", err)
+	}
+	// The rejection pulled the backup's winner into the owner: the retry
+	// mints a dominating clock and acks.
+	if err := c.PutVia(victim, key, "v3"); err != nil {
+		t.Fatalf("retry after owner resync: %v", err)
+	}
+	quiesce(t, c)
+	expectEverywhere(t, c, key, "v3")
+	if st := c.Stats(); st.Rejected != 1 || st.Acked != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestReviveRequiresDonor: reviving a member while it is still
+// partitioned from every live peer must fail and leave it down —
+// otherwise it would serve empty reads and mint low-sum clocks from
+// pre-death state. After the heal the revival (with resync) succeeds.
+func TestReviveRequiresDonor(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.PutVia(0, "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	quiesce(t, c)
+
+	victim := 1
+	if err := c.KillInstance(victim); err != nil {
+		t.Fatal(err)
+	}
+	c.Isolate(victim)
+	if err := c.ReviveInstance(victim); err == nil {
+		t.Fatal("revive without a reachable donor succeeded")
+	}
+	if c.Alive(victim) {
+		t.Fatal("donorless revive left the member routable")
+	}
+	c.Heal()
+	if err := c.ReviveInstance(victim); err != nil {
+		t.Fatalf("revive after heal: %v", err)
+	}
+	quiesce(t, c)
+	expectEverywhere(t, c, "k", "v")
+	if st := c.Stats(); st.Revives != 1 || st.Resyncs != 1 {
 		t.Fatalf("stats: %+v", st)
 	}
 }

@@ -30,6 +30,17 @@ import (
 // Name is the component's registration name.
 const Name = "gossip"
 
+// MaxKeyLen is the longest key the wire format can carry: the per-entry
+// key length rides a u16, so anything longer would silently truncate in
+// EncodeEntries. gsp_put refuses oversized keys at the component
+// boundary and cluster.validate rejects them before they reach it.
+const MaxKeyLen = 1<<16 - 1
+
+// MaxClockLen bounds vector-clock width the same way (u16 slot count on
+// the wire); clocks are nodes-wide, so cluster.New bounds the member
+// count by it.
+const MaxClockLen = 1<<16 - 1
+
 // Entry is one replicated key's state: a per-key vector clock (indexed
 // by node ordinal), the writing node, a tombstone flag, and the value
 // bytes. Entries form a join-semilattice under Merge.
@@ -310,6 +321,9 @@ func (g *Comp) Exports() map[string]core.Handler {
 			if err != nil {
 				return nil, err
 			}
+			if len(key) > MaxKeyLen {
+				return nil, fmt.Errorf("gossip: key length %d exceeds wire maximum %d", len(key), MaxKeyLen)
+			}
 			cur := g.table[key]
 			e := Entry{
 				Key:     key,
@@ -366,6 +380,21 @@ func (g *Comp) Exports() map[string]core.Handler {
 			g.out[peer] = nil
 			g.drains++
 			return msg.Args{EncodeEntries(q), len(q)}, nil
+		},
+		// gsp_get(key string) -> (payload []byte, n int)
+		// Read one key's current entry (n=0 when absent). Read-only, not
+		// logged: the coordinator's targeted lookup for quorum reads and
+		// for repairing a stale owner after a rejected write delta.
+		"gsp_get": func(_ *core.Ctx, args msg.Args) (msg.Args, error) {
+			key, err := args.Str(0)
+			if err != nil {
+				return nil, err
+			}
+			e, ok := g.table[key]
+			if !ok {
+				return msg.Args{EncodeEntries(nil), 0}, nil
+			}
+			return msg.Args{EncodeEntries([]Entry{e}), 1}, nil
 		},
 		// gsp_state() -> (payload []byte, n int)
 		// Canonical full-state snapshot, sorted by key: the anti-entropy

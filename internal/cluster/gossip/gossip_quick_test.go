@@ -3,8 +3,11 @@ package gossip
 import (
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
+
+	"vampos/internal/msg"
 )
 
 // genEntry builds a random entry over a small key/value alphabet so
@@ -144,6 +147,52 @@ func TestDecodeRejectsCorrupt(t *testing.T) {
 	}
 	if _, err := DecodeEntries(append(append([]byte(nil), enc...), 0xff)); err == nil {
 		t.Fatal("trailing byte accepted")
+	}
+}
+
+// TestPutRefusesOversizedKey: a key longer than the wire format's u16
+// length field must be refused at the component boundary, not silently
+// truncated by EncodeEntries.
+func TestPutRefusesOversizedKey(t *testing.T) {
+	g := New(0, 3)
+	if err := g.Init(nil); err != nil {
+		t.Fatal(err)
+	}
+	put := g.Exports()["gsp_put"]
+	if _, err := put(nil, msg.Args{strings.Repeat("k", MaxKeyLen+1), []byte("v"), false}); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+	if _, err := put(nil, msg.Args{strings.Repeat("k", MaxKeyLen), []byte("v"), false}); err != nil {
+		t.Fatalf("max-length key refused: %v", err)
+	}
+}
+
+// TestGetExport: gsp_get returns the key's current entry (n=1) or an
+// empty payload (n=0) for an absent key.
+func TestGetExport(t *testing.T) {
+	g := New(0, 3)
+	if err := g.Init(nil); err != nil {
+		t.Fatal(err)
+	}
+	exp := g.Exports()
+	if _, err := exp["gsp_put"](nil, msg.Args{"k", []byte("v"), false}); err != nil {
+		t.Fatal(err)
+	}
+	rets, err := exp["gsp_get"](nil, msg.Args{"k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := rets.Bytes(0)
+	entries, err := DecodeEntries(payload)
+	if err != nil || len(entries) != 1 || entries[0].Key != "k" || string(entries[0].Val) != "v" {
+		t.Fatalf("gsp_get(k) -> %+v (err=%v)", entries, err)
+	}
+	rets, err = exp["gsp_get"](nil, msg.Args{"absent"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := rets.Int(1); n != 0 {
+		t.Fatalf("gsp_get(absent) n=%d, want 0", n)
 	}
 }
 

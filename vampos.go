@@ -230,7 +230,9 @@ var (
 	// state is shared with the host (VIRTIO).
 	ErrUnrebootable = core.ErrUnrebootable
 	// ErrNotReplicated reports a cluster write rejected because the
-	// owner could not reach a full write quorum; rejected writes mutate
-	// nothing and are never acknowledged.
+	// owner could not reach a full write quorum, or because a backup's
+	// LWW merge refused the delta (a stale-clocked owner); rejected
+	// writes are never acknowledged and never survive convergence over
+	// an acknowledged value.
 	ErrNotReplicated = cluster.ErrNotReplicated
 )
