@@ -28,7 +28,7 @@ func main() {
 		workloads  = flag.String("workloads", "", "comma-separated workloads (sqlite,nginx,redis,echo, plus the multi-instance 'cluster'); empty = all single-instance workloads")
 		configs    = flag.String("configs", "", "comma-separated configs (noop,das,fsm,netm); empty = noop,das")
 		components = flag.String("components", "", "comma-separated target components (for the cluster workload: victim members node0,node1,node2); empty = every registered component")
-		faultsF    = flag.String("faults", "", "comma-separated faults (crash,hang,errno,leak,wildwrite,aging; cluster workload: instancekill,partition); empty = crash,hang (cluster: both cluster kinds)")
+		faultsF    = flag.String("faults", "", "comma-separated faults (crash,hang,errno,leak,wildwrite,aging,sessioncrash; cluster workload: instancekill,partition); empty = crash,hang (cluster: both cluster kinds)")
 		functions  = flag.String("functions", "any", "fault-site granularity: any (one wildcard site per component) or each (one cell per exported function)")
 		seed       = flag.Int64("seed", 1, "campaign seed; every trial's randomness derives from it")
 		trial      = flag.String("trial", "", "run only these cell IDs (comma-separated, e.g. redis/das/9pfs/*/crash)")

@@ -4,7 +4,10 @@
 // store after an injected 9PFS fail-stop (§VII-E) with a full-reboot
 // baseline for contrast, and sensor-driven adaptive rejuvenation of a
 // deliberately leaky TCP/IP stack (§IV's software-aging motivation;
-// tune it with -aging, -aging-leak and -aging-frag).
+// tune it with -aging, -aging-leak and -aging-frag), and session
+// microreboots — rung 1 of the recovery ladder — where a crash
+// attributable to one file descriptor is healed by evicting and
+// replaying just that session while its neighbours never notice.
 //
 // With -trace <file>, every scene records into a flight recorder and the
 // merged Chrome trace-event JSON is written on exit; load it at
@@ -13,6 +16,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -110,13 +114,17 @@ func run() error {
 		return err
 	}
 	fmt.Println()
-	return agingDemo()
+	if err := agingDemo(); err != nil {
+		return err
+	}
+	fmt.Println()
+	return microrebootDemo()
 }
 
 // rejuvenationDemo reboots every unikernel component under a live HTTP
 // client and shows that no request is lost.
 func rejuvenationDemo() error {
-	fmt.Println("\n[1/3] Software rejuvenation under load (paper §VII-D)")
+	fmt.Println("\n[1/4] Software rejuvenation under load (paper §VII-D)")
 	inst, err := vampos.New(demoConfig())
 	if err != nil {
 		return err
@@ -200,7 +208,7 @@ func rejuvenationDemo() error {
 // recoveryDemo injects a 9PFS fail-stop under a warm Redis and compares
 // VampOS recovery with the full-reboot baseline.
 func recoveryDemo() error {
-	fmt.Println("[2/3] Failure recovery of a warm Redis (paper §VII-E)")
+	fmt.Println("[2/4] Failure recovery of a warm Redis (paper §VII-E)")
 	for _, variant := range []string{"vampos", "full-reboot"} {
 		inst, err := vampos.New(demoConfig())
 		if err != nil {
@@ -259,7 +267,7 @@ func recoveryDemo() error {
 // echo client and lets the sensor-driven controller notice and heal it.
 func agingDemo() error {
 	const target = "lwip"
-	fmt.Println("[3/3] Adaptive aging-driven rejuvenation (paper §IV motivation)")
+	fmt.Println("[3/4] Adaptive aging-driven rejuvenation (paper §IV motivation)")
 	cfg := demoConfig()
 	cfg.Core.Aging = demoAgingPolicy()
 	cfg.Core.AgingTargets = []string{target}
@@ -347,4 +355,76 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// microrebootDemo walks rung 1 of the recovery ladder: a crash
+// attributable to one fd's session is healed by evicting and replaying
+// just that session inside the live VFS, then a pipe — whose shared
+// buffer refuses eviction — shows the honest escalation to rung 2.
+func microrebootDemo() error {
+	fmt.Println("[4/4] Session microreboot — recovery ladder rung 1 (finest granularity)")
+	cfg := demoConfig()
+	cfg.Core.Microreboot = true
+	inst, err := vampos.New(cfg)
+	if err != nil {
+		return err
+	}
+	record(inst, "demo/microreboot")
+	return inst.Run(func(s *vampos.Sys) {
+		defer s.Stop()
+		fd1, err := s.Open("/journal.log", vampos.OCreate|vampos.ORdwr)
+		if err != nil {
+			fmt.Println("  open:", err)
+			return
+		}
+		fd2, err := s.Open("/sidecar.log", vampos.OCreate|vampos.ORdwr)
+		if err != nil {
+			fmt.Println("  open:", err)
+			return
+		}
+		s.Write(fd1, []byte("journal-"))
+		s.Write(fd2, []byte("sidecar"))
+		rt := inst.Runtime()
+		if err := rt.ArmFaultSpec("vfs", "pwrite", vampos.FaultSpec{Kind: vampos.FaultCrash, After: 1}); err != nil {
+			fmt.Println("  arm fault:", err)
+			return
+		}
+		fmt.Printf("  two sessions open (fd:%d, fd:%d); crash armed on fd:%d's next pwrite\n", fd1, fd2, fd1)
+		if _, err := s.Pwrite(fd1, []byte("J"), 0); err != nil {
+			fmt.Println("  pwrite:", err)
+			return
+		}
+		recs := rt.Microreboots()
+		if len(recs) == 0 {
+			fmt.Println("  no microreboot happened (is Microreboot enabled?)")
+			return
+		}
+		m := recs[len(recs)-1]
+		fmt.Printf("  crash attributed to session %s: evicted + replayed %d log entries in %v\n",
+			m.Session, m.ReplayedEntries, m.VirtualDuration)
+		fmt.Printf("  component reboots: %d — the other session never noticed\n", len(rt.Reboots()))
+		if data, err := s.Pread(fd2, 16, 0); err == nil {
+			fmt.Printf("  untouched fd:%d still reads %q\n", fd2, data)
+		}
+		// A pipe's two fds share one buffer: eviction refuses, and the
+		// ladder climbs honestly to the component reboot.
+		r, w, err := s.Pipe()
+		if err != nil {
+			fmt.Println("  pipe:", err)
+			return
+		}
+		s.Write(w, []byte("in-flight"))
+		err = s.MicrorebootSession("vfs", fmt.Sprintf("fd:%d", r))
+		if errors.Is(err, vampos.ErrMicrorebootEscalated) {
+			fmt.Printf("  pipe session refused eviction; escalated to component reboot (%d total)\n",
+				len(rt.Reboots()))
+		} else if err != nil {
+			fmt.Println("  microreboot:", err)
+			return
+		}
+		if data, _, err := s.Read(r, 16); err == nil {
+			fmt.Printf("  pipe content survived the rung-2 reboot: %q\n", data)
+		}
+		fmt.Println("\nThe ladder: session microreboot -> component reboot -> instance kill -> full restart.")
+	})
 }

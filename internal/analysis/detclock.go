@@ -22,6 +22,7 @@ var deterministicPkgs = map[string]bool{
 	modulePath + "/internal/aging":          true,
 	modulePath + "/internal/cluster":        true,
 	modulePath + "/internal/cluster/gossip": true,
+	modulePath + "/internal/microreboot":    true,
 }
 
 // bannedTimeFuncs are the time package's ambient-wall-clock entry

@@ -103,6 +103,11 @@ type Scale struct {
 	AgingLeakSlope     float64       // adaptive leak-slope threshold (B per virtual second)
 	AgingFrag          float64       // adaptive fragmentation threshold (negative = sensor off)
 
+	// Microreboot figure (recovery ladder: session microreboot vs
+	// component reboot vs full restart on a many-session workload)
+	MicroSessions  int // concurrently open file fds, one session each
+	MicroWritesPer int // retained transient log entries per session
+
 	// Cluster availability figure (sync vs async replication across an
 	// instance kill)
 	ClusterNodes       int // cluster members
@@ -143,6 +148,8 @@ func DefaultScale() Scale {
 		AgingSamplePeriod:  10 * time.Millisecond,
 		AgingLeakSlope:     256 << 10,
 		AgingFrag:          -1,
+		MicroSessions:      32,
+		MicroWritesPer:     8,
 		ClusterNodes:  3,
 		ClusterWrites: 120,
 		// The kill lands mid-gossip-interval (44 % 8 != 0) so the victim
@@ -178,6 +185,8 @@ func PaperScale() Scale {
 	s.AgingDuration = 8 * time.Second
 	s.AgingClients = 8
 	s.AgingPeriodicEvery = 500 * time.Millisecond
+	s.MicroSessions = 128
+	s.MicroWritesPer = 16
 	s.ClusterWrites = 600
 	s.ClusterKillAt = 200
 	s.ClusterReviveAt = 400

@@ -458,3 +458,46 @@ func TestClusterShapeInvariants(t *testing.T) {
 		t.Error("render missing cluster rows")
 	}
 }
+
+func TestMicrorebootShapeInvariants(t *testing.T) {
+	scale := tinyScale()
+	res, err := RunMicroreboot(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sessions != scale.MicroSessions || res.WritesPerSession != scale.MicroWritesPer {
+		t.Fatalf("workload shape %d x %d, want %d x %d",
+			res.Sessions, res.WritesPerSession, scale.MicroSessions, scale.MicroWritesPer)
+	}
+	for _, a := range []MicrorebootArm{res.Session, res.Component, res.Restart} {
+		if a.Rung == "" || a.Virtual <= 0 {
+			t.Errorf("arm %+v: missing rung or non-positive latency", a)
+		}
+	}
+	// The session rung replays one session's slice (its opener plus its
+	// retained writes), the component rung every session's.
+	if res.Session.Replayed > res.WritesPerSession+2 {
+		t.Errorf("session rung replayed %d entries, want <= one session's slice (%d writes + opener)",
+			res.Session.Replayed, res.WritesPerSession)
+	}
+	if min := res.Sessions * res.WritesPerSession; res.Component.Replayed < min {
+		t.Errorf("component rung replayed %d entries, want >= %d (every session's writes)",
+			res.Component.Replayed, min)
+	}
+	if res.Restart.Replayed != 0 {
+		t.Errorf("full restart replayed %d entries, want 0 (nothing survives)", res.Restart.Replayed)
+	}
+	// The figure's claim: on a many-session workload rung 1 is at least
+	// 5x cheaper than rung 2, which is cheaper than losing everything.
+	if res.SpeedupVsComponent < 5 {
+		t.Errorf("session microreboot speedup %.1fx over component reboot, want >= 5x",
+			res.SpeedupVsComponent)
+	}
+	if res.Restart.Virtual <= res.Session.Virtual {
+		t.Errorf("full restart (%v) not slower than a session microreboot (%v)",
+			res.Restart.Virtual, res.Session.Virtual)
+	}
+	if out := res.Render(); !strings.Contains(out, "session-microreboot") || !strings.Contains(out, "full-restart") {
+		t.Error("render missing ladder rungs")
+	}
+}

@@ -24,10 +24,11 @@ type Suite struct {
 	Recovery *RecoveryResult
 	Aging    *AgingResult
 	Cluster  *ClusterResult
+	Micro    *MicrorebootResult
 }
 
 // experiment names accepted by Run.
-var experimentNames = []string{"fig5", "table3", "fig6", "fig7", "table4", "table5", "fig8", "ablation", "recovery", "aging", "cluster"}
+var experimentNames = []string{"fig5", "table3", "fig6", "fig7", "table4", "table5", "fig8", "ablation", "recovery", "aging", "cluster", "microreboot"}
 
 // ExperimentNames lists the runnable experiment ids.
 func ExperimentNames() []string {
@@ -101,6 +102,11 @@ func (s *Suite) Run(name string, w io.Writer) error {
 			s.Cluster, err = RunCluster(s.Scale)
 			if err == nil {
 				out = s.Cluster.Render()
+			}
+		case "microreboot":
+			s.Micro, err = RunMicroreboot(s.Scale)
+			if err == nil {
+				out = s.Micro.Render()
 			}
 		default:
 			return fmt.Errorf("bench: unknown experiment %q (have %v)", id, experimentNames)

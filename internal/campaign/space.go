@@ -37,12 +37,21 @@ const (
 	// keep acknowledging writes, the minority must refuse them, and the
 	// heal must reconverge every replica to one state.
 	FaultPartition FaultName = "partition"
+	// FaultSessionCrash is a session-granular crash: it pairs only with
+	// the redis workload (several persistent client connections), arms a
+	// crash on one session-attributable fault site, and expects rung-1
+	// recovery — the faulted session evicted and replayed in place while
+	// every untouched session observes zero errors. Cells enumerate
+	// per-function over the session-bearing exports (never "*": a
+	// wildcard could strike a non-session site and legitimately recover
+	// at the component rung).
+	FaultSessionCrash FaultName = "sessioncrash"
 )
 
 // AllFaults lists every fault kind in presentation order.
 func AllFaults() []FaultName {
 	return []FaultName{FaultCrash, FaultHang, FaultErrno, FaultLeak, FaultWildWrite, FaultAging,
-		FaultInstanceKill, FaultPartition}
+		FaultInstanceKill, FaultPartition, FaultSessionCrash}
 }
 
 // ClusterWorkload is the multi-instance workload name: N replicated
@@ -239,6 +248,28 @@ func EnumerateSpace(o SpaceOptions) ([]Cell, error) {
 				for _, fault := range o.Faults {
 					if fault.clusterFault() {
 						continue // instance-level kinds only pair with the cluster workload
+					}
+					if fault == FaultSessionCrash {
+						// Session cells pair with the many-connection redis
+						// workload and enumerate one cell per
+						// session-attributable export of the component.
+						if w != "redis" {
+							continue
+						}
+						var fns []string
+						for _, p := range byComp[comp] {
+							if p.Sessionful {
+								fns = append(fns, p.Fn)
+							}
+						}
+						sort.Strings(fns)
+						for _, fn := range fns {
+							cells = append(cells, Cell{
+								Workload: w, Config: cfg, Component: comp,
+								Function: fn, Fault: FaultSessionCrash,
+							})
+						}
+						continue
 					}
 					fns := []string{core.AnyFunction}
 					if o.Functions == "each" && fault != FaultLeak && fault != FaultWildWrite && fault != FaultAging {

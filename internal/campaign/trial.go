@@ -117,6 +117,9 @@ func runTrial(cell Cell, opts Options) (res CellResult) {
 	if cell.Workload == ClusterWorkload {
 		return runClusterTrial(cell, opts)
 	}
+	if cell.Fault == FaultSessionCrash {
+		return runSessionTrial(cell, opts)
+	}
 	res = CellResult{Cell: cell, TrialID: cell.ID()}
 	defer func() {
 		if r := recover(); r != nil {

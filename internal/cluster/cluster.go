@@ -1,12 +1,14 @@
 // Package cluster runs N unikernel instances in one process and
 // replicates the redis/KVS application state between them with a
 // delta-gossip protocol over per-key vector clocks (internal/cluster/
-// gossip). It extends the paper's recovery hierarchy one level up:
-// component reboot remains the first rung, but a fault the instance
-// cannot contain — a VIRTIO failure, a whole-instance crash, a network
-// partition — escalates to killing the member and rebuilding it from
-// its peers by anti-entropy resync, the microreboot ladder Candea
-// argues for and ReHype applies below the kernel.
+// gossip). It extends the paper's recovery hierarchy into a four-rung
+// ladder: session microreboot and component reboot stay inside the
+// instance, but a fault the instance cannot contain — a VIRTIO failure,
+// a whole-instance crash, a network partition — escalates to killing
+// the member and rebuilding it from its peers by anti-entropy resync
+// (and, for the last live member, to a full in-place restart), the
+// microreboot ladder Candea argues for and ReHype applies below the
+// kernel.
 //
 // The coordinator is strictly single-threaded and every member only
 // executes while the coordinator waits on it (see node), so a
@@ -34,6 +36,7 @@ import (
 
 	"vampos/internal/cluster/gossip"
 	"vampos/internal/core"
+	"vampos/internal/microreboot"
 	"vampos/internal/unikernel"
 )
 
@@ -83,23 +86,31 @@ type Stats struct {
 	// Kills/Revives/Resyncs count whole-instance deaths, rebuilds, and
 	// anti-entropy full-state syncs into revived members.
 	Kills, Revives, Resyncs uint64
-	// ComponentReboots counts first-rung recoveries that sufficed;
-	// Escalations counts containment failures promoted to instance kill.
-	ComponentReboots, Escalations uint64
+	// SessionMicroreboots counts rung-1 recoveries (one session evicted
+	// and replayed in place); ComponentReboots counts rung-2 recoveries;
+	// Escalations counts containment failures promoted past rung 2;
+	// FullRestarts counts rung-4 in-place image restarts taken when no
+	// surviving peer could absorb an instance kill.
+	SessionMicroreboots, ComponentReboots, Escalations, FullRestarts uint64
 	// GossipRounds / DeltasDelivered account the background anti-entropy
 	// traffic the coordinator pumped.
 	GossipRounds, DeltasDelivered uint64
 }
 
-// EscalationRecord reports how RecoverComponent resolved a fault.
+// EscalationRecord reports how Recover resolved a fault.
 type EscalationRecord struct {
 	Node      int
 	Component string
-	// Err is the component-reboot failure that forced escalation; nil
-	// when the first rung sufficed.
+	// Session is the faulted session the caller attributed, "" when the
+	// fault was only component-attributable (rung 1 is then skipped).
+	Session string
+	// Rung is the ladder level that resolved the fault.
+	Rung microreboot.Rung
+	// Err is the failure that forced climbing past an earlier rung; nil
+	// when the first attempted rung sufficed.
 	Err error
-	// Escalated is true when the member was killed (second rung); the
-	// caller decides when to ReviveInstance.
+	// Escalated is true when the member was killed (rung 3); the caller
+	// decides when to ReviveInstance.
 	Escalated bool
 }
 
@@ -629,26 +640,70 @@ func (c *Cluster) ReviveInstance(id int) error {
 	return nil
 }
 
-// RecoverComponent climbs the escalation ladder for a faulted component
-// on member id: try the paper's component-level reboot first; when the
-// instance cannot contain the fault (ErrUnrebootable VIRTIO, failed
-// restore), escalate to killing the whole member. The caller revives it
-// when ready; until then the survivors carry the load.
+// RecoverComponent climbs the recovery ladder for a fault that is only
+// component-attributable: rung 1 is skipped and recovery starts at the
+// component reboot.
 func (c *Cluster) RecoverComponent(id int, component string) (EscalationRecord, error) {
-	rec := EscalationRecord{Node: id, Component: component}
+	return c.Recover(id, component, "")
+}
+
+// Recover climbs the four-rung recovery ladder for a fault on member id
+// attributed to component — and, when session is non-empty, to one
+// session within it:
+//
+//	rung 1  session microreboot  evict + replay one session in place
+//	rung 2  component reboot     the paper's checkpoint/replay recovery
+//	rung 3  instance kill        survivors carry load; caller revives
+//	rung 4  full restart         restart the image in place
+//
+// Each rung runs only when the previous one failed or does not apply:
+// rung 1 needs a session attribution (and a member configured with
+// core.Config.Microreboot), rung 3 needs a surviving peer to absorb the
+// kill. The last live member therefore never kills itself — doing so
+// would drop the only copy of the acknowledged state AND leave nobody
+// serving — and falls through to rung 4, the paper's baseline.
+func (c *Cluster) Recover(id int, component, session string) (EscalationRecord, error) {
+	rec := EscalationRecord{Node: id, Component: component, Session: session}
 	if !c.Alive(id) {
 		return rec, fmt.Errorf("cluster: node %d is down", id)
 	}
+	if session != "" {
+		err := c.nodes[id].do(func(s *unikernel.Sys) error {
+			return s.MicrorebootSession(component, session)
+		})
+		if err == nil {
+			rec.Rung = microreboot.RungSession
+			c.stats.SessionMicroreboots++
+			return rec, nil
+		}
+		rec.Err = err
+	}
 	err := c.nodes[id].do(func(s *unikernel.Sys) error { return s.Reboot(component) })
 	if err == nil {
+		rec.Rung = microreboot.RungComponent
 		c.stats.ComponentReboots++
 		return rec, nil
 	}
 	rec.Err = err
-	rec.Escalated = true
 	c.stats.Escalations++
-	if kerr := c.KillInstance(id); kerr != nil && !errors.Is(kerr, err) {
-		return rec, kerr
+	live := 0
+	for _, a := range c.alive {
+		if a {
+			live++
+		}
+	}
+	if live > 1 {
+		rec.Rung = microreboot.RungInstance
+		rec.Escalated = true
+		if kerr := c.KillInstance(id); kerr != nil && !errors.Is(kerr, err) {
+			return rec, kerr
+		}
+		return rec, nil
+	}
+	rec.Rung = microreboot.RungRestart
+	c.stats.FullRestarts++
+	if ferr := c.nodes[id].do(func(s *unikernel.Sys) error { return s.FullReboot() }); ferr != nil {
+		return rec, ferr
 	}
 	return rec, nil
 }

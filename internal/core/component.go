@@ -93,6 +93,37 @@ type LogPolicyProvider interface {
 	LogPolicies() map[string]LogPolicy
 }
 
+// SessionResolver is implemented by session-bearing components that
+// support fault-to-session attribution: given an inbound call's function
+// and arguments, name the session the call operates on. Unlike
+// LogPolicy.Classify this runs *before* the handler (at failure time the
+// results never existed), so it can only use argument-derived sessions —
+// openers, whose session id is minted by the return value, are
+// inherently unattributable and recover at the component rung.
+type SessionResolver interface {
+	// SessionOf returns the session an inbound call touches, or "" when
+	// the call is not session-scoped (or the session is not derivable
+	// from the arguments).
+	SessionOf(fn string, args msg.Args) msg.SessionID
+	// SessionFns lists the exported functions whose session is derivable
+	// from arguments — the component's per-session fault sites. Must be
+	// a subset of Exports.
+	SessionFns() []string
+}
+
+// SessionEvictor is implemented by session-bearing components that
+// support session microreboots: remove one session's live state from
+// the running component so that replaying the session's log slice
+// rebuilds it from scratch. Eviction must not disturb other sessions or
+// downstream components — the replayed opener feeds its outbound calls
+// from the log, so whatever downstream resources the session holds
+// (a backing fid, an lwip socket under a vfs fd) must stay live.
+// Returning an error refuses the eviction and escalates the failure to
+// a whole-component reboot.
+type SessionEvictor interface {
+	EvictSession(ctx *Ctx, session msg.SessionID) error
+}
+
 // Compactor is implemented by components that support threshold-driven
 // log compaction (§V-F): when the log exceeds the configured threshold
 // the runtime invokes CompactLog, which may replace entry runs with
@@ -141,10 +172,12 @@ type component struct {
 	fallback     Component
 	fallbackUsed bool
 
-	// failures and reboots are atomics because ComponentStats snapshots
-	// them from arbitrary goroutines while the runtime increments them.
+	// failures, reboots and micro are atomics because ComponentStats
+	// snapshots them from arbitrary goroutines while the runtime
+	// increments them.
 	failures atomic.Uint64
 	reboots  atomic.Uint64
+	micro    atomic.Uint64 // completed session microreboots
 
 	// calls/errs/busyV are the aging sensors' raw inputs: completed
 	// inbound calls, those that returned an error, and the cumulative
@@ -196,6 +229,12 @@ type group struct {
 
 	// failStopNotified marks that the graceful-termination handler ran.
 	failStopNotified bool
+
+	// micro, when non-nil, makes the next worker restore session-granular:
+	// evict one session and replay its log slice instead of restoring the
+	// whole group (rung 1 of the recovery ladder). Cleared by the worker
+	// on completion or escalation.
+	micro *microTask
 }
 
 func (g *group) member(name string) *component {

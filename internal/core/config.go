@@ -84,6 +84,14 @@ type Config struct {
 	// AgingTargets restricts the adaptive controller to the named
 	// components; empty means every rebootable component in boot order.
 	AgingTargets []string
+	// Microreboot enables session-granular recovery (rung 1 of the
+	// recovery ladder): a failure attributable to one session of an
+	// unmerged, session-bearing component evicts and replays only that
+	// session while every other session keeps serving; escalation to a
+	// whole-component reboot happens automatically when attribution or
+	// session replay fails. Off by default so the paper-faithful
+	// configurations keep component-granular recovery semantics.
+	Microreboot bool
 	// ReplayRetCheck compares each replayed call's return values and
 	// error against the logged originals during encapsulated restoration
 	// and fails the restore with a *ReplayDivergenceError on mismatch.

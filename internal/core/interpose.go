@@ -292,6 +292,17 @@ func (rt *Runtime) handleReply(pc *pendingCall, rets msg.Args, errStr string) {
 			if err := lg.EndInbound(pc.rec, sess, class, rets, errStr); err != nil {
 				errStr = "ENOSPC: " + err.Error()
 			}
+			// Session sub-resource lifecycle (nil-safe when the
+			// Microreboot config is off): openers birth sub-resources,
+			// cancelers dissolve them.
+			if sess != "" {
+				switch class {
+				case msg.ClassOpener:
+					rt.sessions.Observe(pc.to.desc.Name, string(sess))
+				case msg.ClassCanceler:
+					rt.sessions.Dissolve(pc.to.desc.Name, string(sess))
+				}
+			}
 			rt.maybeCompact(pc.to)
 		}
 	}

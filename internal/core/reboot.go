@@ -32,7 +32,10 @@ func (rt *Runtime) handleFailure(g *group, seq uint64, reason string) {
 	if rt.onComponentFailure != nil {
 		rt.onComponentFailure(victim.desc.Name, reason)
 	}
+	var failFn string
+	var failArgs msg.Args
 	if pc := rt.pending[seq]; pc != nil && !pc.done {
+		failFn, failArgs = pc.fn, pc.args
 		if pc.rec != nil {
 			victim.domain.Log().DropRecord(pc.rec)
 			pc.rec = nil
@@ -51,6 +54,12 @@ func (rt *Runtime) handleFailure(g *group, seq uint64, reason string) {
 		}
 		rt.failAllPending(g, false)
 		rt.notifyFailStop(g)
+		return
+	}
+	// Rung 1 of the recovery ladder: a failure attributable to one
+	// session of a session-bearing component evicts and replays just that
+	// session. Unattributable failures take rung 2, the component reboot.
+	if rt.tryMicroreboot(g, failFn, failArgs, "failure: "+reason, false, detectParent) {
 		return
 	}
 	rt.beginReboot(g, "failure: "+reason, false, detectParent)
@@ -284,6 +293,12 @@ func (rt *Runtime) restoreGroup(t *sched.Thread, g *group) error {
 		At:              rt.clk.Now(),
 	})
 	rt.recMu.Unlock()
+	// Rung-2 reconciliation: the encapsulated replay rebuilt every
+	// session the log preserved, so escalated/recovering sub-resources
+	// observe Live again.
+	for _, c := range g.members {
+		rt.sessions.ComponentRecovered(c.desc.Name)
+	}
 	if tr != nil {
 		// Close resume and the reboot at the same clock reading the
 		// RebootRecord captured: the trace-derived timeline and the
@@ -366,7 +381,10 @@ func (rt *Runtime) watchdogLoop(t *sched.Thread) {
 			if rt.onComponentFailure != nil {
 				rt.onComponentFailure(victim.desc.Name, "hang")
 			}
+			var failFn string
+			var failArgs msg.Args
 			if pc := rt.pending[seq]; pc != nil && !pc.done {
+				failFn, failArgs = pc.fn, pc.args
 				if pc.rec != nil {
 					victim.domain.Log().DropRecord(pc.rec)
 					pc.rec = nil
@@ -377,7 +395,11 @@ func (rt *Runtime) watchdogLoop(t *sched.Thread) {
 			g.currentSeq = 0
 			g.curRec = nil
 			g.curLog = nil
-			rt.beginReboot(g, "hang", true, detectParent)
+			// Hangs attribute to sessions the same way crashes do; the
+			// stuck worker is killed either way.
+			if !rt.tryMicroreboot(g, failFn, failArgs, "hang", true, detectParent) {
+				rt.beginReboot(g, "hang", true, detectParent)
+			}
 			// One hang per sweep: resolving this group's inbound call wakes
 			// blocked callers, but they only re-enter awaitingDownstream
 			// state once scheduled. Deferring further verdicts to the next

@@ -8,6 +8,7 @@ import (
 
 	"vampos/internal/clock"
 	"vampos/internal/mem"
+	"vampos/internal/microreboot"
 	"vampos/internal/msg"
 	"vampos/internal/sched"
 	"vampos/internal/trace"
@@ -82,12 +83,19 @@ type Runtime struct {
 	stopped bool
 
 	stats runtimeCounters
-	// recMu guards reboots and fullRestarts: appended to by simulated
-	// threads, snapshotted by Reboots()/FullRestarts() from any goroutine.
+	// recMu guards reboots, microreboots and fullRestarts: appended to by
+	// simulated threads, snapshotted by Reboots()/Microreboots()/
+	// FullRestarts() from any goroutine.
 	recMu        sync.Mutex
 	reboots      []RebootRecord
+	microreboots []MicrorebootRecord
 	fullRestarts []FullRestartStats
 	armed        map[string]*armedFault
+
+	// sessions tracks every live session sub-resource for rung-1
+	// recovery; nil unless cfg.Microreboot (all registry methods are
+	// nil-safe, so hooks stay unconditional).
+	sessions *microreboot.Registry
 
 	// agingDriver is the adaptive-rejuvenation controller Boot starts
 	// when cfg.Aging is enabled (nil otherwise or when one was created
@@ -123,7 +131,7 @@ func NewRuntime(cfg Config) *Runtime {
 		panic(err) // fresh scheduler; cannot already have memory
 	}
 	s.SetDispatchCost(DefaultCostModel().Dispatch)
-	return &Runtime{
+	rt := &Runtime{
 		cfg:     cfg,
 		costs:   DefaultCostModel(),
 		clk:     clk,
@@ -133,6 +141,10 @@ func NewRuntime(cfg Config) *Runtime {
 		nextKey: keyFirstComp,
 		pending: make(map[uint64]*pendingCall),
 	}
+	if cfg.Microreboot {
+		rt.sessions = microreboot.NewRegistry(clk.Elapsed)
+	}
+	return rt
 }
 
 // Config returns the runtime configuration.

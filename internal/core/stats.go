@@ -20,6 +20,8 @@ type RuntimeStats struct {
 	Injects         uint64 // fire-and-forget injections (virtual IRQs)
 	Failures        uint64 // component crashes detected
 	Hangs           uint64 // component hangs detected
+	Microreboots    uint64 // session microreboots completed (rung 1)
+	MicroEscalates  uint64 // microreboots escalated to component reboots
 	FailedRestores  uint64 // restorations that themselves failed
 	CompactErrors   uint64 // log compactions that returned an error
 	VersionSwitches uint64 // fallback implementations swapped in (§VIII)
@@ -38,6 +40,8 @@ type runtimeCounters struct {
 	injects          atomic.Uint64
 	failures         atomic.Uint64
 	hangs            atomic.Uint64
+	microreboots     atomic.Uint64
+	microEscalations atomic.Uint64
 	failedRestores   atomic.Uint64
 	compactErrors    atomic.Uint64
 	versionSwitches  atomic.Uint64
@@ -66,7 +70,10 @@ type ComponentStats struct {
 	Stateful    bool
 	Failures    uint64
 	Reboots     uint64
-	LogLen      int
+	// Microreboots counts session-granular recoveries that completed at
+	// rung 1 without rebooting the component.
+	Microreboots uint64
+	LogLen       int
 	LogStats    msg.LogStats
 	DomainBytes int64
 	Heap        mem.BuddyStats
@@ -92,6 +99,8 @@ func (rt *Runtime) Stats() RuntimeStats {
 		Injects:         rt.stats.injects.Load(),
 		Failures:        rt.stats.failures.Load(),
 		Hangs:           rt.stats.hangs.Load(),
+		Microreboots:    rt.stats.microreboots.Load(),
+		MicroEscalates:  rt.stats.microEscalations.Load(),
 		FailedRestores:  rt.stats.failedRestores.Load(),
 		CompactErrors:   rt.stats.compactErrors.Load(),
 		VersionSwitches: rt.stats.versionSwitches.Load(),
@@ -121,9 +130,10 @@ func (rt *Runtime) ComponentStats(name string) (ComponentStats, bool) {
 	}
 	cs := ComponentStats{
 		Name:     c.desc.Name,
-		Stateful: c.desc.Stateful,
-		Failures: c.failures.Load(),
-		Reboots:  c.reboots.Load(),
+		Stateful:     c.desc.Stateful,
+		Failures:     c.failures.Load(),
+		Reboots:      c.reboots.Load(),
+		Microreboots: c.micro.Load(),
 		Calls:    c.calls.Load(),
 		Errors:   c.errs.Load(),
 		Busy:     time.Duration(c.busyV.Load()),
@@ -168,6 +178,29 @@ func (rt *Runtime) LogLen(name string) int {
 	return c.domain.Log().Len()
 }
 
+// LogRecords returns decoded views of a component's retained
+// restoration-log records (nil for unknown or unlogged components).
+// Read-only observation hook: property tests audit the session
+// invariants — opener liveness, class discipline — on it.
+func (rt *Runtime) LogRecords(name string) ([]msg.RecordView, error) {
+	c, ok := rt.comps[name]
+	if !ok || c.domain == nil {
+		return nil, nil
+	}
+	return c.domain.Log().Entries()
+}
+
+// SessionLive reports whether a component's log retains a live
+// (successful, not closed) opener for the session — the precondition
+// session microreboot attribution checks before attempting rung 1.
+func (rt *Runtime) SessionLive(name string, session msg.SessionID) bool {
+	c, ok := rt.comps[name]
+	if !ok || c.domain == nil {
+		return false
+	}
+	return c.domain.Log().HasLiveOpener(session)
+}
+
 // DomainBytes sums the bytes in use across every message domain: the
 // instance's logging/message space overhead (Fig. 7b).
 func (rt *Runtime) DomainBytes() int64 {
@@ -200,6 +233,12 @@ type InjectionPoint struct {
 	// campaigns must classify their failures as expected, not as
 	// regressions.
 	Unrebootable bool
+	// Sessionful marks functions whose faults are attributable to one
+	// session (the component implements SessionResolver + SessionEvictor
+	// and lists the function in SessionFns): under the Microreboot
+	// configuration these are the per-session fault sites where rung-1
+	// recovery applies.
+	Sessionful bool
 }
 
 // InjectionPoints enumerates every armable fault site in registration
@@ -214,6 +253,14 @@ func (rt *Runtime) InjectionPoints() []InjectionPoint {
 			fns = append(fns, fn)
 		}
 		sort.Strings(fns)
+		sessionful := make(map[string]bool)
+		if res, ok := c.comp.(SessionResolver); ok {
+			if _, ok := c.comp.(SessionEvictor); ok {
+				for _, fn := range res.SessionFns() {
+					sessionful[fn] = true
+				}
+			}
+		}
 		for _, fn := range fns {
 			_, logged := c.policies[fn]
 			out = append(out, InjectionPoint{
@@ -222,6 +269,7 @@ func (rt *Runtime) InjectionPoints() []InjectionPoint {
 				Logged:       logged,
 				Stateful:     c.desc.Stateful,
 				Unrebootable: c.desc.Unrebootable,
+				Sessionful:   sessionful[fn],
 			})
 		}
 	}

@@ -38,19 +38,34 @@ func (rt *Runtime) spawnWorker(g *group, restore bool) {
 
 func (rt *Runtime) workerMain(t *sched.Thread, g *group, w *workerThread) {
 	if w.restore {
-		if err := rt.restoreGroup(t, g); err != nil {
-			// Restoration itself failed: treat as a deterministic fault
-			// and fail-stop the group (§II-B).
-			g.failedTwice = true
-			g.rebooting = false
-			if tr := rt.tracer; tr != nil {
-				tr.EndErr(g.rebootSpan, "restore failed: "+err.Error())
-				g.rebootSpan, g.quiesceSpan = 0, 0
+		restore := true
+		if task := g.micro; task != nil {
+			// Rung 1: session-granular restoration. On success the group
+			// serves again without a component reboot; on failure the
+			// escalation sets up rung 2 and the normal restore runs below
+			// on this same worker.
+			g.micro = nil
+			if err := rt.microrebootGroup(t, g, task); err == nil {
+				restore = false
+			} else {
+				rt.escalateMicro(g, task, err)
 			}
-			rt.failAllPending(g, false)
-			rt.stats.failedRestores.Add(1)
-			rt.notifyFailStop(g)
-			return
+		}
+		if restore {
+			if err := rt.restoreGroup(t, g); err != nil {
+				// Restoration itself failed: treat as a deterministic fault
+				// and fail-stop the group (§II-B).
+				g.failedTwice = true
+				g.rebooting = false
+				if tr := rt.tracer; tr != nil {
+					tr.EndErr(g.rebootSpan, "restore failed: "+err.Error())
+					g.rebootSpan, g.quiesceSpan = 0, 0
+				}
+				rt.failAllPending(g, false)
+				rt.stats.failedRestores.Add(1)
+				rt.notifyFailStop(g)
+				return
+			}
 		}
 		g.rebooting = false
 	}

@@ -60,6 +60,11 @@ type Comp struct {
 	// image a snapshot restore actually copies.
 	staticBase mem.Addr
 
+	// evictedAcceptQ stashes a listener's accept queue across a session
+	// microreboot: eviction parks it here, the replayed listen re-attaches
+	// it. Never checkpointed — it only lives inside one microreboot.
+	evictedAcceptQ map[int][]int
+
 	// curCtxs maps each simulated thread to its in-flight handler
 	// context; the machines' segment output runs through it. In
 	// message-passing mode only the component worker appears here, but
@@ -356,8 +361,22 @@ func (c *Comp) getSock(args msg.Args, idx int) (*sock, error) {
 
 func (c *Comp) socket(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
 	defer c.enter(ctx)()
-	c.nextSock++
-	s := &sock{ID: c.nextSock, State: sockFresh, Opts: map[int]int{}}
+	// During replay the logged result dictates the id: a session
+	// microreboot replays onto the live table, where nextSock has long
+	// moved past the original allocation.
+	id := 0
+	if rets, ok := ctx.ReplayRets(); ok {
+		if rid, err := rets.Int(0); err == nil && rid > 0 {
+			id = rid
+		}
+	}
+	if id == 0 {
+		c.nextSock++
+		id = c.nextSock
+	} else if id > c.nextSock {
+		c.nextSock = id
+	}
+	s := &sock{ID: id, State: sockFresh, Opts: map[int]int{}}
 	c.allocPCB(ctx, s)
 	c.socks[s.ID] = s
 	c.saveRuntime(ctx)
@@ -404,6 +423,13 @@ func (c *Comp) listen(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
 	s.Backlog = backlog
 	s.State = sockListening
 	c.listens[s.LocalPort] = s.ID
+	// A session microreboot of a listener stashes its accept queue at
+	// eviction; the replayed listen re-attaches it, so connections that
+	// arrived before the fault are never dropped.
+	if q, ok := c.evictedAcceptQ[s.ID]; ok {
+		s.AcceptQ = q
+		delete(c.evictedAcceptQ, s.ID)
+	}
 	return nil, nil
 }
 
@@ -693,11 +719,69 @@ func (c *Comp) demux(ctx *core.Ctx, seg Segment) {
 	})
 }
 
+// sessionFns lists the LWIP exports whose first argument is the socket
+// id. The opener (socket) mints its session from the return value;
+// rx_pump touches every connection at once — neither is attributable.
+var sessionFns = []string{
+	"accept", "bind", "conn_state", "connect",
+	"getsockopt", "listen", "recv", "send", "setsockopt",
+	"shutdown", "sock_net_close", "sock_net_ioctl",
+}
+
+// SessionOf implements core.SessionResolver.
+func (c *Comp) SessionOf(fn string, args msg.Args) msg.SessionID {
+	for _, s := range sessionFns {
+		if s == fn {
+			id, err := args.Int(0)
+			if err != nil {
+				return ""
+			}
+			return msg.SessionID(fmt.Sprintf("sock:%d", id))
+		}
+	}
+	return ""
+}
+
+// SessionFns implements core.SessionResolver.
+func (c *Comp) SessionFns() []string {
+	return append([]string(nil), sessionFns...)
+}
+
+// EvictSession implements core.SessionEvictor. Fresh, bound and
+// listening sockets are log-reconstructible (socket/bind/listen are all
+// logged durables); a listener's accept queue is stashed and re-attached
+// by the replayed listen. Connected sockets refuse: their machine state
+// (sequence/ACK numbers, buffered bytes) lives in the extracted runtime
+// state, which only a whole-component reboot reinstalls.
+func (c *Comp) EvictSession(ctx *core.Ctx, session msg.SessionID) error {
+	var id int
+	if _, err := fmt.Sscanf(string(session), "sock:%d", &id); err != nil {
+		return fmt.Errorf("lwip: unparseable session %q", session)
+	}
+	s, ok := c.socks[id]
+	if !ok {
+		return nil // already gone; the replayed opener rebuilds it
+	}
+	if s.State == sockConn || s.m != nil {
+		return fmt.Errorf("lwip: sock %d carries connection state replay cannot rebuild; recover at the component rung", id)
+	}
+	if s.State == sockListening && len(s.AcceptQ) > 0 {
+		if c.evictedAcceptQ == nil {
+			c.evictedAcceptQ = make(map[int][]int)
+		}
+		c.evictedAcceptQ[s.ID] = append([]int(nil), s.AcceptQ...)
+	}
+	c.destroySock(ctx, s)
+	return nil
+}
+
 var (
 	_ core.Component         = (*Comp)(nil)
 	_ core.LogPolicyProvider = (*Comp)(nil)
 	_ core.RuntimeKeeper     = (*Comp)(nil)
 	_ core.StateSaver        = (*Comp)(nil)
+	_ core.SessionResolver   = (*Comp)(nil)
+	_ core.SessionEvictor    = (*Comp)(nil)
 )
 
 // savedSock is the gob image of one socket-table entry. CtlBlock is the

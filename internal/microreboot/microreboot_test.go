@@ -1,0 +1,182 @@
+package microreboot
+
+import (
+	"testing"
+	"time"
+)
+
+func newTestRegistry() (*Registry, *time.Duration) {
+	var clock time.Duration
+	return NewRegistry(func() time.Duration { return clock }), &clock
+}
+
+func TestLifecycleRoundTrip(t *testing.T) {
+	r, clock := newTestRegistry()
+	r.Observe("vfs", "fd:3")
+	s, ok := r.Get("vfs", "fd:3")
+	if !ok || s.Desired != Live || s.Observed != Live {
+		t.Fatalf("after Observe: %+v, ok=%v", s, ok)
+	}
+	*clock = 5 * time.Millisecond
+	if err := r.BeginRecovery("vfs", "fd:3", "failure: crash"); err != nil {
+		t.Fatal(err)
+	}
+	s, _ = r.Get("vfs", "fd:3")
+	if s.Observed != Recovering || s.Reason != "failure: crash" || s.Since != 5*time.Millisecond {
+		t.Fatalf("recovering status = %+v", s)
+	}
+	if err := r.Resolve("vfs", "fd:3"); err != nil {
+		t.Fatal(err)
+	}
+	s, _ = r.Get("vfs", "fd:3")
+	if s.Observed != Live || s.Recoveries != 1 {
+		t.Fatalf("resolved status = %+v", s)
+	}
+	st := r.Stats()
+	if st.Observed != 1 || st.Recovered != 1 || st.Live != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEscalationKeepsEntryUntilComponentRecovers(t *testing.T) {
+	r, _ := newTestRegistry()
+	r.Observe("lwip", "sock:2")
+	if err := r.BeginRecovery("lwip", "sock:2", "failure: crash"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Escalate("lwip", "sock:2", "connection state is not log-reconstructible"); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := r.Get("lwip", "sock:2")
+	if s.Observed != Escalated || s.Desired != Live {
+		t.Fatalf("escalated status = %+v", s)
+	}
+	// The component reboot (rung 2) replays every session the log kept:
+	// desired-Live sessions reconcile back to Live.
+	r.ComponentRecovered("lwip")
+	s, _ = r.Get("lwip", "sock:2")
+	if s.Observed != Live {
+		t.Fatalf("after component reboot: %+v", s)
+	}
+	if st := r.Stats(); st.Escalated != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestInvalidTransitionsRejected(t *testing.T) {
+	r, _ := newTestRegistry()
+	r.Observe("vfs", "fd:1")
+	if err := r.BeginRecovery("vfs", "fd:1", "x"); err != nil {
+		t.Fatal(err)
+	}
+	// Recovering → Recovering is invalid: a second fault mid-recovery
+	// must escalate, not stack recoveries.
+	if err := r.BeginRecovery("vfs", "fd:1", "y"); err == nil {
+		t.Fatal("BeginRecovery on a recovering session succeeded")
+	}
+	// Resolve/Escalate require Recovering.
+	if err := r.Resolve("vfs", "fd:9"); err == nil {
+		t.Fatal("Resolve on unknown session succeeded")
+	}
+	if err := r.Escalate("vfs", "fd:9", "z"); err == nil {
+		t.Fatal("Escalate on unknown session succeeded")
+	}
+	if err := r.Resolve("vfs", "fd:1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Resolve("vfs", "fd:1"); err == nil {
+		t.Fatal("double Resolve succeeded")
+	}
+}
+
+func TestDissolveDropsEntryAndBoundsRegistry(t *testing.T) {
+	r, _ := newTestRegistry()
+	for i := 0; i < 500; i++ {
+		sess := "fd:" + string(rune('0'+i%10)) + "x"
+		r.Observe("vfs", sess)
+		r.Dissolve("vfs", sess)
+	}
+	st := r.Stats()
+	if st.Live != 0 {
+		t.Fatalf("live = %d after dissolving everything, want 0", st.Live)
+	}
+	if st.Dissolved == 0 {
+		t.Fatal("no dissolutions counted")
+	}
+	// Dissolving an unknown session is a no-op.
+	r.Dissolve("vfs", "fd:404")
+	if r.Stats().Live != 0 {
+		t.Fatal("no-op dissolve changed the registry")
+	}
+}
+
+func TestRecoveryOfUntrackedSessionRegistersOnTheFly(t *testing.T) {
+	r, _ := newTestRegistry()
+	// A fault attributed to a session whose opener predates the registry
+	// still enters the state machine.
+	if err := r.BeginRecovery("9pfs", "fid:7", "failure: crash"); err != nil {
+		t.Fatal(err)
+	}
+	s, ok := r.Get("9pfs", "fid:7")
+	if !ok || s.Observed != Recovering {
+		t.Fatalf("status = %+v, ok=%v", s, ok)
+	}
+}
+
+func TestSnapshotSortedDeterministically(t *testing.T) {
+	r, _ := newTestRegistry()
+	r.Observe("vfs", "fd:2")
+	r.Observe("lwip", "sock:1")
+	r.Observe("vfs", "fd:1")
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	want := []Key{
+		{Component: "lwip", Session: "sock:1"},
+		{Component: "vfs", Session: "fd:1"},
+		{Component: "vfs", Session: "fd:2"},
+	}
+	for i, k := range want {
+		if snap[i].Key != k {
+			t.Fatalf("snapshot[%d] = %+v, want %+v", i, snap[i].Key, k)
+		}
+	}
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	r.Observe("vfs", "fd:1")
+	r.Dissolve("vfs", "fd:1")
+	r.ComponentRecovered("vfs")
+	if err := r.BeginRecovery("vfs", "fd:1", "x"); err == nil {
+		t.Fatal("nil registry accepted a recovery")
+	}
+	if _, ok := r.Get("vfs", "fd:1"); ok {
+		t.Fatal("nil registry returned a status")
+	}
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("nil registry snapshot = %v", got)
+	}
+	if st := r.Stats(); st != (Stats{}) {
+		t.Fatalf("nil registry stats = %+v", st)
+	}
+}
+
+func TestPhaseAndRungStrings(t *testing.T) {
+	cases := map[string]string{
+		Live.String():          "live",
+		Recovering.String():    "recovering",
+		Dissolved.String():     "dissolved",
+		Escalated.String():     "escalated",
+		RungSession.String():   "session-microreboot",
+		RungComponent.String(): "component-reboot",
+		RungInstance.String():  "instance-kill",
+		RungRestart.String():   "full-restart",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Fatalf("String() = %q, want %q", got, want)
+		}
+	}
+}

@@ -366,6 +366,64 @@ func (l *Log) Entries() ([]RecordView, error) {
 	return out, nil
 }
 
+// SessionEntries decodes and returns the completed records of one
+// session in append order — the opener, surviving durables and the open
+// transient tail that the session-aware shrinker preserves. This is
+// exactly the slice a session microreboot replays against the running
+// component after evicting the session's live state.
+func (l *Log) SessionEntries(session SessionID) ([]RecordView, error) {
+	var out []RecordView
+	for _, e := range l.entries {
+		if e.open || e.Session != session {
+			continue
+		}
+		v := viewOf(e)
+		args, err := l.d.load(e.args, e.argsN)
+		if err != nil {
+			return nil, fmt.Errorf("msg: log %q seq %d: %w", l.d.owner, e.Seq, err)
+		}
+		v.Args = args
+		rets, err := l.d.load(e.rets, e.retsN)
+		if err != nil {
+			return nil, fmt.Errorf("msg: log %q seq %d rets: %w", l.d.owner, e.Seq, err)
+		}
+		v.Rets = rets
+		for _, o := range e.Outbound {
+			rets, err := l.d.load(o.rets, o.retsN)
+			if err != nil {
+				return nil, fmt.Errorf("msg: log %q seq %d outbound: %w", l.d.owner, e.Seq, err)
+			}
+			v.Outbound = append(v.Outbound, OutboundView{
+				Target: o.Target, Fn: o.Fn, Err: o.Err, Rets: rets,
+			})
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// HasLiveOpener reports whether the session has a completed, successful
+// opener record in the log and has not been closed since. Only such
+// sessions are reconstructible by replaying their log slice; everything
+// else must escalate to a whole-component reboot.
+func (l *Log) HasLiveOpener(session SessionID) bool {
+	if l.closed[session] {
+		return false
+	}
+	for _, e := range l.entries {
+		if !e.open && e.Session == session && e.Class == ClassOpener && e.Err == "" {
+			return true
+		}
+	}
+	return false
+}
+
+// ClosedSessions returns the number of closed-session marks currently
+// retained. Session ids are monotonically increasing resource numbers,
+// so without purging at truncation this would grow without bound under
+// sustained open/close load (the regression the boundedness test pins).
+func (l *Log) ClosedSessions() int { return len(l.closed) }
+
 // Epoch returns the number of truncations applied so far.
 func (l *Log) Epoch() uint64 { return l.epoch }
 
@@ -399,9 +457,13 @@ func (l *Log) MaxCompletedSeq() uint64 {
 // double-apply them (a replayed bind would fail EADDRINUSE against the
 // very socket the image restored). In-flight (open) records always carry
 // sequence numbers above every completed record in a FIFO-executed group
-// log, so truncation never touches them. Closed-session marks survive
-// truncation: a later opener reusing the id clears the mark and removes
-// nothing, which is exactly the post-truncation state of that session.
+// log, so truncation never touches them. Closed-session marks whose
+// sessions keep at least one record survive truncation (a later opener
+// reusing the id still needs the mark to drop the remainder); marks for
+// sessions with no surviving records are purged — the mark would remove
+// nothing, and session ids are monotonically increasing resource
+// numbers, so unpurged marks would accumulate without bound under
+// sustained open/close load.
 func (l *Log) TruncateBefore(seq uint64) (dropped, folded int) {
 	before := l.stats.Removed
 	l.removeWhere(func(e *Record) bool {
@@ -413,6 +475,19 @@ func (l *Log) TruncateBefore(seq uint64) (dropped, folded int) {
 		}
 		return true
 	})
+	if len(l.closed) > 0 {
+		surviving := make(map[SessionID]bool, len(l.entries))
+		for _, e := range l.entries {
+			if e.Session != "" {
+				surviving[e.Session] = true
+			}
+		}
+		for s := range l.closed {
+			if !surviving[s] {
+				delete(l.closed, s)
+			}
+		}
+	}
 	dropped = int(l.stats.Removed-before) - folded
 	l.stats.Truncated += uint64(dropped)
 	l.stats.Folded += uint64(folded)

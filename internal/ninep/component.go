@@ -474,8 +474,59 @@ func (c *Comp) readdir(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
 	return msg.Args{resp.Data}, nil
 }
 
+// sessionFns lists the 9PFS exports whose first argument is the fid.
+// Path-based calls (mount/lookup/mkdir/remove, and open itself — the
+// opener) have no argument-derivable session.
+var sessionFns = []string{
+	"uk_9pfs_close", "uk_9pfs_fsync", "uk_9pfs_read",
+	"uk_9pfs_readdir", "uk_9pfs_stat", "uk_9pfs_write",
+}
+
+// SessionOf implements core.SessionResolver.
+func (c *Comp) SessionOf(fn string, args msg.Args) msg.SessionID {
+	for _, s := range sessionFns {
+		if s == fn {
+			fid, err := args.Int(0)
+			if err != nil {
+				return ""
+			}
+			return msg.SessionID(fmt.Sprintf("fid:%d", fid))
+		}
+	}
+	return ""
+}
+
+// SessionFns implements core.SessionResolver.
+func (c *Comp) SessionFns() []string {
+	return append([]string(nil), sessionFns...)
+}
+
+// EvictSession implements core.SessionEvictor: drop one fid's client-side
+// bookkeeping WITHOUT clunking it — the host server's fid stays attached,
+// and the replayed uk_9pfs_open feeds its RPCs from the log, reclaiming
+// the same fid number against the still-valid host entry (the §V-B
+// consistency argument, applied one fid at a time).
+func (c *Comp) EvictSession(ctx *core.Ctx, session msg.SessionID) error {
+	var fid int
+	if _, err := fmt.Sscanf(string(session), "fid:%d", &fid); err != nil {
+		return fmt.Errorf("9pfs: unparseable session %q", session)
+	}
+	info, ok := c.fids[fid]
+	if !ok {
+		return nil // already gone; the replayed opener rebuilds it
+	}
+	if info.ctlBlock != 0 {
+		_ = ctx.Heap().Free(info.ctlBlock)
+		info.ctlBlock = 0
+	}
+	delete(c.fids, fid)
+	return nil
+}
+
 var (
 	_ core.Component         = (*Comp)(nil)
 	_ core.LogPolicyProvider = (*Comp)(nil)
 	_ core.ColdResetter      = (*Comp)(nil)
+	_ core.SessionResolver   = (*Comp)(nil)
+	_ core.SessionEvictor    = (*Comp)(nil)
 )

@@ -14,6 +14,13 @@ const (
 	PhaseResume  = "resume"
 )
 
+// PhaseEvict names the first phase of a session microreboot: removing
+// the faulted session's live state from the running component. The
+// replay and resume that follow reuse the reboot phase names. Like
+// PhaseCheckpoint it is absent from PhaseNames: microreboot spans have
+// their own tiling under KindMicroreboot, not under KindReboot.
+const PhaseEvict = "evict"
+
 // PhaseCheckpoint names the span the checkpoint manager emits around one
 // incremental checkpoint (KindCkpt). It is not a reboot lifecycle phase
 // — checkpoints happen between calls, not inside a recovery — so it is
@@ -105,6 +112,57 @@ func RebootTimelines(events []Event) []RebootTimeline {
 		}
 		byID[e.ID] = len(out)
 		out = append(out, tl)
+	}
+	for _, e := range events {
+		if e.Kind != KindPhase {
+			continue
+		}
+		if i, ok := byID[e.Parent]; ok {
+			out[i].Phases[e.Name] += e.VirtDuration()
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// MicrorebootSpan is one session-granular recovery reconstructed from a
+// KindMicroreboot span: which component, which session, whether it
+// completed at rung 1 or escalated into a component reboot.
+type MicrorebootSpan struct {
+	Component string
+	Session   string
+	Start     time.Duration
+	End       time.Duration
+	Escalated bool
+	Detail    string
+	SpanID    SpanID
+	Phases    map[string]time.Duration
+}
+
+// Virtual is the microreboot's total virtual duration.
+func (m MicrorebootSpan) Virtual() time.Duration { return m.End - m.Start }
+
+// Microreboots reconstructs every session microreboot in the snapshot,
+// in start order. Microreboot and phase events are sticky, so the
+// reconstruction is exact regardless of ring evictions.
+func Microreboots(events []Event) []MicrorebootSpan {
+	var out []MicrorebootSpan
+	byID := make(map[SpanID]int)
+	for _, e := range events {
+		if e.Kind != KindMicroreboot {
+			continue
+		}
+		m := MicrorebootSpan{
+			Component: e.Component, Session: e.Name,
+			Start: e.VirtStart, End: e.VirtEnd,
+			Detail: e.Detail, SpanID: e.ID,
+			Phases: make(map[string]time.Duration),
+		}
+		if e.Detail != "" && e.Detail != "ok" {
+			m.Escalated = true
+		}
+		byID[e.ID] = len(out)
+		out = append(out, m)
 	}
 	for _, e := range events {
 		if e.Kind != KindPhase {

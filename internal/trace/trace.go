@@ -93,6 +93,12 @@ const (
 	// child (reason "rejuvenation") already preserves the recovery
 	// timeline.
 	KindRejuv
+	// KindMicroreboot covers one session-granular recovery end to end:
+	// evicting the faulted session's state from the live component and
+	// replaying its surviving log slice. Sticky like KindReboot —
+	// microreboots are recovery events, and an escalated one is the
+	// causal parent of the component reboot that follows it.
+	KindMicroreboot
 )
 
 func (k Kind) String() string {
@@ -131,6 +137,8 @@ func (k Kind) String() string {
 		return "ckpt"
 	case KindRejuv:
 		return "rejuv"
+	case KindMicroreboot:
+		return "microreboot"
 	default:
 		return "event"
 	}
@@ -140,7 +148,7 @@ func (k Kind) String() string {
 // must never be evicted from the recorder.
 func (k Kind) sticky() bool {
 	switch k {
-	case KindReboot, KindPhase, KindFault, KindCrash, KindDetect:
+	case KindReboot, KindPhase, KindFault, KindCrash, KindDetect, KindMicroreboot:
 		return true
 	}
 	return false

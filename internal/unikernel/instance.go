@@ -248,5 +248,13 @@ func (s *Sys) FullReboot() error {
 // Reboot performs a VampOS component-level reboot.
 func (s *Sys) Reboot(component string) error { return s.ctx.Reboot(component) }
 
+// MicrorebootSession performs a session-granular microreboot: evict one
+// session's state from the named component and replay its surviving log
+// slice in place, leaving every other session untouched (rung 1 of the
+// recovery ladder).
+func (s *Sys) MicrorebootSession(component, session string) error {
+	return s.ctx.MicrorebootSession(component, session)
+}
+
 // Stop ends the simulation.
 func (s *Sys) Stop() { s.inst.rt.Stop() }

@@ -1,0 +1,189 @@
+package unikernel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vampos/internal/core"
+	"vampos/internal/msg"
+)
+
+// sessionComponents are the three session-bearing logs the liveness
+// property quantifies over.
+var sessionComponents = []string{"vfs", "lwip", "9pfs"}
+
+// runSessionOps interprets a byte string as a random open/use/close
+// workload across files and sockets, driving all three session-bearing
+// components' logs. Invalid moves (no open fd yet) are skipped, errors
+// on legal moves fail the test.
+func runSessionOps(t *testing.T, s *Sys, ops []byte) {
+	t.Helper()
+	var files, socks []int
+	pick := func(pool []int, b byte) int { return pool[int(b)%len(pool)] }
+	drop := func(pool []int, fd int) []int {
+		out := pool[:0]
+		for _, v := range pool {
+			if v != fd {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	created, bound := 0, 0
+	for i := 0; i < len(ops); i++ {
+		b := ops[i]
+		switch b % 8 {
+		case 0: // open a file (9pfs opener + vfs opener)
+			fd, err := s.Create(fmt.Sprintf("/q%03d.dat", created))
+			if err != nil {
+				t.Fatalf("op %d: create: %v", i, err)
+			}
+			created++
+			files = append(files, fd)
+		case 1, 2: // write (vfs transient on the fd's session)
+			if len(files) > 0 {
+				if _, err := s.Write(pick(files, b>>3), []byte("payload!")); err != nil {
+					t.Fatalf("op %d: write: %v", i, err)
+				}
+			}
+		case 3: // reposition (vfs transient)
+			if len(files) > 0 {
+				if _, err := s.Lseek(pick(files, b>>3), 0, 0); err != nil {
+					t.Fatalf("op %d: lseek: %v", i, err)
+				}
+			}
+		case 4: // close a file (vfs canceler + 9pfs clunk)
+			if len(files) > 0 {
+				fd := pick(files, b>>3)
+				if err := s.Close(fd); err != nil {
+					t.Fatalf("op %d: close fd %d: %v", i, fd, err)
+				}
+				files = drop(files, fd)
+			}
+		case 5: // open a socket (vfs + lwip openers)
+			fd, err := s.Socket()
+			if err != nil {
+				t.Fatalf("op %d: socket: %v", i, err)
+			}
+			socks = append(socks, fd)
+		case 6: // bind+listen (lwip durables on the sock's session)
+			if len(socks) > 0 {
+				fd := pick(socks, b>>3)
+				if err := s.Bind(fd, 20000+bound); err != nil {
+					t.Fatalf("op %d: bind fd %d: %v", i, fd, err)
+				}
+				bound++
+				if err := s.Listen(fd, 4); err != nil {
+					t.Fatalf("op %d: listen fd %d: %v", i, fd, err)
+				}
+				socks = drop(socks, fd) // one bind per socket keeps moves legal
+			}
+		case 7: // close a socket (vfs + lwip cancelers)
+			if len(socks) > 0 {
+				fd := pick(socks, b>>3)
+				if err := s.Close(fd); err != nil {
+					t.Fatalf("op %d: close sock %d: %v", i, fd, err)
+				}
+				socks = drop(socks, fd)
+			}
+		}
+	}
+}
+
+// checkOpenerLiveness asserts the invariant session microreboot replay
+// depends on, over one component's retained log: every transient
+// record's session has a live opener (the shrinker removes transients at
+// session close, so a retained transient implies a live session), and
+// every session-scoped durable either has a live opener or its session's
+// retained canceler (closed sessions keep opener+durables+canceler for
+// resource-number replay until the number is reused).
+func checkOpenerLiveness(rt *core.Runtime, comp string) error {
+	views, err := rt.LogRecords(comp)
+	if err != nil {
+		return fmt.Errorf("%s: %v", comp, err)
+	}
+	closedBy := map[msg.SessionID]bool{}
+	for _, v := range views {
+		if v.Session != "" && v.Class == msg.ClassCanceler {
+			closedBy[v.Session] = true
+		}
+	}
+	for _, v := range views {
+		if v.Session == "" {
+			continue
+		}
+		switch v.Class {
+		case msg.ClassTransient:
+			if !rt.SessionLive(comp, v.Session) {
+				return fmt.Errorf("%s: transient %s (seq %d) retained for session %s with no live opener",
+					comp, v.Fn, v.Seq, v.Session)
+			}
+		case msg.ClassDurable:
+			if !rt.SessionLive(comp, v.Session) && !closedBy[v.Session] {
+				return fmt.Errorf("%s: durable %s (seq %d) retained for session %s with neither live opener nor canceler",
+					comp, v.Fn, v.Seq, v.Session)
+			}
+		}
+	}
+	return nil
+}
+
+// TestSessionOpenerLivenessProperty: for any sequence of open/use/close
+// operations, every retained ClassTransient record's session has a live
+// opener and every session-scoped ClassDurable is anchored by a live
+// opener or its canceler — across all three session-bearing components.
+// This is the soundness precondition of session replay: a slice whose
+// opener vanished could never rebuild its resource.
+func TestSessionOpenerLivenessProperty(t *testing.T) {
+	prop := func(ops []byte) bool {
+		if len(ops) > 64 {
+			ops = ops[:64]
+		}
+		ok := true
+		runInstance(t, microConfig(), func(s *Sys) {
+			runSessionOps(t, s, ops)
+			rt := s.Instance().Runtime()
+			for _, comp := range sessionComponents {
+				if err := checkOpenerLiveness(rt, comp); err != nil {
+					t.Logf("ops %v: %v", ops, err)
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	cfg := &quick.Config{
+		MaxCount: 16,
+		Rand:     rand.New(rand.NewSource(7)), // fixed seed: deterministic CI
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionOpenerLivenessAfterMicroreboot re-checks the property after
+// a session microreboot touched the log: eviction and slice replay must
+// not orphan any retained record.
+func TestSessionOpenerLivenessAfterMicroreboot(t *testing.T) {
+	runInstance(t, microConfig(), func(s *Sys) {
+		runSessionOps(t, s, []byte{0, 0, 1, 9, 17, 5, 6, 0, 2, 4})
+		fd, err := s.Create("/victim.dat")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Write(fd, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.MicrorebootSession("vfs", fmt.Sprintf("fd:%d", fd)); err != nil {
+			t.Fatalf("MicrorebootSession: %v", err)
+		}
+		rt := s.Instance().Runtime()
+		for _, comp := range sessionComponents {
+			if err := checkOpenerLiveness(rt, comp); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+}

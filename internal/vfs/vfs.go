@@ -869,6 +869,58 @@ func (c *Comp) sockShutdown(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
 	return ctx.Call("lwip", "shutdown", f.Sock)
 }
 
+// sessionFns lists the VFS exports whose first argument is the fd —
+// the calls a fault can be attributed to one session by. Openers
+// (open/create/pipe/vfs_alloc_socket) mint their session from the return
+// value and are deliberately absent.
+var sessionFns = []string{
+	"close", "fcntl", "fsync", "ioctl", "lseek",
+	"pread", "pwrite", "read", "readdir",
+	"sock_accept", "sock_bind", "sock_connect", "sock_listen",
+	"sock_shutdown", "sock_state",
+	"getsockopt", "setsockopt",
+	"write", "writev",
+}
+
+// SessionOf implements core.SessionResolver: every per-fd call names its
+// session by the descriptor in argument zero.
+func (c *Comp) SessionOf(fn string, args msg.Args) msg.SessionID {
+	for _, s := range sessionFns {
+		if s == fn {
+			return fdSession(args, 0)
+		}
+	}
+	return ""
+}
+
+// SessionFns implements core.SessionResolver.
+func (c *Comp) SessionFns() []string {
+	return append([]string(nil), sessionFns...)
+}
+
+// EvictSession implements core.SessionEvictor: drop one descriptor's
+// live state so replaying its log slice rebuilds it. The downstream
+// resource behind the fd (a 9PFS fid, an LWIP socket) stays open — the
+// replayed opener feeds its outbound call from the log and reclaims the
+// same resource number. Pipe ends refuse: a pipe is one buffer behind
+// two descriptors, and replaying either end's opener would mint both fds
+// plus a fresh empty buffer, corrupting the surviving end.
+func (c *Comp) EvictSession(ctx *core.Ctx, session msg.SessionID) error {
+	var fd int
+	if _, err := fmt.Sscanf(string(session), "fd:%d", &fd); err != nil {
+		return fmt.Errorf("vfs: unparseable session %q", session)
+	}
+	f, ok := c.fds[fd]
+	if !ok {
+		return nil // already gone; the replayed opener rebuilds it
+	}
+	if f.Kind == kindPipeR || f.Kind == kindPipeW {
+		return fmt.Errorf("vfs: fd %d is a pipe end; pipes recover at the component rung", fd)
+	}
+	c.dropFD(ctx, f)
+	return nil
+}
+
 // setOffsetSynthetic is the compaction target: it replays as a direct
 // offset install, replacing a run of read/write/lseek records (§V-F).
 func (c *Comp) setOffsetSynthetic(ctx *core.Ctx, args msg.Args) (msg.Args, error) {
@@ -964,4 +1016,6 @@ var (
 	_ core.LogPolicyProvider = (*Comp)(nil)
 	_ core.Compactor         = (*Comp)(nil)
 	_ core.StateSaver        = (*Comp)(nil)
+	_ core.SessionResolver   = (*Comp)(nil)
+	_ core.SessionEvictor    = (*Comp)(nil)
 )

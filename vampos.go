@@ -47,6 +47,7 @@ import (
 	"vampos/internal/cluster"
 	"vampos/internal/core"
 	"vampos/internal/faults"
+	"vampos/internal/microreboot"
 	"vampos/internal/trace"
 	"vampos/internal/unikernel"
 )
@@ -211,6 +212,38 @@ type (
 // NewCluster boots a gossip-replicated cluster of unikernel instances.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
 
+// Session microreboots (internal/microreboot): when a fault is
+// attributable to one session — one fd, socket or fid — rung 1 of the
+// recovery ladder evicts just that session's state from the live
+// component and replays its surviving log slice in place, while every
+// other session keeps serving. Enable with CoreConfig.Microreboot;
+// trigger proactively with Sys.MicrorebootSession.
+type (
+	// MicrorebootRecord is one completed session microreboot
+	// (Runtime.Microreboots).
+	MicrorebootRecord = core.MicrorebootRecord
+	// SessionStatus is the reconciliation state of one observed session
+	// sub-resource: Live, Recovering, Dissolved or Escalated
+	// (Runtime.Sessions).
+	SessionStatus = core.SessionStatus
+	// RecoveryRung identifies one level of the four-rung ladder: session
+	// microreboot, component reboot, instance kill, full restart.
+	RecoveryRung = microreboot.Rung
+)
+
+// The four rungs of the recovery ladder, smallest blast radius first.
+const (
+	RungSession   = microreboot.RungSession
+	RungComponent = microreboot.RungComponent
+	RungInstance  = microreboot.RungInstance
+	RungRestart   = microreboot.RungRestart
+)
+
+// FaultSessionCrash is the campaign's session-granular crash: it pairs
+// with the redis workload and expects rung-1 recovery with untouched
+// sessions observing zero errors.
+const FaultSessionCrash = campaign.FaultSessionCrash
+
 // Instance-level fault kinds understood by the campaign engine's
 // cluster workload ("-workloads cluster"): the victim member is killed
 // outright, or partitioned from its peers until the cell heals it.
@@ -229,6 +262,10 @@ var (
 	// ErrUnrebootable reports a reboot attempt on a component whose
 	// state is shared with the host (VIRTIO).
 	ErrUnrebootable = core.ErrUnrebootable
+	// ErrMicrorebootEscalated reports a session microreboot that could
+	// not stay at rung 1 (unattributable session, eviction refused, or
+	// replay divergence) and escalated to a successful component reboot.
+	ErrMicrorebootEscalated = core.ErrMicrorebootEscalated
 	// ErrNotReplicated reports a cluster write rejected because the
 	// owner could not reach a full write quorum, or because a backup's
 	// LWW merge refused the delta (a stale-clocked owner); rejected
