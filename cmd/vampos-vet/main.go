@@ -2,23 +2,40 @@
 // module: import isolation between components (domainimports), value
 // semantics in msg.Args (nosharedref), virtual time in deterministic
 // packages (detclock), cooperative-scheduler discipline (schedonly),
-// and interposition-only handler invocation (interposeonly).
+// interposition-only handler invocation (interposeonly), checkpoint
+// state completeness (statecomplete), deterministic map iteration in
+// ordered-output packages (detrange), quiescent-context recovery calls
+// (quiescentcall), and recovery-ladder error discipline (laddererr).
 //
 // Usage:
 //
 //	go run ./cmd/vampos-vet ./...
 //	go run ./cmd/vampos-vet -analyzers detclock,schedonly ./internal/core
+//	go run ./cmd/vampos-vet -json ./...
+//	go run ./cmd/vampos-vet -facts ./...
+//
+// All requested packages are loaded first and the cross-package fact
+// base is computed once over their combined type information; the
+// analyzers then run per package against the shared facts. Diagnostics
+// are sorted by (file, line, analyzer) across the whole run, so output
+// is deterministic and diffable. -json emits the same diagnostics as a
+// JSON array on stdout for tooling; -facts prints the fact base the
+// analyzers would run against and exits.
 //
 // Exit status is 0 when the tree is clean, 1 when any diagnostic is
 // reported, 2 on load or usage errors. Justified violations are
 // annotated in source with "//vampos:allow <analyzer> -- <reason>";
-// the driver flags stale or reasonless directives.
+// the driver flags stale, reasonless, unknown-analyzer, and lookalike
+// directives.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/types"
 	"os"
+	"sort"
 	"strings"
 
 	"vampos/internal/analysis"
@@ -28,10 +45,21 @@ func main() {
 	os.Exit(run())
 }
 
+// jsonDiag is the -json wire form of one diagnostic.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
 func run() int {
 	var (
-		list  = flag.Bool("list", false, "list the analyzers and exit")
-		names = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		list     = flag.Bool("list", false, "list the analyzers and exit")
+		names    = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		jsonOut  = flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+		factsOut = flag.Bool("facts", false, "print the cross-package fact base and exit")
 	)
 	flag.Parse()
 
@@ -75,25 +103,82 @@ func run() int {
 		return 2
 	}
 
-	bad := 0
+	// Load everything up front so the fact base can be computed in a
+	// single pass over the combined type information; every per-package
+	// analyzer run then shares it.
+	pkgs := make([]*analysis.Package, 0, len(paths))
+	roots := make([]*types.Package, 0, len(paths))
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vampos-vet:", err)
 			return 2
 		}
-		diags, err := analysis.Run(pkg, analyzers)
+		pkgs = append(pkgs, pkg)
+		roots = append(roots, pkg.Types)
+	}
+	facts := analysis.NewFacts(roots...)
+
+	if *factsOut {
+		for _, line := range facts.Summary() {
+			fmt.Println(line)
+		}
+		return 0
+	}
+
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := analysis.RunWithFacts(pkg, analyzers, facts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vampos-vet:", err)
 			return 2
 		}
+		diags = append(diags, ds...)
+	}
+
+	// Deterministic output order across the whole run: file, line,
+	// analyzer (column and message as final tie-breaks).
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+
+	if *jsonOut {
+		out := make([]jsonDiag, len(diags))
+		for i, d := range diags {
+			out[i] = jsonDiag{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Message:  d.Message,
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "vampos-vet:", err)
+			return 2
+		}
+	} else {
 		for _, d := range diags {
 			fmt.Println(d)
-			bad++
 		}
 	}
-	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "vampos-vet: %d violation(s) in %d package(s) checked\n", bad, len(paths))
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "vampos-vet: %d violation(s) in %d package(s) checked\n", len(diags), len(paths))
 		return 1
 	}
 	return 0

@@ -7,7 +7,7 @@
 // are enforced rather than conventional: a component that imports
 // another directly, smuggles a pointer through msg.Args, or reads the
 // wall clock inside a deterministic trial silently invalidates the
-// encapsulated-restoration and campaign-replay arguments. The five
+// encapsulated-restoration and campaign-replay arguments. The nine
 // analyzers here turn those prose invariants into compile-time checks:
 //
 //   - domainimports: component packages interact only through logged
@@ -24,6 +24,24 @@
 //   - interposeonly: component handlers are invoked only through
 //     internal/core's interposition layer, because an unlogged call
 //     breaks log-based restoration.
+//   - statecomplete: every mutable field an exported handler writes
+//     must be covered by SaveState and RestoreState — otherwise log
+//     truncation silently drops it (the PR-4 lwip lost-listeners bug).
+//   - detrange: no order-sensitive iteration over maps in the packages
+//     whose output is replayed or byte-compared (log bytes, gossip
+//     deltas, codec output) unless the keys are sorted first.
+//   - quiescentcall: Ctx.Checkpoint / Ctx.Rejuvenate /
+//     Ctx.MicrorebootSession are quiescent-context operations; a
+//     component handler must never invoke them mid-call.
+//   - laddererr: the recovery ladder's sentinel errors are tested with
+//     errors.Is (never == or string matching), and escalation results
+//     are handled, not dropped.
+//
+// The four recovery-completeness analyzers consume a cross-package
+// fact base (Facts) computed in a single pass over the loaded module's
+// type information: component roots, SaveState/RestoreState and
+// session-resolver/evictor implementers, sentinel error values, and
+// the deterministic-package sets.
 //
 // The framework deliberately mirrors golang.org/x/tools/go/analysis
 // (Analyzer, Pass, Diagnostic, and an analysistest-style golden-test
@@ -68,6 +86,9 @@ type Pass struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Facts is the cross-package fact base shared by every analyzer of
+	// the run (see Facts); never nil.
+	Facts *Facts
 
 	diags []Diagnostic
 }
@@ -103,6 +124,10 @@ func Analyzers() []*Analyzer {
 		DetClock,
 		SchedOnly,
 		InterposeOnly,
+		StateComplete,
+		DetRange,
+		QuiescentCall,
+		LadderErr,
 	}
 }
 
@@ -119,8 +144,17 @@ func ByName(name string) *Analyzer {
 // Run applies the analyzers to the package, applies //vampos:allow
 // directive suppression, and returns the surviving diagnostics sorted
 // by position. Malformed and unused directives are reported as
-// diagnostics of the pseudo-analyzer "directive".
+// diagnostics of the pseudo-analyzer "directive". The cross-package
+// fact base is computed from the package's own import closure; a
+// multi-package driver should compute Facts once with NewFacts and use
+// RunWithFacts instead.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunWithFacts(pkg, analyzers, NewFacts(pkg.Types))
+}
+
+// RunWithFacts is Run with a caller-supplied fact base, so a whole-tree
+// driver walks the module's type information exactly once.
+func RunWithFacts(pkg *Package, analyzers []*Analyzer, facts *Facts) ([]Diagnostic, error) {
 	dirs := collectDirectives(pkg)
 	var out []Diagnostic
 	out = append(out, dirs.malformed...)
@@ -133,6 +167,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			Facts:    facts,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)

@@ -1,0 +1,29 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"vampos/internal/analysis"
+	"vampos/internal/analysis/analysistest"
+)
+
+// TestDetRange poses a fixture as vampos/internal/msg (ordered-output
+// scope): the sorted-collect idiom passes, unsorted collection, direct
+// encoding, last-writer assignment, early return and break are flagged
+// at the range statement, commutative bodies and nested-loop breaks
+// pass, and an annotated loop is suppressed.
+func TestDetRange(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(t), analysis.DetRange,
+		"vampos/internal/msg", map[string]string{
+			"vampos/internal/msg": "src/detrange/m",
+		})
+}
+
+// TestDetRangeOutOfScope checks that packages outside the
+// ordered-output set may iterate maps freely.
+func TestDetRangeOutOfScope(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(t), analysis.DetRange,
+		"detrange/plain", map[string]string{
+			"detrange/plain": "src/detrange/plain",
+		})
+}

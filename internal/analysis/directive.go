@@ -40,6 +40,9 @@ func collectDirectives(pkg *Package) *directiveSet {
 			for _, c := range cg.List {
 				text, ok := strings.CutPrefix(c.Text, directivePrefix)
 				if !ok {
+					if d := lookalike(c.Text, pkg.Fset.Position(c.Pos())); d != nil {
+						set.malformed = append(set.malformed, *d)
+					}
 					continue
 				}
 				// A trailing "// …" inside the directive comment is not
@@ -75,6 +78,40 @@ func collectDirectives(pkg *Package) *directiveSet {
 		}
 	}
 	return set
+}
+
+// lookalike detects comments that were clearly meant to be a
+// suppression directive but will never match the exact prefix and so
+// would otherwise be silently inert: whitespace between the comment
+// marker and "vampos:" (e.g. "// vampos:allow detclock -- x"), or an
+// unknown directive verb (e.g. "//vampos:permit"). Doc comments that
+// quote a directive as a nested "//…" example are not lookalikes.
+func lookalike(text string, pos token.Position) *Diagnostic {
+	rest, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return nil // block comment; not directive syntax
+	}
+	trimmed := strings.TrimSpace(rest)
+	if strings.HasPrefix(trimmed, "//") {
+		return nil // quoted example inside a doc comment
+	}
+	if !strings.HasPrefix(trimmed, "vampos:") {
+		return nil
+	}
+	if strings.HasPrefix(trimmed, "vampos:allow") {
+		return &Diagnostic{
+			Analyzer: "directive", Pos: pos,
+			Message: "directive-lookalike comment: whitespace before \"vampos:allow\" makes it inert (write exactly \"//vampos:allow <analyzer> -- <reason>\")",
+		}
+	}
+	verb := strings.TrimPrefix(trimmed, "vampos:")
+	if i := strings.IndexAny(verb, " \t"); i >= 0 {
+		verb = verb[:i]
+	}
+	return &Diagnostic{
+		Analyzer: "directive", Pos: pos,
+		Message: fmt.Sprintf("unknown vampos: directive verb %q (the only directive is \"//vampos:allow <analyzer> -- <reason>\")", verb),
+	}
 }
 
 // suppress reports whether a directive covers the diagnostic, marking

@@ -1,0 +1,21 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"vampos/internal/analysis"
+	"vampos/internal/analysis/analysistest"
+)
+
+// TestDirectiveParsing is the regression test for the //vampos:allow
+// parser: a well-formed directive suppresses; a typo'd or unknown
+// analyzer name, a missing reason, and a stale allow are rejected; and
+// directive-lookalike comments (leading whitespace, unknown verbs) that
+// would otherwise be silently inert are diagnosed. The fixture poses as
+// a deterministic package so detclock produces diagnostics to suppress.
+func TestDirectiveParsing(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(t), analysis.DetClock,
+		"vampos/internal/vfs", map[string]string{
+			"vampos/internal/vfs": "src/directive/dir",
+		})
+}

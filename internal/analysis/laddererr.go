@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// LadderErr enforces the recovery ladder's error discipline everywhere
+// in the module:
+//
+//  1. The ladder's sentinel errors (ErrUnrebootable, ErrNotReplicated,
+//     ErrMicrorebootEscalated) are tested with errors.Is — never with
+//     == / != / switch cases / message-string matching. Every rung
+//     wraps the cause it escalates past with %w, so identity
+//     comparison silently stops matching one rung up.
+//  2. Escalation results are handled: a call to Ctx.MicrorebootSession
+//     or Cluster.Recover/RecoverComponent whose error is dropped (an
+//     expression statement, a blank assignment, go/defer) swallows
+//     ErrMicrorebootEscalated — the one signal that tells the caller
+//     the cheap rung failed and a wider recovery already ran or must
+//     run.
+var LadderErr = &Analyzer{
+	Name: "laddererr",
+	Doc: "recovery sentinel errors are tested with errors.Is (never == or " +
+		"string matching) and ladder call sites handle the escalated error",
+	Run: runLadderErr,
+}
+
+// ladderCalls are the ladder entry points whose error results carry
+// escalation decisions.
+var ladderCalls = map[string]bool{
+	"MicrorebootSession": true,
+	"Recover":            true,
+	"RecoverComponent":   true,
+}
+
+func runLadderErr(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					for _, e := range []ast.Expr{n.X, n.Y} {
+						if name, ok := sentinelRef(pass, e); ok {
+							pass.Reportf(n.Pos(),
+								"recovery sentinel compared with %s: use errors.Is(err, %s) — the ladder wraps escalated causes with %%w, so identity comparison stops matching one rung up",
+								n.Op, name)
+							break
+						}
+					}
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				for _, cl := range n.Body.List {
+					cc, ok := cl.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if name, ok := sentinelRef(pass, e); ok {
+							pass.Reportf(e.Pos(),
+								"recovery sentinel in a switch case compares by identity: use errors.Is(err, %s) in an if/else chain instead",
+								name)
+						}
+					}
+				}
+			case *ast.CallExpr:
+				// string matching: <sentinel>.Error() anywhere is a smell;
+				// the only sound test is errors.Is.
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Error" && len(n.Args) == 0 {
+					if name, ok := sentinelRef(pass, sel.X); ok {
+						pass.Reportf(n.Pos(),
+							"recovery sentinel matched through its message string (%s.Error()): use errors.Is — messages gain wrapping prefixes as the ladder escalates",
+							name)
+					}
+				}
+			case *ast.ExprStmt:
+				reportDroppedLadderErr(pass, n.X, "discarded")
+			case *ast.GoStmt:
+				reportDroppedLadderErr(pass, n.Call, "discarded by go statement")
+			case *ast.DeferStmt:
+				reportDroppedLadderErr(pass, n.Call, "discarded by defer")
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok || !isLadderCall(pass, call) {
+					return true
+				}
+				// The error is always the last result.
+				if id, ok := n.Lhs[len(n.Lhs)-1].(*ast.Ident); ok && id.Name == "_" {
+					pass.Reportf(n.Pos(),
+						"recovery ladder error assigned to _: %s reports escalation through its error (ErrMicrorebootEscalated and worse); handle it or return it",
+						renderExpr(call.Fun))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// reportDroppedLadderErr flags a ladder call whose results are not
+// consumed at all.
+func reportDroppedLadderErr(pass *Pass, e ast.Expr, how string) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || !isLadderCall(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"recovery ladder error %s: %s reports escalation through its error (ErrMicrorebootEscalated and worse); handle it or return it",
+		how, renderExpr(call.Fun))
+}
+
+// isLadderCall reports whether the call invokes Ctx.MicrorebootSession
+// or Cluster.Recover/RecoverComponent.
+func isLadderCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !ladderCalls[sel.Sel.Name] {
+		return false
+	}
+	s, ok := pass.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	named := namedRecv(s.Recv())
+	switch sel.Sel.Name {
+	case "MicrorebootSession":
+		return pass.Facts.IsCtxType(named)
+	default:
+		return pass.Facts.IsClusterType(named)
+	}
+}
+
+// sentinelRef resolves an expression to a recovery sentinel object,
+// returning its name.
+func sentinelRef(pass *Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	obj := pass.Info.Uses[id]
+	if pass.Facts.IsRecoverySentinel(obj) {
+		return id.Name, true
+	}
+	return "", false
+}

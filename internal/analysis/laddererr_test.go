@@ -1,0 +1,23 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"vampos/internal/analysis"
+	"vampos/internal/analysis/analysistest"
+)
+
+// TestLadderErr loads a fixture against miniature core and cluster
+// overrides that declare the ladder sentinels and entry points: == / !=
+// / switch-case identity tests and message-string matching of sentinels
+// are flagged, errors.Is passes, every syntactic form of dropping a
+// ladder call's error is flagged, handled results pass, and a reasoned
+// allow suppresses.
+func TestLadderErr(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(t), analysis.LadderErr,
+		"laddererr/x", map[string]string{
+			"laddererr/x":             "src/laddererr/x",
+			"vampos/internal/core":    "src/laddererr/core",
+			"vampos/internal/cluster": "src/laddererr/cluster",
+		})
+}

@@ -1,0 +1,20 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"vampos/internal/analysis"
+	"vampos/internal/analysis/analysistest"
+)
+
+// TestQuiescentCall poses a fixture as a component package with a
+// miniature core override: calls (and method-value captures) of
+// Ctx.Checkpoint/Rejuvenate/MicrorebootSession are flagged, the
+// ordinary interposed Ctx.Call passes, and a reasoned allow suppresses.
+func TestQuiescentCall(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(t), analysis.QuiescentCall,
+		"vampos/internal/vfs", map[string]string{
+			"vampos/internal/vfs":  "src/quiescentcall/comp",
+			"vampos/internal/core": "src/quiescentcall/core",
+		})
+}

@@ -1,0 +1,23 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"vampos/internal/analysis"
+	"vampos/internal/analysis/analysistest"
+)
+
+// TestStateComplete poses a self-contained component fixture as
+// vampos/internal/lwip and proves the PR-4 lost-listeners bug shape is
+// statically detected: a field written by handler code (reached from
+// Exports through method values, closures, and helpers) that neither
+// SaveState nor RestoreState references is reported, a field missing
+// only from RestoreState is reported with the narrower message,
+// Init-only writes don't count as handler surface, and a reasoned
+// field-level allow suppresses.
+func TestStateComplete(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(t), analysis.StateComplete,
+		"vampos/internal/lwip", map[string]string{
+			"vampos/internal/lwip": "src/statecomplete/comp",
+		})
+}

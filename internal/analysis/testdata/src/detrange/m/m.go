@@ -1,0 +1,109 @@
+// Package m poses as vampos/internal/msg — an ordered-output package —
+// for the detrange golden test: map iteration whose body can reach
+// logged or byte-compared output must go through sorted keys.
+package m
+
+import "sort"
+
+type enc struct{ b []byte }
+
+func (e *enc) put(s string) { e.b = append(e.b, s...) }
+
+// sortedKeys is the canonical escape: collect, sort, iterate.
+func sortedKeys(m map[string]int, e *enc) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e.put(k)
+	}
+}
+
+// unsortedCollect collects the keys but never sorts them, so the slice
+// order is the randomized iteration order.
+func unsortedCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// encodeDirect writes to the encoder in iteration order.
+func encodeDirect(m map[string]int, e *enc) {
+	for k := range m { // want `calls e\.put`
+		e.put(k)
+	}
+}
+
+// lastWriter assigns outer state per key: last writer wins.
+func lastWriter(m map[string]int) string {
+	var last string
+	for k := range m { // want `last-writer-wins`
+		last = k
+	}
+	return last
+}
+
+// firstKey returns mid-iteration: the result is whichever key came
+// first.
+func firstKey(m map[string]int) string {
+	for k := range m { // want `returns mid-iteration`
+		return k
+	}
+	return ""
+}
+
+// earlyBreak exits mid-iteration.
+func earlyBreak(m map[string]int) int {
+	n := 0
+	for range m { // want `exits mid-iteration`
+		n++
+		if n > 3 {
+			break
+		}
+	}
+	return n
+}
+
+// cleanBodies: commutative accumulation, per-key map writes, constant
+// flag sets, delete, and continue are all order-insensitive.
+func cleanBodies(m map[string]int, dst map[string]int) (int, bool) {
+	sum := 0
+	seen := false
+	for k, v := range m {
+		sum += v
+		seen = true
+		if v < 0 {
+			delete(dst, k)
+			continue
+		}
+		dst[k] = v
+	}
+	return sum, seen
+}
+
+// nestedBreak: a break binding a nested loop does not exit the map
+// range.
+func nestedBreak(m map[string][]int, dst map[string]int) {
+	for k, vs := range m {
+		for _, v := range vs {
+			if v == 0 {
+				break
+			}
+			dst[k] += v
+		}
+	}
+}
+
+// describeAny is order-sensitive but annotated with a reason.
+func describeAny(m map[string]int) string {
+	out := ""
+	//vampos:allow detrange -- fixture: diagnostic sampling, any single key is an acceptable answer
+	for k := range m {
+		out = k
+	}
+	return out
+}

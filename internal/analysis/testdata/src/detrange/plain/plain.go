@@ -1,0 +1,12 @@
+// Package plain is outside the ordered-output set: map iteration order
+// is unconstrained here.
+package plain
+
+// AnyKey would be flagged in an ordered-output package; here it is
+// fine.
+func AnyKey(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}

@@ -1,0 +1,32 @@
+// Package dir exercises the //vampos:allow directive parser end to
+// end: a valid directive suppresses, and everything malformed — unknown
+// or typo'd analyzer names, missing reasons, stale allows, and
+// lookalike comments that would otherwise be silently inert — is itself
+// a diagnostic.
+package dir
+
+import "time"
+
+// suppressed: a well-formed directive on the line above silences the
+// wall-clock diagnostic.
+func suppressed() time.Time {
+	//vampos:allow detclock -- directive parser fixture: justified wall-clock read
+	return time.Now()
+}
+
+// unsuppressed: the same violation with no directive is reported.
+func unsuppressed() time.Time {
+	return time.Now() // want `wall clock`
+}
+
+//vampos:allow detclok -- the analyzer name is typo'd // want `unknown analyzer "detclok"`
+
+//vampos:allow -- no analyzer is named at all // want `names no analyzer`
+
+//vampos:allow detclock // want `has no reason`
+
+//vampos:allow detclock -- stale: there is nothing on this or the next line to suppress // want `unused vampos:allow`
+
+// vampos:allow detclock -- leading whitespace makes this directive inert // want `directive-lookalike`
+
+//vampos:permit detclock -- wrong directive verb // want `unknown vampos: directive verb "permit"`

@@ -1,0 +1,17 @@
+// Package cluster is a miniature stand-in for vampos/internal/cluster:
+// its ladder sentinel and the instance-recovery entry points.
+package cluster
+
+import "errors"
+
+// ErrNotReplicated reports that no peer holds the state to resync from.
+var ErrNotReplicated = errors.New("not replicated")
+
+// Cluster mirrors the multi-instance coordinator.
+type Cluster struct{}
+
+// Recover runs the cross-instance recovery ladder for one session.
+func (c *Cluster) Recover(id int, component, session string) (int, error) { return 0, nil }
+
+// RecoverComponent runs the ladder at component granularity.
+func (c *Cluster) RecoverComponent(id int, component string) error { return nil }

@@ -1,0 +1,21 @@
+// Package core is a miniature stand-in for vampos/internal/core: the
+// ladder sentinels it owns plus the session-microreboot entry point,
+// enough for the laddererr golden test to resolve facts.
+package core
+
+import "errors"
+
+// ErrUnrebootable marks a component that opted out of reboot recovery.
+var ErrUnrebootable = errors.New("unrebootable")
+
+// ErrMicrorebootEscalated reports that session-granular recovery gave
+// up and escalated.
+var ErrMicrorebootEscalated = errors.New("microreboot escalated")
+
+// Ctx mirrors the runtime's per-call capability.
+type Ctx struct{}
+
+// MicrorebootSession evicts and replays one session slice.
+func (c *Ctx) MicrorebootSession(component, session string) error {
+	return ErrMicrorebootEscalated
+}

@@ -1,0 +1,65 @@
+// Package x exercises the recovery ladder's error discipline: sentinel
+// errors are tested with errors.Is — never ==, switch cases, or message
+// strings — and ladder call sites must not drop the escalated error.
+package x
+
+import (
+	"errors"
+	"strings"
+
+	"vampos/internal/cluster"
+	"vampos/internal/core"
+)
+
+// compare tests sentinels by identity.
+func compare(err error) int {
+	if err == core.ErrUnrebootable { // want `use errors\.Is\(err, ErrUnrebootable\)`
+		return 1
+	}
+	if err != cluster.ErrNotReplicated { // want `use errors\.Is\(err, ErrNotReplicated\)`
+		return 2
+	}
+	if errors.Is(err, core.ErrMicrorebootEscalated) { // sound: survives %w wrapping
+		return 3
+	}
+	return 0
+}
+
+// classify compares by identity through switch cases.
+func classify(err error) string {
+	switch err {
+	case core.ErrUnrebootable: // want `switch case compares by identity`
+		return "unrebootable"
+	case nil:
+		return "ok"
+	}
+	return "other"
+}
+
+// matchString matches a sentinel through its message string.
+func matchString(err error) bool {
+	return strings.Contains(err.Error(), core.ErrMicrorebootEscalated.Error()) // want `matched through its message string`
+}
+
+// dropped discards ladder errors in every syntactic form.
+func dropped(c *core.Ctx, cl *cluster.Cluster) {
+	c.MicrorebootSession("vfs", "fd:3")    // want `error discarded`
+	go c.MicrorebootSession("vfs", "fd:3") // want `discarded by go statement`
+	defer cl.RecoverComponent(1, "vfs")    // want `discarded by defer`
+	_, _ = cl.Recover(1, "vfs", "fd:3")    // want `assigned to _`
+	_ = cl.RecoverComponent(1, "vfs")      // want `assigned to _`
+}
+
+// handled consumes the escalation result: fine.
+func handled(c *core.Ctx) error {
+	if err := c.MicrorebootSession("vfs", "fd:3"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// annotated drops the error with a reasoned allow.
+func annotated(c *core.Ctx) {
+	//vampos:allow laddererr -- fixture: best-effort teardown path; the caller's ladder re-runs escalation on the next fault
+	_ = c.MicrorebootSession("vfs", "fd:3")
+}

@@ -1,0 +1,20 @@
+// Package comp poses as a component package (vampos/internal/vfs):
+// quiescent-context operations on core.Ctx are forbidden in handler
+// code — a handler runs mid-call, which is never a quiescent point.
+package comp
+
+import "vampos/internal/core"
+
+func handler(ctx *core.Ctx) {
+	_ = ctx.Call("other.op", 1) // ordinary interposed call: fine
+	_ = ctx.Checkpoint("self")                 // want `invokes Ctx\.Checkpoint`
+	_ = ctx.Rejuvenate("self")                 // want `invokes Ctx\.Rejuvenate`
+	_ = ctx.MicrorebootSession("vfs", "fd:3")  // want `invokes Ctx\.MicrorebootSession`
+	f := ctx.MicrorebootSession                // want `invokes Ctx\.MicrorebootSession`
+	_ = f
+}
+
+func annotated(ctx *core.Ctx) {
+	//vampos:allow quiescentcall -- fixture: invoked only from the quiescent host-side harness, never from a handler frame
+	_ = ctx.Rejuvenate("self")
+}

@@ -1,0 +1,19 @@
+// Package core is a miniature stand-in for vampos/internal/core: just
+// enough surface for the quiescentcall golden test to resolve Ctx
+// method selections without loading the real runtime.
+package core
+
+// Ctx mirrors the runtime's per-call capability.
+type Ctx struct{}
+
+// Checkpoint snapshots a quiescent component group.
+func (c *Ctx) Checkpoint(name string) error { return nil }
+
+// Rejuvenate reboots and re-images a quiescent component.
+func (c *Ctx) Rejuvenate(name string) error { return nil }
+
+// MicrorebootSession evicts and replays one session slice.
+func (c *Ctx) MicrorebootSession(component, session string) error { return nil }
+
+// Call is the ordinary interposed cross-component call.
+func (c *Ctx) Call(name string, arg uint64) uint64 { return arg }

@@ -1,0 +1,80 @@
+// Package comp poses as a component package (vampos/internal/lwip) and
+// reproduces the PR-4 lwip lost-listeners bug shape for the
+// statecomplete golden test: the handler surface — everything reachable
+// from Exports, including method values, closures, and package helpers
+// — writes fields the checkpoint image does not carry.
+package comp
+
+// Handler is the fixture's stand-in for core.Handler.
+type Handler func(arg uint64) uint64
+
+// Comp is a session-bearing component with a checkpoint protocol.
+type Comp struct {
+	// socks is the saved session table: written by handlers, referenced
+	// by both SaveState and RestoreState — clean.
+	socks map[uint64]uint64
+	// listens is the PR-4 shape: handlers populate it, but neither
+	// SaveState nor RestoreState ever mentions it, so the moment log
+	// truncation folds the listen records into the image the listening
+	// sockets are silently gone.
+	listens map[uint64]bool // want `Comp\.listens is written by handler code .* never referenced in SaveState and RestoreState`
+	// halfSaved is captured by SaveState but RestoreState never rebuilds
+	// it: restore silently zeroes it.
+	halfSaved uint64 // want `Comp\.halfSaved is written by handler code .* never referenced in RestoreState`
+	// hits is a presentation-only counter the image legitimately omits.
+	//vampos:allow statecomplete -- fixture: presentation-only counter, restarts with the component by design
+	hits uint64
+	// bootArg is written only by Init, which is not handler surface.
+	bootArg uint64
+}
+
+// Init is boot surface, not handler surface: its writes do not count.
+func (c *Comp) Init(arg uint64) {
+	c.bootArg = arg
+	c.socks = make(map[uint64]uint64)
+	c.listens = make(map[uint64]bool)
+}
+
+// Exports is the handler-surface root: a method value and a closure
+// that reaches a package helper.
+func (c *Comp) Exports() map[string]Handler {
+	return map[string]Handler{
+		"listen": c.opListen,
+		"close": func(arg uint64) uint64 {
+			return closeHelper(c, arg)
+		},
+	}
+}
+
+func (c *Comp) opListen(arg uint64) uint64 {
+	c.socks[arg] = arg
+	c.listens[arg] = true
+	c.hits++
+	c.halfSaved = arg
+	return arg
+}
+
+// closeHelper is handler surface: reachable from Exports through the
+// "close" closure.
+func closeHelper(c *Comp, arg uint64) uint64 {
+	delete(c.socks, arg)
+	return arg
+}
+
+// SaveState captures socks and halfSaved — but not listens or hits.
+func (c *Comp) SaveState() []uint64 {
+	out := make([]uint64, 0, len(c.socks)+1)
+	out = append(out, c.halfSaved)
+	for k := range c.socks {
+		out = append(out, k)
+	}
+	return out
+}
+
+// RestoreState rebuilds socks only.
+func (c *Comp) RestoreState(img []uint64) {
+	c.socks = make(map[uint64]uint64)
+	for _, k := range img[1:] {
+		c.socks[k] = k
+	}
+}

@@ -35,8 +35,9 @@ func (rt *Runtime) FullRestart(c *Ctx) error {
 	startW := time.Now()
 
 	if rt.cfg.MessagePassing {
-		// Fail everything in flight; queued mailbox work dies with it.
-		for _, pc := range rt.pending {
+		// Fail everything in flight in seq order (deterministic caller
+		// wake order); queued mailbox work dies with it.
+		for _, pc := range rt.pendingInOrder() {
 			if !pc.done {
 				rt.finishCall(pc, nil, errnoString(ErrStopped))
 			}

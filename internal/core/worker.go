@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"vampos/internal/mem"
 	"vampos/internal/msg"
@@ -192,11 +193,29 @@ func (rt *Runtime) invoke(h Handler, ctx *Ctx, args msg.Args) (rets msg.Args, er
 	return rets, err, nil, false
 }
 
+// pendingInOrder returns the outstanding calls in ascending seq order.
+// rt.pending is a map: resolving calls in its iteration order would
+// wake the blocked callers in a different order every process run,
+// and the wake order feeds the scheduler's run queue — which decides
+// what the log records next.
+func (rt *Runtime) pendingInOrder() []*pendingCall {
+	seqs := make([]uint64, 0, len(rt.pending))
+	for seq := range rt.pending {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	out := make([]*pendingCall, len(seqs))
+	for i, seq := range seqs {
+		out[i] = rt.pending[seq]
+	}
+	return out
+}
+
 // failAllPending resolves every outstanding call addressed to the group.
 // With retryable set the callers re-submit after the reboot; otherwise
 // they observe a permanent failure.
 func (rt *Runtime) failAllPending(g *group, retryable bool) {
-	for _, pc := range rt.pending {
+	for _, pc := range rt.pendingInOrder() {
 		if pc.done || pc.to.group != g {
 			continue
 		}

@@ -48,9 +48,11 @@ type sock struct {
 // (sequence/ACK numbers, live connections) for everything the log
 // cannot regenerate — the paper's ad-hoc LWIP optimisation (§V-B).
 type Comp struct {
-	ip       Addr
-	socks    map[int]*sock
-	listens  map[uint16]int // port -> listening sock
+	ip    Addr
+	socks map[int]*sock
+	//vampos:allow statecomplete -- derived port index: RestoreState rebuilds it from the saved socks table's sockListening entries
+	listens map[uint16]int // port -> listening sock
+	//vampos:allow statecomplete -- derived demux index: RestoreState rebuilds it from each saved connection's MachineState endpoints
 	conns    map[connKey]int
 	nextSock int
 	isn      uint32
@@ -63,18 +65,22 @@ type Comp struct {
 	// evictedAcceptQ stashes a listener's accept queue across a session
 	// microreboot: eviction parks it here, the replayed listen re-attaches
 	// it. Never checkpointed — it only lives inside one microreboot.
+	//vampos:allow statecomplete -- transient microreboot stash: alive only between EvictSession and the replayed listen; checkpointing it would resurrect a consumed queue
 	evictedAcceptQ map[int][]int
 
 	// curCtxs maps each simulated thread to its in-flight handler
 	// context; the machines' segment output runs through it. In
 	// message-passing mode only the component worker appears here, but
 	// vanilla mode runs handlers on every caller thread concurrently.
+	//vampos:allow statecomplete -- per-call in-flight handler contexts: repopulated on every handler entry, meaningless across a reboot
 	curCtxs map[*sched.Thread]*core.Ctx
 	sch     *sched.Scheduler
 
 	// Stats
+	//vampos:allow statecomplete -- wire counters are diagnostics, not recovery state: a rebooted stack restarts its counts like a rebooted kernel would
 	SegsIn, SegsOut uint64
-	Resets          uint64
+	//vampos:allow statecomplete -- diagnostic counter, not recovery state: RST counts restart with the stack
+	Resets uint64
 }
 
 // New creates the LWIP component with the guest address.

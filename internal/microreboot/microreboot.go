@@ -262,6 +262,7 @@ func (r *Registry) ComponentRecovered(component string) {
 	if r == nil {
 		return
 	}
+	//vampos:allow detrange -- per-session transitions commute: each touches only its own Status fields plus a counter, and Since reads the same registry clock for the whole sweep
 	for _, s := range r.m {
 		if s.Component != component || s.Desired != Live || s.Observed == Live {
 			continue
