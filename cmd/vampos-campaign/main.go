@@ -28,7 +28,8 @@ func main() {
 		workloads  = flag.String("workloads", "", "comma-separated workloads (sqlite,nginx,redis,echo, plus the multi-instance 'cluster'); empty = all single-instance workloads")
 		configs    = flag.String("configs", "", "comma-separated configs (noop,das,fsm,netm); empty = noop,das")
 		components = flag.String("components", "", "comma-separated target components (for the cluster workload: victim members node0,node1,node2); empty = every registered component")
-		faultsF    = flag.String("faults", "", "comma-separated faults (crash,hang,errno,leak,wildwrite,aging,sessioncrash; cluster workload: instancekill,partition); empty = crash,hang (cluster: both cluster kinds)")
+		faultsF    = flag.String("faults", "", "comma-separated faults (crash,hang,errno,leak,wildwrite,aging,sessioncrash; attacks: tamper,badframe,xdomtouch; cluster workload: instancekill,partition); empty = crash,hang (cluster: both cluster kinds)")
+		defenseF   = flag.Bool("defense", false, "add the attack-shaped fault kinds (tamper, badframe, xdomtouch) to the fault slice; their trials always run with the defense pipeline armed")
 		functions  = flag.String("functions", "any", "fault-site granularity: any (one wildcard site per component) or each (one cell per exported function)")
 		seed       = flag.Int64("seed", 1, "campaign seed; every trial's randomness derives from it")
 		trial      = flag.String("trial", "", "run only these cell IDs (comma-separated, e.g. redis/das/9pfs/*/crash)")
@@ -45,12 +46,26 @@ func main() {
 	)
 	flag.Parse()
 
+	faults := faultNames(splitList(*faultsF))
+	if *defenseF {
+		// -defense widens the slice with the attack kinds on top of
+		// whatever fault selection is in effect (the crash/hang default
+		// when -faults is empty).
+		if len(faults) == 0 {
+			faults = campaign.DefaultFaults()
+		}
+		for _, f := range campaign.DefenseFaults() {
+			if !containsFault(faults, f) {
+				faults = append(faults, f)
+			}
+		}
+	}
 	opts := campaign.Options{
 		Space: campaign.SpaceOptions{
 			Workloads:  splitList(*workloads),
 			Configs:    splitList(*configs),
 			Components: splitList(*components),
-			Faults:     faultNames(splitList(*faultsF)),
+			Faults:     faults,
 			Functions:  *functions,
 		},
 		Seed:           *seed,
@@ -138,4 +153,13 @@ func faultNames(names []string) []campaign.FaultName {
 		out = append(out, campaign.FaultName(n))
 	}
 	return out
+}
+
+func containsFault(fs []campaign.FaultName, want campaign.FaultName) bool {
+	for _, f := range fs {
+		if f == want {
+			return true
+		}
+	}
+	return false
 }

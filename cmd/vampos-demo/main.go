@@ -8,6 +8,10 @@
 // microreboots — rung 1 of the recovery ladder — where a crash
 // attributable to one file descriptor is healed by evicting and
 // replaying just that session while its neighbours never notice.
+// The final scene (skip with -defense=false) turns recovery into a
+// security response: a host-side tamper of the VFS arena is caught by
+// the arena seal, recovery rolls back to a checkpoint strictly predating
+// the taint watermark, and the reboot re-randomizes the arena layout.
 //
 // With -trace <file>, every scene records into a flight recorder and the
 // merged Chrome trace-event JSON is written on exit; load it at
@@ -27,6 +31,7 @@ import (
 	"vampos/internal/apps/echo"
 	"vampos/internal/apps/nginx"
 	"vampos/internal/apps/redis"
+	"vampos/internal/mem"
 	"vampos/internal/sched"
 )
 
@@ -41,6 +46,8 @@ var (
 	agingPd    = flag.Duration("aging", 10*time.Millisecond, "adaptive rejuvenation sensor sample period for the aging scene")
 	agingLeak  = flag.Float64("aging-leak", 256<<10, "adaptive leak-slope threshold (bytes per virtual second)")
 	agingFrag  = flag.Float64("aging-frag", -1, "adaptive fragmentation threshold in [0,1] (negative = sensor off)")
+	defenseF   = flag.Bool("defense", true, "include the active-defense scene (tamper detection, taint-aware rollback, re-randomized reboot)")
+	defSeal    = flag.Int("defense-seal", 4, "defense scene: verify each sealed arena every N completed calls")
 )
 
 // demoAgingPolicy builds the aging scene's sensor policy from the flags.
@@ -118,13 +125,20 @@ func run() error {
 		return err
 	}
 	fmt.Println()
-	return microrebootDemo()
+	if err := microrebootDemo(); err != nil {
+		return err
+	}
+	if !*defenseF {
+		return nil
+	}
+	fmt.Println()
+	return defenseDemo()
 }
 
 // rejuvenationDemo reboots every unikernel component under a live HTTP
 // client and shows that no request is lost.
 func rejuvenationDemo() error {
-	fmt.Println("\n[1/4] Software rejuvenation under load (paper §VII-D)")
+	fmt.Println("\n[1/5] Software rejuvenation under load (paper §VII-D)")
 	inst, err := vampos.New(demoConfig())
 	if err != nil {
 		return err
@@ -208,7 +222,7 @@ func rejuvenationDemo() error {
 // recoveryDemo injects a 9PFS fail-stop under a warm Redis and compares
 // VampOS recovery with the full-reboot baseline.
 func recoveryDemo() error {
-	fmt.Println("[2/4] Failure recovery of a warm Redis (paper §VII-E)")
+	fmt.Println("[2/5] Failure recovery of a warm Redis (paper §VII-E)")
 	for _, variant := range []string{"vampos", "full-reboot"} {
 		inst, err := vampos.New(demoConfig())
 		if err != nil {
@@ -267,7 +281,7 @@ func recoveryDemo() error {
 // echo client and lets the sensor-driven controller notice and heal it.
 func agingDemo() error {
 	const target = "lwip"
-	fmt.Println("[3/4] Adaptive aging-driven rejuvenation (paper §IV motivation)")
+	fmt.Println("[3/5] Adaptive aging-driven rejuvenation (paper §IV motivation)")
 	cfg := demoConfig()
 	cfg.Core.Aging = demoAgingPolicy()
 	cfg.Core.AgingTargets = []string{target}
@@ -362,7 +376,7 @@ func min(a, b int) int {
 // just that session inside the live VFS, then a pipe — whose shared
 // buffer refuses eviction — shows the honest escalation to rung 2.
 func microrebootDemo() error {
-	fmt.Println("[4/4] Session microreboot — recovery ladder rung 1 (finest granularity)")
+	fmt.Println("[4/5] Session microreboot — recovery ladder rung 1 (finest granularity)")
 	cfg := demoConfig()
 	cfg.Core.Microreboot = true
 	inst, err := vampos.New(cfg)
@@ -426,5 +440,90 @@ func microrebootDemo() error {
 			fmt.Printf("  pipe content survived the rung-2 reboot: %q\n", data)
 		}
 		fmt.Println("\nThe ladder: session microreboot -> component reboot -> instance kill -> full restart.")
+	})
+}
+
+// defenseDemo stages a host-side tamper against the live VFS arena and
+// follows the active-defense pipeline end to end: the arena seal breaks
+// at the next quiescent point, the detection stamps a taint watermark,
+// recovery rolls back to a checkpoint image strictly predating it
+// (quarantining everything newer), and the reboot re-randomizes the
+// arena layout so any address the attacker learned is dead.
+func defenseDemo() error {
+	fmt.Println("[5/5] Active defense — tamper, taint-aware rollback, re-randomized reboot")
+	cfg := demoConfig()
+	if cfg.Core.Ckpt.EveryCalls == 0 && cfg.Core.Ckpt.LogThreshold == 0 {
+		// The rollback needs an image history to land on.
+		cfg.Core.Ckpt = vampos.CkptPolicy{EveryCalls: 8}
+	}
+	cfg.Core.ReplayRetCheck = true
+	cfg.Core.Defense = vampos.DefensePolicy{
+		Enabled:        true,
+		Rerandomize:    true,
+		SealEveryCalls: *defSeal,
+		HistoryDepth:   4,
+		Seed:           42,
+	}
+	inst, err := vampos.New(cfg)
+	if err != nil {
+		return err
+	}
+	record(inst, "demo/defense")
+	return inst.Run(func(s *vampos.Sys) {
+		defer s.Stop()
+		kv := redis.New() // the AOF keeps the vfs path hot
+		if err := s.StartApp(kv); err != nil {
+			fmt.Println("  start redis:", err)
+			return
+		}
+		for i := 0; i < 40; i++ {
+			kv.Execute(s, fmt.Sprintf("SET key%03d v%03d", i, i))
+		}
+		rt := inst.Runtime()
+		fp0 := rt.LayoutFingerprint("vfs")
+		fmt.Printf("  warm store: %d keys, AOF on vfs; arena seals verified every %d calls\n",
+			kv.Keys(), *defSeal)
+		heap, ok := rt.ComponentHeap("vfs")
+		if !ok {
+			fmt.Println("  no vfs heap")
+			return
+		}
+		addr, err := heap.Alloc(32)
+		if err != nil {
+			fmt.Println("  alloc:", err)
+			return
+		}
+		if err := rt.Memory().HostWrite(mem.Addr(addr), []byte{0xDE, 0xAD, 0xBE, 0xEF}); err != nil {
+			fmt.Println("  tamper:", err)
+			return
+		}
+		fmt.Println("  host flipped bytes inside the vfs arena — never legitimate mid-run")
+		deadline := s.Elapsed() + 5*time.Second
+		for rt.Stats().TamperDetections == 0 && s.Elapsed() < deadline {
+			kv.Execute(s, "SET canary x")
+			s.Sleep(time.Millisecond)
+		}
+		if rt.Stats().TamperDetections == 0 {
+			fmt.Println("  seal never broke — tamper undetected?")
+			return
+		}
+		recs := rt.Reboots()
+		if len(recs) == 0 {
+			fmt.Println("  detection without a reboot?")
+			return
+		}
+		r := recs[len(recs)-1]
+		fmt.Printf("  seal broke (%s) -> taint watermark seq %d\n", r.Reason, r.TaintWatermark)
+		fmt.Printf("  rolled back to the image at epoch seq %d — strictly before the watermark —\n"+
+			"  quarantined %d newer image(s), replayed %d un-tainted log entries\n",
+			r.RestoredEpochSeq, r.QuarantinedImages, r.ReplayedEntries)
+		fp1 := rt.LayoutFingerprint("vfs")
+		fmt.Printf("  fresh incarnation re-randomized its arena: fingerprint %#x -> %#x\n", fp0, fp1)
+		if resp := kv.Execute(s, "GET key007"); strings.Contains(resp, "v007") {
+			fmt.Println("  pre-attack data intact; post-watermark state never trusted again")
+		} else {
+			fmt.Println("  pre-attack data lost:", strings.TrimSpace(resp))
+		}
+		fmt.Println("\nRecovery is the security response: detect, roll back past the taint, re-randomize.")
 	})
 }

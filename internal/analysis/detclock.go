@@ -23,6 +23,7 @@ var deterministicPkgs = map[string]bool{
 	modulePath + "/internal/cluster":        true,
 	modulePath + "/internal/cluster/gossip": true,
 	modulePath + "/internal/microreboot":    true,
+	modulePath + "/internal/defense":        true,
 }
 
 // bannedTimeFuncs are the time package's ambient-wall-clock entry

@@ -22,6 +22,20 @@ import (
 // DefaultPort is the Redis port.
 const DefaultPort = 6379
 
+// Protocol bounds. A request line arrives from the network boundary —
+// attacker turf — and the AOF is a line-oriented replica of accepted
+// mutations, so anything that could smuggle a line break or an unbounded
+// length into the store must be rejected before any state changes.
+const (
+	// MaxKeyLen caps key bytes per command.
+	MaxKeyLen = 512
+	// MaxValueLen caps value bytes per command.
+	MaxValueLen = 64 << 10
+	// MaxLineLen caps a buffered request line; connections exceeding it
+	// are answered with a protocol error and dropped.
+	MaxLineLen = MaxValueLen + MaxKeyLen + 16
+)
+
 // AOFPath is where the append-only file lives on the export.
 const AOFPath = "/data/appendonly.aof"
 
@@ -149,15 +163,18 @@ func (a *App) loadAOF(s *unikernel.Sys) error {
 		if line == "" {
 			continue
 		}
+		// The AOF sits in durable state an in-domain tamper campaign can
+		// flip bytes in; replay through the same validator as the wire so
+		// a corrupted entry is skipped, not installed.
 		parts := strings.SplitN(line, " ", 3)
 		switch parts[0] {
 		case "SET":
-			if len(parts) == 3 {
+			if len(parts) == 3 && validKey(parts[1]) && validValue(parts[2]) {
 				a.setValue(s, parts[1], []byte(parts[2]))
 				a.AOFReplayed++
 			}
 		case "DEL":
-			if len(parts) >= 2 {
+			if len(parts) == 2 && validKey(parts[1]) {
 				a.delValue(s, parts[1])
 				a.AOFReplayed++
 			}
@@ -240,6 +257,13 @@ func (a *App) serve(s *unikernel.Sys, fd int) {
 		for {
 			nl := indexByte(buf, '\n')
 			if nl < 0 {
+				// An unterminated line must not buffer without bound: a
+				// client streaming newline-free bytes would otherwise grow
+				// buf until the host OOMs. Answer and hang up.
+				if len(buf) > MaxLineLen {
+					_, _ = s.Send(fd, []byte("-ERR protocol: request line too long\n"))
+					return
+				}
 				break
 			}
 			line := strings.TrimRight(string(buf[:nl]), "\r")
@@ -261,45 +285,122 @@ func indexByte(p []byte, b byte) int {
 	return -1
 }
 
-// Execute runs one command line and returns the protocol response. It is
-// exported so workloads can also drive the store in-process.
-func (a *App) Execute(s *unikernel.Sys, line string) string {
+// command is one parsed, validated request.
+type command struct {
+	Name string // upper-cased verb
+	Key  string
+	Val  string
+}
+
+// validKey rejects keys that could corrupt the line-oriented AOF or the
+// wire protocol: empty, oversized, or containing control bytes (which
+// include '\n' and '\r' — an embedded line break in a key would let one
+// SET forge a second AOF entry).
+func validKey(k string) bool {
+	if k == "" || len(k) > MaxKeyLen {
+		return false
+	}
+	for i := 0; i < len(k); i++ {
+		if k[i] < 0x20 || k[i] == 0x7F {
+			return false
+		}
+	}
+	return true
+}
+
+// validValue rejects oversized values and embedded line breaks. Other
+// control bytes are allowed — values are binary-ish — but CR/LF would
+// split the AOF line on replay.
+func validValue(v string) bool {
+	if len(v) > MaxValueLen {
+		return false
+	}
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\n' || v[i] == '\r' {
+			return false
+		}
+	}
+	return true
+}
+
+// parseCommand turns one request line into a validated command. On
+// rejection it returns a non-empty protocol error reply and no command is
+// executed — the caller must not touch the store or the AOF. Pure, so the
+// fuzz target can hammer it without a runtime.
+func parseCommand(line string) (command, string) {
 	parts := strings.SplitN(line, " ", 3)
 	if len(parts) == 0 || parts[0] == "" {
-		return "-ERR empty command\n"
+		return command{}, "-ERR protocol: empty command\n"
 	}
-	switch strings.ToUpper(parts[0]) {
+	cmd := command{Name: strings.ToUpper(parts[0])}
+	switch cmd.Name {
+	case "PING", "DBSIZE":
+		if len(parts) != 1 {
+			return command{}, "-ERR wrong number of arguments for '" + strings.ToLower(cmd.Name) + "'\n"
+		}
+		return cmd, ""
+	case "SET":
+		if len(parts) != 3 {
+			return command{}, "-ERR wrong number of arguments for 'set'\n"
+		}
+		cmd.Key, cmd.Val = parts[1], parts[2]
+		if !validKey(cmd.Key) {
+			return command{}, "-ERR protocol: invalid key\n"
+		}
+		if !validValue(cmd.Val) {
+			return command{}, "-ERR protocol: invalid value\n"
+		}
+		return cmd, ""
+	case "GET", "DEL":
+		if len(parts) != 2 {
+			return command{}, "-ERR wrong number of arguments for '" + strings.ToLower(cmd.Name) + "'\n"
+		}
+		cmd.Key = parts[1]
+		if !validKey(cmd.Key) {
+			return command{}, "-ERR protocol: invalid key\n"
+		}
+		return cmd, ""
+	default:
+		if !validKey(parts[0]) {
+			// Don't echo attacker-controlled control bytes back onto the wire.
+			return command{}, "-ERR protocol: malformed command\n"
+		}
+		return command{}, "-ERR unknown command '" + parts[0] + "'\n"
+	}
+}
+
+// Execute runs one command line and returns the protocol response. It is
+// exported so workloads can also drive the store in-process. A line that
+// fails validation gets a typed "-ERR protocol" reply and mutates
+// nothing — neither the store nor the AOF.
+func (a *App) Execute(s *unikernel.Sys, line string) string {
+	cmd, errReply := parseCommand(line)
+	if errReply != "" {
+		return errReply
+	}
+	switch cmd.Name {
 	case "PING":
 		return "+PONG\n"
 	case "SET":
-		if len(parts) != 3 {
-			return "-ERR wrong number of arguments for 'set'\n"
-		}
-		a.setValue(s, parts[1], []byte(parts[2]))
+		a.setValue(s, cmd.Key, []byte(cmd.Val))
 		a.Sets++
-		if err := a.appendAOF(s, "SET "+parts[1]+" "+parts[2]+"\n"); err != nil {
+		if err := a.appendAOF(s, "SET "+cmd.Key+" "+cmd.Val+"\n"); err != nil {
 			return "-ERR aof: " + err.Error() + "\n"
 		}
 		return "+OK\n"
 	case "GET":
-		if len(parts) < 2 {
-			return "-ERR wrong number of arguments for 'get'\n"
-		}
 		a.Gets++
-		val, ok := a.getValue(s, parts[1])
+		val, ok := a.getValue(s, cmd.Key)
 		if !ok {
 			return "$-1\n"
 		}
 		return "$" + strconv.Itoa(len(val)) + "\n" + string(val) + "\n"
 	case "DEL":
-		if len(parts) < 2 {
-			return "-ERR wrong number of arguments for 'del'\n"
-		}
 		n := 0
-		if a.delValue(s, parts[1]) {
+		if a.delValue(s, cmd.Key) {
 			n = 1
 			a.Dels++
-			if err := a.appendAOF(s, "DEL "+parts[1]+"\n"); err != nil {
+			if err := a.appendAOF(s, "DEL "+cmd.Key+"\n"); err != nil {
 				return "-ERR aof: " + err.Error() + "\n"
 			}
 		}
@@ -307,7 +408,7 @@ func (a *App) Execute(s *unikernel.Sys, line string) string {
 	case "DBSIZE":
 		return ":" + strconv.Itoa(len(a.store)) + "\n"
 	default:
-		return "-ERR unknown command '" + parts[0] + "'\n"
+		return "-ERR unknown command\n" // unreachable: parseCommand rejected it
 	}
 }
 

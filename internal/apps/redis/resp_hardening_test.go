@@ -1,0 +1,140 @@
+package redis
+
+import (
+	"strings"
+	"testing"
+
+	"vampos/internal/core"
+	"vampos/internal/unikernel"
+)
+
+// Regression tests for the RESP-side protocol hardening: every malformed
+// shape the defense campaign injects at the network boundary gets a typed
+// "-ERR protocol" reply and must mutate neither the store nor the AOF.
+
+func TestParseCommandRejections(t *testing.T) {
+	cases := []struct {
+		name, line, wantSub string
+	}{
+		{"empty", "", "protocol: empty command"},
+		{"key control byte", "SET k\x01ey v", "protocol: invalid key"},
+		{"key DEL injection", "GET k\x0d", "protocol: invalid key"},
+		{"key too long", "SET " + strings.Repeat("k", MaxKeyLen+1) + " v", "protocol: invalid key"},
+		{"value CR injection", "SET k v\rDEL k", "protocol: invalid value"},
+		{"value LF injection", "SET k v\nDEL k", "protocol: invalid value"},
+		{"value too long", "SET k " + strings.Repeat("v", MaxValueLen+1), "protocol: invalid value"},
+		{"verb control bytes", "\x1b[2JPING", "protocol: malformed command"},
+		{"set arity", "SET k", "wrong number of arguments"},
+		{"get arity", "GET", "wrong number of arguments"},
+		{"ping arity", "PING extra", "wrong number of arguments"},
+		{"unknown verb", "FLUSHALL", "unknown command"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cmd, errReply := parseCommand(tc.line)
+			if errReply == "" {
+				t.Fatalf("accepted %q as %+v", tc.line, cmd)
+			}
+			if !strings.Contains(errReply, tc.wantSub) {
+				t.Fatalf("reply %q does not mention %q", errReply, tc.wantSub)
+			}
+			if !strings.HasPrefix(errReply, "-ERR") || !strings.HasSuffix(errReply, "\n") {
+				t.Fatalf("reply %q is not a well-formed error line", errReply)
+			}
+		})
+	}
+}
+
+func TestParseCommandAccepts(t *testing.T) {
+	cmd, errReply := parseCommand("set k1 hello world") // value may contain spaces
+	if errReply != "" {
+		t.Fatal(errReply)
+	}
+	if cmd.Name != "SET" || cmd.Key != "k1" || cmd.Val != "hello world" {
+		t.Fatalf("parsed %+v", cmd)
+	}
+	if _, errReply := parseCommand("PING"); errReply != "" {
+		t.Fatal(errReply)
+	}
+}
+
+// TestRejectedCommandMutatesNothing drives the full app: a rejected line
+// must leave the store empty and the AOF unwritten — rejection happens
+// before the mutation path, not after.
+func TestRejectedCommandMutatesNothing(t *testing.T) {
+	app := New()
+	withRedis(t, core.DaSConfig(), app, func(s *unikernel.Sys, a *App) {
+		for _, line := range []string{
+			"SET k v\nDEL other", // AOF injection via embedded newline
+			"SET k\x00ey v",      // NUL in key
+			"SET " + strings.Repeat("k", MaxKeyLen+1) + " v",
+		} {
+			if resp := a.Execute(s, line); !strings.HasPrefix(resp, "-ERR protocol") {
+				t.Fatalf("Execute(%.20q) = %q, want -ERR protocol", line, resp)
+			}
+		}
+		if a.Sets != 0 || a.Keys() != 0 {
+			t.Fatalf("store mutated by rejected commands: sets=%d keys=%d", a.Sets, a.Keys())
+		}
+		if size, _, err := s.Stat(AOFPath); err != nil || size != 0 {
+			t.Fatalf("AOF touched by rejected commands: size=%d err=%v", size, err)
+		}
+		// A clean command still works afterwards.
+		if resp := a.Execute(s, "SET k v"); resp != "+OK\n" {
+			t.Fatalf("clean SET after rejects = %q", resp)
+		}
+	})
+}
+
+// TestCorruptedAOFEntriesSkippedOnReplay models in-domain tampering of
+// durable state: flip a byte of the AOF into a control character and the
+// reload must skip that entry rather than install a corrupted key.
+func TestCorruptedAOFEntriesSkippedOnReplay(t *testing.T) {
+	app := New()
+	withRedis(t, core.DaSConfig(), app, func(s *unikernel.Sys, a *App) {
+		if resp := a.Execute(s, "SET good v1"); resp != "+OK\n" {
+			t.Fatal(resp)
+		}
+		if resp := a.Execute(s, "SET doomed v2"); resp != "+OK\n" {
+			t.Fatal(resp)
+		}
+		// Tamper: corrupt the second entry's key byte into a control char.
+		fd, err := s.Open(AOFPath, unikernel.ORdonly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _, err := s.ReadNB(fd, 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = s.Close(fd)
+		tampered := strings.Replace(string(raw), "doomed", "doo\x01ed", 1)
+		if tampered == string(raw) {
+			t.Fatalf("AOF %q does not contain the doomed entry", raw)
+		}
+		wfd, err := s.Open(AOFPath, unikernel.OCreate|unikernel.OWronly|unikernel.OTrunc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Write(wfd, []byte(tampered)); err != nil {
+			t.Fatal(err)
+		}
+		_ = s.Close(wfd)
+		// Reload into a fresh app instance (same Sys, fresh store).
+		reloaded := &App{AOF: true, FsyncEvery: 1, Port: DefaultPort + 1}
+		if err := s.StartApp(reloaded); err != nil {
+			t.Fatal(err)
+		}
+		if reloaded.AOFReplayed != 1 {
+			t.Fatalf("AOFReplayed = %d, want 1 (tampered entry skipped)", reloaded.AOFReplayed)
+		}
+		if _, ok := reloaded.getValue(s, "good"); !ok {
+			t.Fatal("clean entry lost on replay")
+		}
+		for _, k := range []string{"doomed", "doo\x01ed"} {
+			if _, ok := reloaded.getValue(s, k); ok {
+				t.Fatalf("tampered key %q installed on replay", k)
+			}
+		}
+	})
+}

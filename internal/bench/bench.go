@@ -108,6 +108,11 @@ type Scale struct {
 	MicroSessions  int // concurrently open file fds, one session each
 	MicroWritesPer int // retained transient log entries per session
 
+	// Defense figure (recovery-to-latest vs taint-aware rollback under
+	// an identical host-boundary arena tamper)
+	DefenseWarmWrites int // workload records written before the attack
+	DefenseTailWrites int // records written after the attack (plain arm)
+
 	// Cluster availability figure (sync vs async replication across an
 	// instance kill)
 	ClusterNodes       int // cluster members
@@ -150,8 +155,10 @@ func DefaultScale() Scale {
 		AgingFrag:          -1,
 		MicroSessions:      32,
 		MicroWritesPer:     8,
-		ClusterNodes:  3,
-		ClusterWrites: 120,
+		DefenseWarmWrites:  48,
+		DefenseTailWrites:  24,
+		ClusterNodes:       3,
+		ClusterWrites:      120,
 		// The kill lands mid-gossip-interval (44 % 8 != 0) so the victim
 		// holds an acknowledged, not-yet-gossiped tail when it dies — the
 		// tail the async arm loses and the sync arm does not.
@@ -187,6 +194,8 @@ func PaperScale() Scale {
 	s.AgingPeriodicEvery = 500 * time.Millisecond
 	s.MicroSessions = 128
 	s.MicroWritesPer = 16
+	s.DefenseWarmWrites = 128
+	s.DefenseTailWrites = 48
 	s.ClusterWrites = 600
 	s.ClusterKillAt = 200
 	s.ClusterReviveAt = 400

@@ -501,3 +501,62 @@ func TestMicrorebootShapeInvariants(t *testing.T) {
 		t.Error("render missing ladder rungs")
 	}
 }
+
+func TestDefenseShapeInvariants(t *testing.T) {
+	res, err := RunDefense(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []DefenseArm{res.Plain, res.Taint} {
+		if a.Arm == "" || a.RecoveryVirtual <= 0 {
+			t.Errorf("arm %+v: missing name or non-positive recovery latency", a)
+		}
+		// Neither recovery policy may cost pre-attack application data:
+		// the plain arm has it all in the newest image, the taint arm's
+		// watermark provably postdates the warm payload.
+		if !a.WarmDataIntact {
+			t.Errorf("%s: pre-attack workload records did not read back intact", a.Arm)
+		}
+	}
+	// The paper's recovery trusts its newest checkpoint: the tamper is
+	// silent, nothing is quarantined, and the planted bytes outlive the
+	// reboot.
+	if res.Plain.Detected {
+		t.Error("recovery-to-latest: tamper was detected with the pipeline off")
+	}
+	if !res.Plain.CorruptionSurvived {
+		t.Error("recovery-to-latest: planted bytes did not survive the reboot (expected them in the newest image)")
+	}
+	if res.Plain.TaintWatermark != 0 || res.Plain.Quarantined != 0 {
+		t.Errorf("recovery-to-latest: watermark=%d quarantined=%d, want 0/0 (no taint machinery)",
+			res.Plain.TaintWatermark, res.Plain.Quarantined)
+	}
+	if res.Plain.FingerprintAfter != res.Plain.FingerprintBefore {
+		t.Errorf("recovery-to-latest: layout fingerprint moved 0x%x -> 0x%x without re-randomization",
+			res.Plain.FingerprintBefore, res.Plain.FingerprintAfter)
+	}
+	// The defense pipeline detects, rolls back strictly past the
+	// watermark, quarantines the image(s) that captured the tampered
+	// arena, and re-randomizes the layout.
+	if !res.Taint.Detected {
+		t.Error("taint-aware: tamper never detected")
+	}
+	if res.Taint.CorruptionSurvived {
+		t.Error("taint-aware: corruption survived the recovery")
+	}
+	if res.Taint.TaintWatermark == 0 || res.Taint.RestoredEpochSeq >= res.Taint.TaintWatermark {
+		t.Errorf("taint-aware: restored epoch seq %d vs watermark %d, want a strictly earlier image",
+			res.Taint.RestoredEpochSeq, res.Taint.TaintWatermark)
+	}
+	if res.Taint.Quarantined < 1 {
+		t.Errorf("taint-aware: quarantined %d images, want >= 1 (the seal window straddles a checkpoint)",
+			res.Taint.Quarantined)
+	}
+	if res.Taint.FingerprintAfter == res.Taint.FingerprintBefore || res.Taint.FingerprintAfter == 0 {
+		t.Errorf("taint-aware: layout fingerprint 0x%x -> 0x%x, want a fresh nonzero layout",
+			res.Taint.FingerprintBefore, res.Taint.FingerprintAfter)
+	}
+	if out := res.Render(); !strings.Contains(out, "recovery-to-latest") || !strings.Contains(out, "taint-aware") {
+		t.Error("render missing defense arms")
+	}
+}

@@ -25,10 +25,11 @@ type Suite struct {
 	Aging    *AgingResult
 	Cluster  *ClusterResult
 	Micro    *MicrorebootResult
+	Defense  *DefenseResult
 }
 
 // experiment names accepted by Run.
-var experimentNames = []string{"fig5", "table3", "fig6", "fig7", "table4", "table5", "fig8", "ablation", "recovery", "aging", "cluster", "microreboot"}
+var experimentNames = []string{"fig5", "table3", "fig6", "fig7", "table4", "table5", "fig8", "ablation", "recovery", "aging", "cluster", "microreboot", "defense"}
 
 // ExperimentNames lists the runnable experiment ids.
 func ExperimentNames() []string {
@@ -107,6 +108,11 @@ func (s *Suite) Run(name string, w io.Writer) error {
 			s.Micro, err = RunMicroreboot(s.Scale)
 			if err == nil {
 				out = s.Micro.Render()
+			}
+		case "defense":
+			s.Defense, err = RunDefense(s.Scale)
+			if err == nil {
+				out = s.Defense.Render()
 			}
 		default:
 			return fmt.Errorf("bench: unknown experiment %q (have %v)", id, experimentNames)

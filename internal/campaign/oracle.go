@@ -46,7 +46,7 @@ func serviceBudget(cell Cell) int {
 	switch cell.Fault {
 	case FaultErrno:
 		return 3 // the injected errno surfaces exactly once, plus margin
-	case FaultWildWrite:
+	case FaultWildWrite, FaultXDomTouch:
 		return 0 // a confined stray store must disturb nothing
 	}
 	if cell.Workload == "sqlite" {

@@ -46,12 +46,40 @@ const (
 	// wildcard could strike a non-session site and legitimately recover
 	// at the component rung).
 	FaultSessionCrash FaultName = "sessioncrash"
+	// FaultTamper is an attack-shaped fault: between calls, a host-side
+	// saboteur flips bytes in the component's durable arena. Pairs only
+	// with checkpoint-eligible components — the ones whose image history a
+	// taint-aware rollback can land on. The arena seal must detect the
+	// tamper, recovery must roll back to an image strictly predating the
+	// taint watermark, and the reboot must re-randomize the arena layout.
+	FaultTamper FaultName = "tamper"
+	// FaultBadFrame is an attack-shaped fault at the host boundary: the
+	// host corrupts a 9P response frame in flight. Pairs only with the
+	// 9PFS component (the frame's consumer). The hardened decoder must
+	// reject the frame, the defensive crash must reboot 9PFS, and the
+	// interrupted syscall must be retried transparently.
+	FaultBadFrame FaultName = "badframe"
+	// FaultXDomTouch is an attack-shaped fault: a registered saboteur
+	// component attempts PKRU misuse — writing into the cell component's
+	// protection domain. The write must be confined (EFAULT, victim
+	// intact), and with RebootOnFault armed the offender — not the victim
+	// — gets a fresh re-randomized incarnation per attempt.
+	FaultXDomTouch FaultName = "xdomtouch"
 )
 
 // AllFaults lists every fault kind in presentation order.
 func AllFaults() []FaultName {
 	return []FaultName{FaultCrash, FaultHang, FaultErrno, FaultLeak, FaultWildWrite, FaultAging,
-		FaultInstanceKill, FaultPartition, FaultSessionCrash}
+		FaultInstanceKill, FaultPartition, FaultSessionCrash,
+		FaultTamper, FaultBadFrame, FaultXDomTouch}
+}
+
+// DefenseFaults lists the attack-shaped fault kinds, which run with the
+// defense pipeline armed (Config.Defense) regardless of -defense.
+func DefenseFaults() []FaultName { return []FaultName{FaultTamper, FaultBadFrame, FaultXDomTouch} }
+
+func (f FaultName) defenseFault() bool {
+	return f == FaultTamper || f == FaultBadFrame || f == FaultXDomTouch
 }
 
 // ClusterWorkload is the multi-instance workload name: N replicated
@@ -269,6 +297,29 @@ func EnumerateSpace(o SpaceOptions) ([]Cell, error) {
 								Function: fn, Fault: FaultSessionCrash,
 							})
 						}
+						continue
+					}
+					if fault.defenseFault() {
+						// Attack cells have restricted pairings: tamper needs a
+						// victim with an image history to roll back through,
+						// badframe strikes the 9P frame's consumer, and a
+						// cross-domain touch needs a victim arena (any component
+						// with a heap — same as wildwrite). All run at wildcard
+						// granularity: the attack is not tied to a fault site.
+						switch fault {
+						case FaultTamper:
+							if !byComp[comp][0].Checkpointed {
+								continue
+							}
+						case FaultBadFrame:
+							if comp != "9pfs" {
+								continue
+							}
+						}
+						cells = append(cells, Cell{
+							Workload: w, Config: cfg, Component: comp,
+							Function: core.AnyFunction, Fault: fault,
+						})
 						continue
 					}
 					fns := []string{core.AnyFunction}

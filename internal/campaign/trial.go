@@ -87,6 +87,13 @@ type trial struct {
 	agingStats              aging.Stats
 	agingStatsOK            bool
 	agingDone               bool
+
+	// defense-fault observations (tamper, badframe, xdomtouch)
+	defInjected    bool   // the attack was actually delivered
+	defEFaults     int    // EFAULT replies observed on xdomtouch strikes
+	defIntact      bool   // xdomtouch: victim witness unharmed afterwards
+	defFaultsDelta uint64 // xdomtouch: protection faults raised by strikes
+	defRerandErr   error  // error from the fingerprint-comparison reboot
 }
 
 func (t *trial) pastDeadline(s *unikernel.Sys) bool {
@@ -119,6 +126,9 @@ func runTrial(cell Cell, opts Options) (res CellResult) {
 	}
 	if cell.Fault == FaultSessionCrash {
 		return runSessionTrial(cell, opts)
+	}
+	if cell.Fault.defenseFault() {
+		return runDefenseTrial(cell, opts)
 	}
 	res = CellResult{Cell: cell, TrialID: cell.ID()}
 	defer func() {

@@ -1,0 +1,152 @@
+package ckpt
+
+// Image history with taint-aware selection and quarantine.
+//
+// Plain recovery restores the newest checkpoint image. Under attack that
+// is exactly wrong: a checkpoint captured after the first tampered call
+// has baked the corruption into the image, and restoring it replays the
+// attack for free. The defense pipeline therefore retains a bounded ring
+// of recent images per component and, when a taint watermark W (first
+// suspect log seq) is known, restores the newest image whose epoch seq
+// strictly predates W — quarantining every image captured at or after W
+// so it can never be restored, this recovery or any later one.
+
+// ImageMeta describes one retained checkpoint image. EpochSeq is the
+// log-sequence high-water mark folded into the image: every inbound call
+// with Seq <= EpochSeq is part of the image, every later call must be
+// replayed on top of it.
+type ImageMeta struct {
+	// Epoch is the log epoch the capturing truncation advanced to.
+	Epoch uint64
+	// EpochSeq is the highest completed inbound seq folded into the image.
+	EpochSeq uint64
+	// Quarantined marks an image captured at or after a taint watermark;
+	// a quarantined image is never selected for restore again.
+	Quarantined bool
+}
+
+// HistoryEntry pairs an image's metadata with the runtime's opaque image
+// object (internal/core's unexported checkpoint struct).
+type HistoryEntry struct {
+	Meta  ImageMeta
+	Image any
+}
+
+// History is a bounded ring of checkpoint images for one component,
+// newest last. Entries are appended in capture order, but after a
+// taint-aware rollback the next capture's EpochSeq restarts below a
+// quarantined entry's, so entries are NOT sorted by EpochSeq — selection
+// scans the whole ring.
+type History struct {
+	depth   int
+	entries []HistoryEntry
+}
+
+// NewHistory returns a history retaining at most depth images. Depth is
+// clamped to at least 1 (the latest image must always be retainable).
+func NewHistory(depth int) *History {
+	if depth < 1 {
+		depth = 1
+	}
+	return &History{depth: depth}
+}
+
+// Len returns the number of retained images.
+func (h *History) Len() int { return len(h.entries) }
+
+// Depth returns the retention bound.
+func (h *History) Depth() int { return h.depth }
+
+// Add appends a freshly captured image, evicting the oldest entry when
+// the ring is full.
+func (h *History) Add(meta ImageMeta, image any) {
+	h.entries = append(h.entries, HistoryEntry{Meta: meta, Image: image})
+	if len(h.entries) > h.depth {
+		copy(h.entries, h.entries[1:])
+		h.entries[len(h.entries)-1] = HistoryEntry{}
+		h.entries = h.entries[:len(h.entries)-1]
+	}
+}
+
+// Latest returns the most recently added entry, quarantined or not.
+func (h *History) Latest() (HistoryEntry, bool) {
+	if len(h.entries) == 0 {
+		return HistoryEntry{}, false
+	}
+	return h.entries[len(h.entries)-1], true
+}
+
+// SelectBefore returns the retained non-quarantined image with the
+// greatest EpochSeq strictly below the watermark. It scans every entry:
+// after a rollback the ring is not EpochSeq-sorted, and quarantined
+// entries must be skipped even when they are the only post-watermark
+// images.
+func (h *History) SelectBefore(watermark uint64) (HistoryEntry, bool) {
+	best := -1
+	for i, e := range h.entries {
+		if e.Meta.Quarantined || e.Meta.EpochSeq >= watermark {
+			continue
+		}
+		if best < 0 || e.Meta.EpochSeq > h.entries[best].Meta.EpochSeq {
+			best = i
+		}
+	}
+	if best < 0 {
+		return HistoryEntry{}, false
+	}
+	return h.entries[best], true
+}
+
+// QuarantineFrom marks every image whose EpochSeq is at or after the
+// watermark as quarantined, returning how many entries it newly
+// quarantined. Quarantine is permanent: such an image may have folded a
+// tampered call and must never be restored.
+func (h *History) QuarantineFrom(watermark uint64) int {
+	n := 0
+	for i := range h.entries {
+		e := &h.entries[i]
+		if !e.Meta.Quarantined && e.Meta.EpochSeq >= watermark {
+			e.Meta.Quarantined = true
+			n++
+		}
+	}
+	return n
+}
+
+// QuarantinedCount returns how many retained images are quarantined.
+func (h *History) QuarantinedCount() int {
+	n := 0
+	for _, e := range h.entries {
+		if e.Meta.Quarantined {
+			n++
+		}
+	}
+	return n
+}
+
+// OldestEpochSeq returns the smallest EpochSeq among retained
+// non-quarantined images — the earliest point taint-aware restore can
+// land on, and therefore the trim bound for the archived-record tail.
+func (h *History) OldestEpochSeq() (uint64, bool) {
+	found := false
+	var min uint64
+	for _, e := range h.entries {
+		if e.Meta.Quarantined {
+			continue
+		}
+		if !found || e.Meta.EpochSeq < min {
+			min, found = e.Meta.EpochSeq, true
+		}
+	}
+	return min, found
+}
+
+// Metas returns a copy of every retained entry's metadata, oldest first,
+// for stats and oracles.
+func (h *History) Metas() []ImageMeta {
+	out := make([]ImageMeta, len(h.entries))
+	for i, e := range h.entries {
+		out[i] = e.Meta
+	}
+	return out
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"vampos/internal/ckpt"
+	"vampos/internal/msg"
 	"vampos/internal/trace"
 )
 
@@ -92,6 +93,22 @@ func (rt *Runtime) checkpointComponent(c *component) error {
 		}
 		return fmt.Errorf("core: checkpoint %q: %w", c.desc.Name, err)
 	}
+	// Under defense, the records truncation is about to drop must stay
+	// replayable against older retained images: a taint-aware rollback
+	// replays the un-tainted slice between an old image and the
+	// watermark, and part of that slice lives only in the archive once
+	// the live log is truncated. Decode before anything is installed so
+	// a decode failure leaves the component untouched.
+	var truncViews []msg.RecordView
+	if c.images != nil {
+		truncViews, err = c.domain.Log().Entries()
+		if err != nil {
+			if tr != nil {
+				tr.EndErr(sp, err.Error())
+			}
+			return fmt.Errorf("core: checkpoint %q: %w", c.desc.Name, err)
+		}
+	}
 	cp := &checkpoint{memSnap: snap, heap: c.heap.Clone(), takenAt: rt.clk.Now()}
 	if ss, ok := c.comp.(StateSaver); ok {
 		blob, serr := ss.SaveState()
@@ -111,7 +128,24 @@ func (rt *Runtime) checkpointComponent(c *component) error {
 	// not-yet-installed image would have covered.
 	c.checkpoint = cp
 	lg := c.domain.Log()
-	dropped, folded := lg.TruncateBefore(lg.MaxCompletedSeq())
+	// The image covers every call executed so far, which at a worker
+	// quiescent point is one more than the log shows completed: the
+	// just-finished call's record stays open until the message thread
+	// processes its reply, yet its effects are already in the capture.
+	// Label (and truncate) with the executed high-water mark so replay
+	// never re-applies a call the image contains.
+	truncSeq := lg.MaxCompletedSeq()
+	if c.lastExecSeq > truncSeq {
+		truncSeq = c.lastExecSeq
+	}
+	dropped, folded := lg.TruncateBefore(truncSeq)
+	if c.images != nil {
+		// The image's EpochSeq is the truncation seq — exactly the calls
+		// it covers — not lg.EpochSeq(), which after a rollback can stay
+		// inflated above what this capture actually folded.
+		c.images.Add(ckpt.ImageMeta{Epoch: lg.Epoch(), EpochSeq: truncSeq}, cp)
+		c.archiveTruncated(truncViews, truncSeq)
+	}
 	// Charge what the mechanism actually moved: dirty pages copied into
 	// the image (the whole point of the delta) plus the log rewrite.
 	rt.charge(time.Duration(dirtyPages) * rt.costs.SnapshotPerPage)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"vampos/internal/ckpt"
+	"vampos/internal/defense"
 	"vampos/internal/mem"
 	"vampos/internal/msg"
 	"vampos/internal/trace"
@@ -167,6 +168,31 @@ type component struct {
 	// runtime is not message-passing. Touched only under the cooperative
 	// scheduler baton.
 	tracker *ckpt.Tracker
+
+	// Defense state (all nil/zero unless Config.Defense is enabled and the
+	// component is checkpoint-eligible; touched only under the baton
+	// except layoutFP, which oracles read from campaign goroutines).
+	//
+	// images retains recent checkpoint images so taint-aware rollback can
+	// land strictly before a watermark; archive keeps decoded views of
+	// truncated log records still covered by a retained image, so the
+	// un-tainted slice between an older image and the watermark remains
+	// replayable; seal is the arena's host-write stamp capture from the
+	// last clean quiescent verification; taint carries a pending detection
+	// the next restore must honour.
+	images    *ckpt.History
+	archive   []msg.RecordView
+	seal      *defense.Seal
+	sealCalls int
+	taint     *defense.Taint
+	layoutFP  atomic.Uint64
+	// lastExecSeq is the seq of the newest inbound call whose handler has
+	// completed on this component. At a quiescent point the just-finished
+	// call's log record is still open (EndInbound runs on the message
+	// thread), so MaxCompletedSeq lags one call behind what the arena
+	// already reflects — seals use this to cover that call too. Reset at
+	// restore: replayed state is covered by the log's own seq bookkeeping.
+	lastExecSeq uint64
 
 	// fallback is the §VIII multi-version alternate implementation.
 	fallback     Component

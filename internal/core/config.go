@@ -5,6 +5,7 @@ import (
 
 	"vampos/internal/aging"
 	"vampos/internal/ckpt"
+	"vampos/internal/defense"
 )
 
 // SchedPolicy selects the component-thread scheduling policy.
@@ -98,6 +99,11 @@ type Config struct {
 	// Off by default: divergence checking doubles as a determinism oracle
 	// for campaigns but costs an encode per replayed entry.
 	ReplayRetCheck bool
+	// Defense configures the active-defense pipeline: arena tamper seals,
+	// taint-aware rollback past detected corruption, and re-randomized
+	// arena layouts on every reboot. The zero policy keeps recovery
+	// purely availability-oriented (restore the latest image).
+	Defense defense.Policy
 }
 
 // CkptPolicyFor returns the checkpoint cadence for the named component:
@@ -149,6 +155,7 @@ func (c Config) fill() Config {
 	if c.MaxVirtualTime == 0 {
 		c.MaxVirtualTime = 24 * time.Hour
 	}
+	c.Defense = c.Defense.Fill()
 	return c
 }
 

@@ -143,7 +143,15 @@ func (k *kvComp) SaveState() ([]byte, error) {
 }
 
 func (k *kvComp) RestoreState(p []byte) error {
-	return gob.NewDecoder(bytes.NewReader(p)).Decode(&k.data)
+	// Decode into a fresh map and replace: gob merges into a non-nil
+	// destination map, which would silently keep post-image keys alive —
+	// exactly what a taint-aware rollback must shed.
+	data := make(map[string]string)
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&data); err != nil {
+		return err
+	}
+	k.data = data
+	return nil
 }
 
 var (

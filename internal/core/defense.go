@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+
+	"vampos/internal/ckpt"
+	"vampos/internal/defense"
+	"vampos/internal/msg"
+	"vampos/internal/trace"
+)
+
+// This file is the runtime half of the active-defense pipeline
+// (internal/defense holds the policy half): detect → watermark →
+// taint-aware rollback → re-randomize. Detection has two sources — the
+// arena seal below (host-boundary tampering) and the ReplayRetCheck
+// divergence detector (restoreGroup) — both of which stamp a taint
+// watermark that restoreGroup's rollback honours.
+
+// installDefense arms the per-component defense state at Boot: every
+// checkpoint-eligible component gets an image-history ring. The post-init
+// image is seeded into it by takeCheckpoint.
+func (rt *Runtime) installDefense() {
+	p := rt.cfg.Defense
+	if !p.Enabled || !rt.cfg.MessagePassing {
+		return
+	}
+	for _, c := range rt.order {
+		if c.desc.Stateful && c.desc.Checkpoint {
+			c.images = ckpt.NewHistory(p.HistoryDepth)
+		}
+	}
+}
+
+// maybeDefense verifies due arena seals at a group quiescent point (the
+// worker calls it between inbound calls). On a broken seal it submits a
+// tamper item to the message thread and returns true: the worker must
+// die, exactly like a crash, and the message thread drives the
+// taint-aware reboot.
+func (rt *Runtime) maybeDefense(g *group) bool {
+	p := rt.cfg.Defense
+	if !p.Enabled || g.rebooting || g.failedTwice {
+		return false
+	}
+	for _, c := range g.members {
+		if c.images == nil {
+			continue
+		}
+		if c.seal == nil {
+			rt.captureSeal(c)
+			continue
+		}
+		c.sealCalls++
+		if c.sealCalls < p.SealEveryCalls {
+			continue
+		}
+		c.sealCalls = 0
+		cur, err := rt.memry.HostVersions(c.heapBase, c.heapPages)
+		if err != nil {
+			continue
+		}
+		if c.seal.Verify(cur) {
+			// Clean: every call up to this quiescent point ran against an
+			// untampered arena. Advance the seal so a later break taints
+			// only the window after this verification.
+			rt.captureSeal(c)
+			continue
+		}
+		w := c.seal.Watermark()
+		rt.submit(mqItem{kind: mqTamper, grp: g, comp: c, seq: w, reason: "seal"})
+		return true
+	}
+	return false
+}
+
+// captureSeal stamps the component's arena at a quiescent point. Seq is
+// the highest inbound seq the arena already reflects — executed calls
+// top out at lastExecSeq, retained records at MaxCompletedSeq, truncated
+// ones at EpochSeq — so a later break taints exactly the calls after
+// this point.
+func (rt *Runtime) captureSeal(c *component) {
+	stamps, err := rt.memry.HostVersions(c.heapBase, c.heapPages)
+	if err != nil {
+		return
+	}
+	lg := c.domain.Log()
+	seq := c.lastExecSeq
+	if mc := lg.MaxCompletedSeq(); mc > seq {
+		seq = mc
+	}
+	if es := lg.EpochSeq(); es > seq {
+		seq = es
+	}
+	c.seal = &defense.Seal{Stamps: stamps, Seq: seq}
+	c.sealCalls = 0
+}
+
+// handleTamper runs on the message thread when a seal broke: stamp the
+// taint watermark, count the detection, and begin a reboot whose restore
+// will roll back past the watermark. Mirrors handleFailure's fail-stop
+// discipline for tampering detected while already recovering.
+func (rt *Runtime) handleTamper(g *group, victim *component, watermark uint64, detector string) {
+	rt.stats.tampers.Add(1)
+	victim.failures.Add(1)
+	if tr := rt.tracer; tr != nil {
+		tr.Instant(0, trace.KindDetect, victim.desc.Name, "tamper",
+			fmt.Sprintf("detector=%s watermark=%d", detector, watermark))
+	}
+	if rt.onComponentFailure != nil {
+		rt.onComponentFailure(victim.desc.Name, "tamper")
+	}
+	rt.stampTaint(victim, defense.Taint{Watermark: watermark, Detector: detector})
+	if g.failedTwice || g.rebooting {
+		g.failedTwice = true
+		g.rebooting = false
+		if tr := rt.tracer; tr != nil {
+			tr.EndErr(g.rebootSpan, "fail-stop: tamper during recovery")
+			g.rebootSpan, g.quiesceSpan = 0, 0
+		}
+		rt.failAllPending(g, false)
+		rt.notifyFailStop(g)
+		return
+	}
+	rt.beginReboot(g, "tamper: "+detector, false, 0)
+}
+
+// handleBreach runs on the message thread after a handler raised
+// protection faults with RebootOnFault set: the PKRU misuse was confined
+// by interposition (the access never landed), but the offender is now
+// suspect and gets a fresh — re-randomized — incarnation. The reply was
+// already delivered, so callers observe the EFAULT, not the reboot.
+func (rt *Runtime) handleBreach(g *group, offender *component) {
+	if g.failedTwice || g.rebooting {
+		return
+	}
+	rt.stats.breaches.Add(1)
+	offender.failures.Add(1)
+	if tr := rt.tracer; tr != nil {
+		tr.Instant(0, trace.KindDetect, offender.desc.Name, "pkru-misuse",
+			"protection fault raised by handler; rebooting offender")
+	}
+	if rt.onComponentFailure != nil {
+		rt.onComponentFailure(offender.desc.Name, "pkru-misuse")
+	}
+	rt.beginReboot(g, "pkru-misuse", false, 0)
+}
+
+// stampTaint merges a detection into the component's pending taint,
+// keeping the earliest watermark. Returns whether anything tightened.
+func (rt *Runtime) stampTaint(c *component, t defense.Taint) bool {
+	if c.taint == nil {
+		c.taint = &defense.Taint{}
+	}
+	return c.taint.Tighten(t)
+}
+
+// stampDivergenceTaint turns a replay divergence into a taint watermark
+// on the diverged member, enabling a rollback retry. It returns false —
+// no retry — when defense is off, the component has no image history,
+// the divergence carries no seq, or the watermark does not strictly
+// tighten the existing taint (which guarantees retry termination: each
+// retry rolls back strictly further).
+func (rt *Runtime) stampDivergenceTaint(g *group, de *ReplayDivergenceError) bool {
+	if !rt.cfg.Defense.Enabled || de.Seq == 0 {
+		return false
+	}
+	c := g.member(de.Component)
+	if c == nil || c.images == nil {
+		return false
+	}
+	if !rt.stampTaint(c, defense.Taint{Watermark: de.Seq, Detector: "divergence"}) {
+		return false
+	}
+	rt.stats.tampers.Add(1)
+	if tr := rt.tracer; tr != nil {
+		tr.Instant(0, trace.KindDetect, c.desc.Name, "tamper",
+			fmt.Sprintf("detector=divergence watermark=%d", de.Seq))
+	}
+	return true
+}
+
+// archiveTruncated retains decoded views of the records a truncation is
+// about to drop, then trims the archive to what retained images can
+// still need: records at or below the oldest restorable image's epoch
+// seq can never be part of any replay tail again.
+func (c *component) archiveTruncated(views []msg.RecordView, truncSeq uint64) {
+	for _, v := range views {
+		if v.Seq <= truncSeq {
+			c.archive = append(c.archive, v)
+		}
+	}
+	if min, ok := c.images.OldestEpochSeq(); ok {
+		kept := c.archive[:0]
+		for _, v := range c.archive {
+			if v.Seq > min {
+				kept = append(kept, v)
+			}
+		}
+		for i := len(kept); i < len(c.archive); i++ {
+			c.archive[i] = msg.RecordView{}
+		}
+		c.archive = kept
+	}
+}
+
+// DefenseEnabled reports whether the active-defense pipeline is armed.
+// Boundary components consult it to pick their reaction to a malformed
+// host frame: under defense a corrupted frame is treated as an attack
+// (crash, reboot, retry transparently); without it, a typed errno.
+func (rt *Runtime) DefenseEnabled() bool { return rt.cfg.Defense.Enabled }
+
+// LayoutFingerprint returns the component's arena-layout fingerprint as
+// of its last boot or reboot (zero before the first reboot when defense
+// is off, or for unknown components). Safe from any goroutine.
+func (rt *Runtime) LayoutFingerprint(name string) uint64 {
+	c, ok := rt.comps[name]
+	if !ok {
+		return 0
+	}
+	return c.layoutFP.Load()
+}
+
+// ImageMetas returns the metadata of a component's retained checkpoint
+// images, oldest first (nil when defense is off or the component has no
+// history). Oracles assert quarantine discipline on it.
+func (rt *Runtime) ImageMetas(name string) []ckpt.ImageMeta {
+	c, ok := rt.comps[name]
+	if !ok || c.images == nil {
+		return nil
+	}
+	return c.images.Metas()
+}

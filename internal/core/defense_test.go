@@ -1,0 +1,319 @@
+package core
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"vampos/internal/ckpt"
+	"vampos/internal/defense"
+	"vampos/internal/mem"
+	"vampos/internal/msg"
+)
+
+func defenseConfig() Config {
+	cfg := DaSConfig()
+	cfg.Defense = defense.Policy{Enabled: true, Rerandomize: true}
+	return cfg
+}
+
+// TestTamperDetectionAndTaintRollback: a host-side write into a durable
+// arena breaks the next seal verification; recovery quarantines every
+// image the watermark poisons, restores one that strictly predates it,
+// and replays only the un-tainted tail — calls that ran against the
+// tampered arena are discarded, not replayed.
+func TestTamperDetectionAndTaintRollback(t *testing.T) {
+	kv := &kvComp{name: "kv", checkpointed: true}
+	cfg := defenseConfig()
+	cfg.Defense.SealEveryCalls = 4
+	cfg.Ckpt = ckpt.Policy{EveryCalls: 2}
+	rt := run(t, cfg, []Component{kv}, func(c *Ctx) {
+		// put1 captures the initial seal; put2 lands a cadence checkpoint.
+		mustCall(t, c, "kv", "put", "k1", "1")
+		mustCall(t, c, "kv", "put", "k2", "2")
+		// Host-side tamper between calls: flip bytes deep in kv's arena.
+		tc := c.rt.comps["kv"]
+		if err := c.rt.memry.HostWrite(tc.heapBase+mem.PageSize, []byte{0xde, 0xad}); err != nil {
+			t.Fatal(err)
+		}
+		// put4 checkpoints the now-tampered arena; put5's verification
+		// (sealCalls reaches 4) breaks the seal and reboots kv.
+		mustCall(t, c, "kv", "put", "k3", "3")
+		mustCall(t, c, "kv", "put", "k4", "4")
+		mustCall(t, c, "kv", "put", "k5", "5")
+		// Queued during the tamper reboot; answered from the rolled-back
+		// store. Only put1 predates the watermark, so only k1 survives —
+		// the post-seal calls ran against (or after) a tampered arena and
+		// taint-aware recovery refuses to replay them.
+		rets := mustCall(t, c, "kv", "get", "k1")
+		if v, _ := rets.Str(0); v != "1" {
+			t.Errorf("k1 = %q after taint rollback, want 1", v)
+		}
+		// Image-history discipline, read before further cadence checkpoints
+		// evict the quarantined entries from the depth-bounded ring.
+		var quarantined, clean int
+		for _, m := range c.rt.ImageMetas("kv") {
+			if m.Quarantined {
+				quarantined++
+			} else {
+				clean++
+			}
+		}
+		if quarantined != 2 || clean == 0 {
+			t.Errorf("image metas %+v: want 2 quarantined and >=1 clean", c.rt.ImageMetas("kv"))
+		}
+		for _, k := range []string{"k2", "k3", "k4", "k5"} {
+			if _, err := c.Call("kv", "get", k); !errors.Is(err, ENOENT) {
+				t.Errorf("tainted key %s survived rollback (err=%v)", k, err)
+			}
+		}
+		// The component serves normally in its new incarnation.
+		mustCall(t, c, "kv", "put", "k6", "6")
+	})
+	st := rt.Stats()
+	if st.TamperDetections != 1 {
+		t.Fatalf("TamperDetections = %d, want 1", st.TamperDetections)
+	}
+	if st.TaintRollbacks != 1 {
+		t.Fatalf("TaintRollbacks = %d, want 1", st.TaintRollbacks)
+	}
+	if st.QuarantinedImages != 2 {
+		t.Fatalf("QuarantinedImages = %d, want 2 (the put2 and put4 images)", st.QuarantinedImages)
+	}
+	recs := rt.Reboots()
+	if len(recs) != 1 {
+		t.Fatalf("reboots = %d, want 1", len(recs))
+	}
+	rec := recs[0]
+	if !strings.Contains(rec.Reason, "tamper") {
+		t.Fatalf("reboot reason = %q, want tamper", rec.Reason)
+	}
+	if rec.TaintWatermark == 0 || rec.RestoredEpochSeq >= rec.TaintWatermark {
+		t.Fatalf("restored epoch seq %d does not strictly predate watermark %d",
+			rec.RestoredEpochSeq, rec.TaintWatermark)
+	}
+	if rec.QuarantinedImages != 2 {
+		t.Fatalf("record quarantined = %d, want 2", rec.QuarantinedImages)
+	}
+	if rec.ReplayedEntries != 1 {
+		t.Fatalf("replayed %d entries, want 1 (only the pre-watermark put, from the archive)", rec.ReplayedEntries)
+	}
+	if fp := rt.LayoutFingerprint("kv"); fp == 0 {
+		t.Fatal("layout fingerprint not stamped after defense reboot")
+	}
+	if len(rec.LayoutFingerprints) != 1 || rec.LayoutFingerprints[0] != rt.LayoutFingerprint("kv") {
+		t.Fatalf("record fingerprints %v disagree with live fingerprint %d",
+			rec.LayoutFingerprints, rt.LayoutFingerprint("kv"))
+	}
+}
+
+// TestDivergenceTaintRetry: with defense enabled, a ReplayRetCheck
+// divergence is treated as corruption evidence — the diverging seq
+// becomes the taint watermark and the restore retries below it instead
+// of fail-stopping the group.
+func TestDivergenceTaintRetry(t *testing.T) {
+	d := &nondetComp{name: "nd"}
+	cfg := defenseConfig()
+	cfg.ReplayRetCheck = true
+	cfg.MaxVirtualTime = time.Hour
+	rt := NewRuntime(cfg)
+	if err := rt.Register(d); err != nil {
+		t.Fatal(err)
+	}
+	err := rt.Run(func(c *Ctx) {
+		mustCall(t, c, "nd", "bump") // logged ret: 1
+		mustCall(t, c, "nd", "bump") // logged ret: 2
+		d.crash = true
+		// The crash reboots nd; replay re-runs bump #1 against the live
+		// n=2 and diverges. Defense stamps the diverging seq as the taint
+		// watermark and the retry restores the post-init image with the
+		// suspect tail dropped — the group keeps serving.
+		if _, err := c.Call("nd", "bump"); err != nil {
+			t.Fatalf("bump after divergence retry: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := rt.Stats()
+	if st.FailedRestores != 0 {
+		t.Fatalf("FailedRestores = %d: divergence fail-stopped despite defense", st.FailedRestores)
+	}
+	if st.TaintRollbacks != 1 {
+		t.Fatalf("TaintRollbacks = %d, want 1", st.TaintRollbacks)
+	}
+	if st.TamperDetections != 1 {
+		t.Fatalf("TamperDetections = %d, want 1 (divergence counts as a detection)", st.TamperDetections)
+	}
+	recs := rt.Reboots()
+	if len(recs) != 1 {
+		t.Fatalf("reboots = %d, want 1", len(recs))
+	}
+	if rec := recs[0]; rec.TaintWatermark == 0 || rec.RestoredEpochSeq >= rec.TaintWatermark {
+		t.Fatalf("restored epoch seq %d does not strictly predate watermark %d",
+			rec.RestoredEpochSeq, rec.TaintWatermark)
+	}
+}
+
+// TestRerandomizedRebootsChangeFingerprint: consecutive reboots of the
+// same component land on different arena layouts — the fingerprint
+// differs every incarnation while the recovered state stays correct.
+func TestRerandomizedRebootsChangeFingerprint(t *testing.T) {
+	kv := &kvComp{name: "kv", checkpointed: true}
+	cfg := defenseConfig()
+	cfg.Defense.Seed = 42
+	var fps []uint64
+	rt := run(t, cfg, []Component{kv}, func(c *Ctx) {
+		mustCall(t, c, "kv", "put", "a", "1")
+		for i := 0; i < 3; i++ {
+			if err := c.Reboot("kv"); err != nil {
+				t.Fatal(err)
+			}
+			fps = append(fps, c.rt.LayoutFingerprint("kv"))
+			rets := mustCall(t, c, "kv", "get", "a")
+			if v, _ := rets.Str(0); v != "1" {
+				t.Fatalf("a = %q after reboot %d", v, i)
+			}
+		}
+	})
+	for i, fp := range fps {
+		if fp == 0 {
+			t.Fatalf("fingerprint %d is zero", i)
+		}
+		for j := 0; j < i; j++ {
+			if fps[j] == fp {
+				t.Fatalf("reboots %d and %d share layout fingerprint %d", j, i, fp)
+			}
+		}
+	}
+	recs := rt.Reboots()
+	if len(recs) != 3 {
+		t.Fatalf("reboots = %d, want 3", len(recs))
+	}
+	for i, rec := range recs {
+		if len(rec.LayoutFingerprints) != 1 || rec.LayoutFingerprints[0] != fps[i] {
+			t.Fatalf("record %d fingerprints %v, want [%d]", i, rec.LayoutFingerprints, fps[i])
+		}
+	}
+}
+
+// breachComp's poke handler attempts a cross-domain store. Interposition
+// confines it to an EFAULT; with RebootOnFault the runtime additionally
+// treats the attempt as evidence of compromise and reboots the offender
+// into a re-randomized incarnation.
+type breachComp struct {
+	name      string
+	initCount int
+}
+
+func (b *breachComp) Describe() Descriptor {
+	return Descriptor{Name: b.name, HeapPages: 4, DomainPages: 4}
+}
+
+func (b *breachComp) Init(*Ctx) error {
+	b.initCount++
+	return nil
+}
+
+func (b *breachComp) Exports() map[string]Handler {
+	return map[string]Handler{
+		"poke": func(ctx *Ctx, args msg.Args) (msg.Args, error) {
+			addr, err := args.Uint64(0)
+			if err != nil {
+				return nil, err
+			}
+			if werr := ctx.Mem().Write(mem.Addr(addr), []byte{0xff}); werr != nil {
+				return nil, Errno("EFAULT: " + werr.Error())
+			}
+			return nil, nil
+		},
+		"ping": func(*Ctx, msg.Args) (msg.Args, error) {
+			return msg.Args{"pong"}, nil
+		},
+	}
+}
+
+// TestPKRUMisuseRebootsOffender: a handler that raises protection faults
+// gets its reply delivered (the caller observes the EFAULT, and the
+// victim's memory stays intact), then the offending component is
+// rebooted with reason pkru-misuse and a fresh layout.
+func TestPKRUMisuseRebootsOffender(t *testing.T) {
+	kv := &kvComp{name: "kv", checkpointed: true}
+	mal := &breachComp{name: "mal"}
+	cfg := defenseConfig()
+	cfg.Defense.RebootOnFault = true
+	rt := run(t, cfg, []Component{kv, mal}, func(c *Ctx) {
+		mustCall(t, c, "kv", "put", "a", "1")
+		victim := c.rt.comps["kv"].heapBase
+		_, err := c.Call("mal", "poke", uint64(victim))
+		if err == nil || !strings.Contains(err.Error(), "EFAULT") {
+			t.Fatalf("cross-domain poke returned %v, want EFAULT", err)
+		}
+		// The victim's state is untouched and the offender serves again
+		// after its punitive reboot.
+		rets := mustCall(t, c, "kv", "get", "a")
+		if v, _ := rets.Str(0); v != "1" {
+			t.Errorf("victim state a = %q after breach, want 1", v)
+		}
+		if _, err := c.Call("mal", "poke", uint64(victim)); err == nil {
+			t.Error("second poke succeeded")
+		}
+		// Wait out the second punitive reboot: a ping queues during the
+		// restore and completes only once the group serves again.
+		mustCall(t, c, "mal", "ping")
+	})
+	st := rt.Stats()
+	if st.PKRUBreaches != 2 {
+		t.Fatalf("PKRUBreaches = %d, want 2", st.PKRUBreaches)
+	}
+	if st.TaintRollbacks != 0 {
+		t.Fatalf("TaintRollbacks = %d, want 0 (breach reboots don't taint the offender)", st.TaintRollbacks)
+	}
+	recs := rt.Reboots()
+	if len(recs) != 2 {
+		t.Fatalf("reboots = %d, want 2", len(recs))
+	}
+	for _, rec := range recs {
+		if rec.Reason != "pkru-misuse" {
+			t.Fatalf("reboot reason = %q, want pkru-misuse", rec.Reason)
+		}
+	}
+	if mal.initCount != 3 {
+		t.Fatalf("offender initCount = %d, want 3 (boot + two punitive reboots)", mal.initCount)
+	}
+	if kvReboots, _ := rt.ComponentStats("kv"); kvReboots.Reboots != 0 {
+		t.Fatalf("victim rebooted %d times", kvReboots.Reboots)
+	}
+}
+
+// TestDefenseDisabledIsInert: with the policy off, no seals, histories,
+// fingerprints or defense counters appear — the subsystem costs nothing
+// unless asked for.
+func TestDefenseDisabledIsInert(t *testing.T) {
+	kv := &kvComp{name: "kv", checkpointed: true}
+	cfg := DaSConfig()
+	cfg.Ckpt = ckpt.Policy{EveryCalls: 2}
+	rt := run(t, cfg, []Component{kv}, func(c *Ctx) {
+		for i := 0; i < 6; i++ {
+			mustCall(t, c, "kv", "put", "k"+strconv.Itoa(i), strconv.Itoa(i))
+		}
+		if err := c.Reboot("kv"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	st := rt.Stats()
+	if st.TamperDetections+st.PKRUBreaches+st.TaintRollbacks+st.QuarantinedImages != 0 {
+		t.Fatalf("defense counters moved while disabled: %+v", st)
+	}
+	if metas := rt.ImageMetas("kv"); metas != nil {
+		t.Fatalf("image history %v retained while disabled", metas)
+	}
+	if fp := rt.LayoutFingerprint("kv"); fp != 0 {
+		t.Fatalf("fingerprint %d stamped while disabled", fp)
+	}
+	if rec := rt.Reboots()[0]; rec.LayoutFingerprints != nil || rec.TaintWatermark != 0 {
+		t.Fatalf("defense fields populated while disabled: %+v", rec)
+	}
+}

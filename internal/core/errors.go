@@ -109,6 +109,10 @@ type ReplayDivergenceError struct {
 	// ReplayRetCheck; Detail describes the mismatch.
 	RetMismatch bool
 	Detail      string
+	// Seq is the log sequence number of the diverging record — the first
+	// suspect seq. Taint-aware recovery uses it as the taint watermark:
+	// roll back to an image strictly predating it.
+	Seq uint64
 }
 
 func (e *ReplayDivergenceError) Error() string {

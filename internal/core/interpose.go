@@ -39,6 +39,8 @@ const (
 	mqPush mqKind = iota + 1
 	mqReply
 	mqFailure
+	mqTamper // arena seal broke: taint-aware reboot of comp's group
+	mqBreach // handler raised protection faults: reboot the offender
 )
 
 // mqItem is one unit of message-thread work.
@@ -47,9 +49,10 @@ type mqItem struct {
 	pc     *pendingCall
 	rets   msg.Args
 	errStr string
-	grp    *group // mqFailure
-	seq    uint64 // mqFailure: seq in flight when the component died
-	reason string
+	grp    *group     // mqFailure, mqTamper, mqBreach
+	comp   *component // mqTamper: victim; mqBreach: offender
+	seq    uint64     // mqFailure: seq in flight; mqTamper: taint watermark
+	reason string     // mqFailure: panic value; mqTamper: detector name
 }
 
 // submit hands an item to the message thread.
@@ -238,6 +241,10 @@ func (rt *Runtime) msgLoop(t *sched.Thread) {
 			rt.handleReply(it.pc, it.rets, it.errStr)
 		case mqFailure:
 			rt.handleFailure(it.grp, it.seq, it.reason)
+		case mqTamper:
+			rt.handleTamper(it.grp, it.comp, it.seq, it.reason)
+		case mqBreach:
+			rt.handleBreach(it.grp, it.comp)
 		}
 	}
 }
@@ -371,6 +378,7 @@ func (rt *Runtime) feedFromLog(c *Ctx, target, fn string) (msg.Args, error) {
 			Component: c.comp.desc.Name,
 			GotTarget: target, GotFn: fn,
 			WantTarget: "(log exhausted)", WantFn: "",
+			Seq: rs.rec.Seq,
 		}
 		rs.diverged = de
 		return nil, de
@@ -381,6 +389,7 @@ func (rt *Runtime) feedFromLog(c *Ctx, target, fn string) (msg.Args, error) {
 			Component:  c.comp.desc.Name,
 			WantTarget: ob.Target, WantFn: ob.Fn,
 			GotTarget: target, GotFn: fn,
+			Seq: rs.rec.Seq,
 		}
 		rs.diverged = de
 		return nil, de

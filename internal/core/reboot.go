@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"vampos/internal/defense"
 	"vampos/internal/mem"
 	"vampos/internal/msg"
 	"vampos/internal/sched"
@@ -154,9 +155,74 @@ func (rt *Runtime) restoreGroup(t *sched.Thread, g *group) error {
 	}
 	replayed := 0
 	restoredPages := 0
+	// Defense bookkeeping for this restore: the taint watermark honoured
+	// (zero when none), the epoch seq actually restored for the tainted
+	// member, images newly quarantined, and the archived record views
+	// that re-enter replay because the live log no longer holds them.
+	defPol := rt.cfg.Defense
+	var taintW, restoredEpochSeq uint64
+	var quarantinedNow int
+	var taintedComps []*component
+	var extraComps []*component
+	var extraViews []msg.RecordView
 	// Note: the group mailbox is untouched — requests queued during the
 	// reboot are delayed, not lost (the Table V property).
 	for _, c := range g.members {
+		coldBoot := false
+		// What the arena reflects from here on is governed by the log's own
+		// seq bookkeeping (replayed records, epoch seq); the live-execution
+		// high-water mark belongs to the dead incarnation.
+		c.lastExecSeq = 0
+		if defPol.Enabled && c.taint != nil && c.images != nil {
+			// Taint-aware rollback: quarantine every image the watermark
+			// poisons, then land on the newest image strictly predating it.
+			// The suspect log tail is dropped — those calls ran against (or
+			// after) a tampered arena and must not be replayed — and the
+			// un-tainted slice that only the archive still holds re-enters
+			// replay below.
+			w := c.taint.Watermark
+			n := c.images.QuarantineFrom(w)
+			quarantinedNow += n
+			rt.stats.quarantined.Add(uint64(n))
+			sel, ok := c.images.SelectBefore(w)
+			if !ok {
+				return fmt.Errorf("core: taint rollback of %q: no retained checkpoint predates watermark %d (%d images quarantined)",
+					c.desc.Name, w, c.images.QuarantinedCount())
+			}
+			c.checkpoint = sel.Image.(*checkpoint)
+			c.domain.Log().DropFrom(w)
+			c.domain.Log().RewindEpoch(sel.Meta.EpochSeq)
+			// Purge the archive of the poisoned suffix the same way DropFrom
+			// purged the live log: records at or past the watermark must
+			// never re-enter any future replay either.
+			kept := c.archive[:0]
+			for _, v := range c.archive {
+				if v.Seq < w {
+					kept = append(kept, v)
+				}
+			}
+			for i := len(kept); i < len(c.archive); i++ {
+				c.archive[i] = msg.RecordView{}
+			}
+			c.archive = kept
+			for _, v := range c.archive {
+				if v.Seq > sel.Meta.EpochSeq {
+					extraComps = append(extraComps, c)
+					extraViews = append(extraViews, v)
+				}
+			}
+			if taintW == 0 || w < taintW {
+				taintW = w
+				restoredEpochSeq = sel.Meta.EpochSeq
+			}
+			taintedComps = append(taintedComps, c)
+			rt.stats.rollbacks.Add(1)
+			if tr != nil {
+				tr.Instant(g.rebootSpan, trace.KindDetect, c.desc.Name, "rollback",
+					fmt.Sprintf("watermark=%d restored-epoch-seq=%d quarantined=%d detector=%s",
+						w, sel.Meta.EpochSeq, n, c.taint.Detector))
+			}
+		}
 		if c.desc.Stateful && c.checkpoint != nil {
 			if err := rt.memry.Restore(c.checkpoint.memSnap); err != nil {
 				return err
@@ -188,10 +254,25 @@ func (rt *Runtime) restoreGroup(t *sched.Thread, g *group) error {
 				cr.Reset()
 			}
 			rt.charge(rt.costs.ColdInit)
+			coldBoot = true
+			if defPol.Enabled && defPol.Rerandomize {
+				// Cold members re-randomize before Init so even the boot
+				// allocations land on a fresh layout.
+				c.heap.Reseed(defense.RebootSeed(defPol.Seed, c.desc.Name, c.reboots.Load()))
+			}
 			ctx := &Ctx{rt: rt, comp: c, th: t, span: phaseSpan}
 			if err := c.comp.Init(ctx); err != nil {
 				return fmt.Errorf("core: re-init %q: %w", c.desc.Name, err)
 			}
+		}
+		if defPol.Enabled && defPol.Rerandomize && !coldBoot {
+			// Checkpoint-restored members keep their image's allocation map
+			// (live blocks cannot move — the restored bytes hold pointers
+			// into them), but every allocation from here on draws from this
+			// reboot's seed: replay allocations, free-list evolution and
+			// future block placement differ each incarnation, and the seed
+			// itself is part of the layout fingerprint.
+			c.heap.Reseed(defense.RebootSeed(defPol.Seed, c.desc.Name, c.reboots.Load()))
 		}
 	}
 	if tr != nil {
@@ -214,9 +295,23 @@ func (rt *Runtime) restoreGroup(t *sched.Thread, g *group) error {
 		if err != nil {
 			return err
 		}
+		cover := c.domain.Log().EpochSeq()
 		for _, v := range views {
+			if v.Seq <= cover {
+				// Already in the restored image: a record that was still open
+				// when its covering truncation ran closes into the log below
+				// the epoch seq; replaying it would double-apply the call.
+				continue
+			}
 			items = append(items, replayItem{c: c, v: v})
 		}
+	}
+	// Archived records re-entering replay after a rollback: the slice
+	// between the restored (older) image and the watermark that the live
+	// log no longer holds. The global sort below interleaves them with
+	// the retained tail in original sequence order.
+	for i, c := range extraComps {
+		items = append(items, replayItem{c: c, v: extraViews[i]})
 	}
 	sort.SliceStable(items, func(i, j int) bool { return items[i].v.Seq < items[j].v.Seq })
 	for i := range items {
@@ -258,6 +353,10 @@ func (rt *Runtime) restoreGroup(t *sched.Thread, g *group) error {
 		}
 		rt.charge(rt.costs.ReplayPerEntry)
 		it.c.domain.Log().MarkReplayed(1)
+		// Replay is execution: the arena now reflects this call, and the
+		// next checkpoint (the post-rollback re-square in particular, whose
+		// replayed tail may live only in the archive) must cover it.
+		it.c.lastExecSeq = it.v.Seq
 		replayed++
 	}
 	if tr != nil {
@@ -275,6 +374,28 @@ func (rt *Runtime) restoreGroup(t *sched.Thread, g *group) error {
 			return fmt.Errorf("core: install runtime state of %q: %w", c.desc.Name, err)
 		}
 	}
+	// Defense epilogue: re-square every tainted member around the
+	// rolled-back state — a fresh capture at this quiescent point becomes
+	// the new latest image (ranked below the quarantined ones by epoch
+	// seq), the replayed prefix folds into it, and a fresh seal makes the
+	// post-tamper host stamps the new clean baseline. Then fingerprint
+	// every member's (re-randomized) arena layout.
+	for _, c := range taintedComps {
+		if err := rt.checkpointComponent(c); err != nil {
+			return fmt.Errorf("core: post-rollback checkpoint of %q: %w", c.desc.Name, err)
+		}
+		c.taint = nil
+		rt.captureSeal(c)
+	}
+	var fps []uint64
+	if defPol.Enabled {
+		fps = make([]uint64, len(g.members))
+		for i, c := range g.members {
+			fp := c.heap.Fingerprint()
+			c.layoutFP.Store(fp)
+			fps[i] = fp
+		}
+	}
 	names := make([]string, len(g.members))
 	for i, c := range g.members {
 		c.reboots.Add(1)
@@ -287,10 +408,14 @@ func (rt *Runtime) restoreGroup(t *sched.Thread, g *group) error {
 		Reason:          g.rebootReason,
 		VirtualDuration: rt.clk.Elapsed() - g.rebootStartV,
 		//vampos:allow detclock -- closes the wall-time measurement opened in beginReboot; presentation-only
-		WallDuration:    time.Since(g.rebootStartW),
-		ReplayedEntries: replayed,
-		RestoredPages:   restoredPages,
-		At:              rt.clk.Now(),
+		WallDuration:       time.Since(g.rebootStartW),
+		ReplayedEntries:    replayed,
+		RestoredPages:      restoredPages,
+		At:                 rt.clk.Now(),
+		TaintWatermark:     taintW,
+		RestoredEpochSeq:   restoredEpochSeq,
+		QuarantinedImages:  quarantinedNow,
+		LayoutFingerprints: fps,
 	})
 	rt.recMu.Unlock()
 	// Rung-2 reconciliation: the encapsulated replay rebuilt every
@@ -316,7 +441,7 @@ func (rt *Runtime) restoreGroup(t *sched.Thread, g *group) error {
 // pitfalls (ints decoded as their original widths, []byte identity):
 // two results are the same iff they transport the same.
 func replayRetDivergence(comp string, v *msg.RecordView, rets msg.Args, err error) *ReplayDivergenceError {
-	de := &ReplayDivergenceError{Component: comp, WantFn: v.Fn, GotFn: v.Fn, RetMismatch: true}
+	de := &ReplayDivergenceError{Component: comp, WantFn: v.Fn, GotFn: v.Fn, RetMismatch: true, Seq: v.Seq}
 	if got := errnoString(err); got != v.Err {
 		de.Detail = fmt.Sprintf("logged error %q, replay returned %q", v.Err, got)
 		return de

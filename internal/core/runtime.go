@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"vampos/internal/ckpt"
 	"vampos/internal/clock"
 	"vampos/internal/mem"
 	"vampos/internal/microreboot"
@@ -356,6 +357,7 @@ func (rt *Runtime) Boot(boot *sched.Thread) error {
 		return err
 	}
 	rt.installTrackers()
+	rt.installDefense()
 	rt.booted = true
 	rt.bootThread = boot
 	if rt.cfg.MessagePassing {
@@ -431,6 +433,11 @@ func (rt *Runtime) takeCheckpoint(c *component) error {
 		cp.control = blob
 	}
 	c.checkpoint = cp
+	if c.images != nil {
+		// Seed the defense image history with the post-init image: the
+		// rollback target of last resort, covering no completed calls.
+		c.images.Add(ckpt.ImageMeta{Epoch: c.domain.Log().Epoch(), EpochSeq: c.domain.Log().MaxCompletedSeq()}, cp)
+	}
 	return nil
 }
 

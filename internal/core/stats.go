@@ -27,6 +27,11 @@ type RuntimeStats struct {
 	VersionSwitches uint64 // fallback implementations swapped in (§VIII)
 	Checkpoints     uint64 // incremental checkpoints taken
 	CheckpointErrs  uint64 // incremental checkpoints that failed (old image kept)
+	// Defense counters (zero unless Config.Defense.Enabled).
+	TamperDetections  uint64 // arena-seal breaks detected (host tampering)
+	PKRUBreaches      uint64 // PKRU-misuse attempts answered with a reboot
+	TaintRollbacks    uint64 // taint-aware rollbacks to a pre-watermark image
+	QuarantinedImages uint64 // checkpoint images quarantined as tainted
 }
 
 // runtimeCounters backs RuntimeStats with atomics: the counters are
@@ -47,6 +52,10 @@ type runtimeCounters struct {
 	versionSwitches  atomic.Uint64
 	checkpoints      atomic.Uint64
 	checkpointErrors atomic.Uint64
+	tampers          atomic.Uint64
+	breaches         atomic.Uint64
+	rollbacks        atomic.Uint64
+	quarantined      atomic.Uint64
 }
 
 // RebootRecord describes one completed component(-group) reboot; the
@@ -60,24 +69,36 @@ type RebootRecord struct {
 	ReplayedEntries int
 	RestoredPages   int
 	At              time.Time
+	// TaintWatermark is the first suspect global seq honoured by this
+	// restore (zero when no member was tainted). RestoredEpochSeq is the
+	// epoch seq of the image the tainted member actually landed on — the
+	// defense oracle asserts RestoredEpochSeq < TaintWatermark.
+	TaintWatermark   uint64
+	RestoredEpochSeq uint64
+	// QuarantinedImages counts checkpoint images newly quarantined by this
+	// restore's watermark.
+	QuarantinedImages int
+	// LayoutFingerprints holds each member's post-restore arena layout
+	// fingerprint, parallel to Components (nil unless Defense.Enabled).
+	LayoutFingerprints []uint64
 }
 
 // ComponentStats is the per-component health view.
 type ComponentStats struct {
-	Name        string
-	Group       string
-	Key         mem.Key
-	Stateful    bool
-	Failures    uint64
-	Reboots     uint64
+	Name     string
+	Group    string
+	Key      mem.Key
+	Stateful bool
+	Failures uint64
+	Reboots  uint64
 	// Microreboots counts session-granular recoveries that completed at
 	// rung 1 without rebooting the component.
 	Microreboots uint64
 	LogLen       int
-	LogStats    msg.LogStats
-	DomainBytes int64
-	Heap        mem.BuddyStats
-	Pending     int
+	LogStats     msg.LogStats
+	DomainBytes  int64
+	Heap         mem.BuddyStats
+	Pending      int
 	// Ckpt is the component's incremental-checkpoint accounting (zero
 	// for components that are not checkpoint-eligible).
 	Ckpt ckpt.Stats
@@ -93,19 +114,23 @@ type ComponentStats struct {
 // any goroutine.
 func (rt *Runtime) Stats() RuntimeStats {
 	return RuntimeStats{
-		Calls:           rt.stats.calls.Load(),
-		Messages:        rt.stats.messages.Load(),
-		DirectCalls:     rt.stats.directCalls.Load(),
-		Injects:         rt.stats.injects.Load(),
-		Failures:        rt.stats.failures.Load(),
-		Hangs:           rt.stats.hangs.Load(),
-		Microreboots:    rt.stats.microreboots.Load(),
-		MicroEscalates:  rt.stats.microEscalations.Load(),
-		FailedRestores:  rt.stats.failedRestores.Load(),
-		CompactErrors:   rt.stats.compactErrors.Load(),
-		VersionSwitches: rt.stats.versionSwitches.Load(),
-		Checkpoints:     rt.stats.checkpoints.Load(),
-		CheckpointErrs:  rt.stats.checkpointErrors.Load(),
+		Calls:             rt.stats.calls.Load(),
+		Messages:          rt.stats.messages.Load(),
+		DirectCalls:       rt.stats.directCalls.Load(),
+		Injects:           rt.stats.injects.Load(),
+		Failures:          rt.stats.failures.Load(),
+		Hangs:             rt.stats.hangs.Load(),
+		Microreboots:      rt.stats.microreboots.Load(),
+		MicroEscalates:    rt.stats.microEscalations.Load(),
+		FailedRestores:    rt.stats.failedRestores.Load(),
+		CompactErrors:     rt.stats.compactErrors.Load(),
+		VersionSwitches:   rt.stats.versionSwitches.Load(),
+		Checkpoints:       rt.stats.checkpoints.Load(),
+		CheckpointErrs:    rt.stats.checkpointErrors.Load(),
+		TamperDetections:  rt.stats.tampers.Load(),
+		PKRUBreaches:      rt.stats.breaches.Load(),
+		TaintRollbacks:    rt.stats.rollbacks.Load(),
+		QuarantinedImages: rt.stats.quarantined.Load(),
 	}
 }
 
@@ -129,14 +154,14 @@ func (rt *Runtime) ComponentStats(name string) (ComponentStats, bool) {
 		return ComponentStats{}, false
 	}
 	cs := ComponentStats{
-		Name:     c.desc.Name,
+		Name:         c.desc.Name,
 		Stateful:     c.desc.Stateful,
 		Failures:     c.failures.Load(),
 		Reboots:      c.reboots.Load(),
 		Microreboots: c.micro.Load(),
-		Calls:    c.calls.Load(),
-		Errors:   c.errs.Load(),
-		Busy:     time.Duration(c.busyV.Load()),
+		Calls:        c.calls.Load(),
+		Errors:       c.errs.Load(),
+		Busy:         time.Duration(c.busyV.Load()),
 	}
 	if c.group != nil {
 		cs.Group = c.group.name
@@ -239,6 +264,11 @@ type InjectionPoint struct {
 	// configuration these are the per-session fault sites where rung-1
 	// recovery applies.
 	Sessionful bool
+	// Checkpointed marks checkpoint-eligible components (Stateful with
+	// Checkpoint set): the components whose durable arenas the attack
+	// campaign's tamper faults target, since only they retain images a
+	// taint-aware rollback can land on.
+	Checkpointed bool
 }
 
 // InjectionPoints enumerates every armable fault site in registration
@@ -270,6 +300,7 @@ func (rt *Runtime) InjectionPoints() []InjectionPoint {
 				Stateful:     c.desc.Stateful,
 				Unrebootable: c.desc.Unrebootable,
 				Sessionful:   sessionful[fn],
+				Checkpointed: c.desc.Stateful && c.desc.Checkpoint,
 			})
 		}
 	}

@@ -53,7 +53,19 @@ func (rt *Runtime) workerMain(t *sched.Thread, g *group, w *workerThread) {
 			}
 		}
 		if restore {
-			if err := rt.restoreGroup(t, g); err != nil {
+			for {
+				err := rt.restoreGroup(t, g)
+				if err == nil {
+					break
+				}
+				// Taint-aware retry: a replay divergence is a corruption
+				// detection, not (yet) a deterministic fault. Stamp the
+				// diverging record's seq as the taint watermark and restore
+				// again — the rollback lands strictly before it. Each retry
+				// tightens the watermark strictly, so the loop terminates.
+				if de, ok := err.(*ReplayDivergenceError); ok && rt.stampDivergenceTaint(g, de) {
+					continue
+				}
 				// Restoration itself failed: treat as a deterministic fault
 				// and fail-stop the group (§II-B).
 				g.failedTwice = true
@@ -98,7 +110,12 @@ func (rt *Runtime) workerMain(t *sched.Thread, g *group, w *workerThread) {
 			return // component crashed; the message thread takes over
 		}
 		// The call completed and its reply was submitted: the group is
-		// quiescent, making this the incremental-checkpoint point.
+		// quiescent. Verify arena seals first — tampering detected now
+		// must not be baked into a fresh checkpoint image at this same
+		// quiescent point.
+		if rt.maybeDefense(g) {
+			return // tamper detected; the message thread takes over
+		}
 		rt.maybeCheckpoint(g)
 	}
 }
@@ -133,6 +150,11 @@ func (rt *Runtime) execMessage(t *sched.Thread, g *group, m *msg.Message) bool {
 		tr.Instant(parent, trace.KindPull, c.desc.Name, m.Fn, "from "+m.From)
 		ctx.span = tr.Begin(parent, trace.KindExec, c.desc.Name, "", m.Fn)
 	}
+	var faultsBefore uint64
+	watchFaults := rt.cfg.Defense.Enabled && rt.cfg.Defense.RebootOnFault
+	if watchFaults {
+		faultsBefore = rt.memry.Faults()
+	}
 	rets, err, pv, panicked := rt.invokeChecked(h, ctx, c.desc.Name, m.Fn, m.Args)
 	g.currentSeq = 0
 	g.curRec = nil
@@ -154,12 +176,22 @@ func (rt *Runtime) execMessage(t *sched.Thread, g *group, m *msg.Message) bool {
 	if c.tracker != nil {
 		c.tracker.NoteCall()
 	}
+	c.lastExecSeq = m.Seq
 	c.calls.Add(1)
 	if err != nil {
 		c.errs.Add(1)
 	}
 	c.busyV.Add(int64(rt.clk.Elapsed() - g.busySinceV))
 	rt.submit(mqItem{kind: mqReply, pc: pc, rets: rets, errStr: errnoString(err)})
+	if watchFaults && rt.memry.Faults() > faultsBefore {
+		// The handler raised protection faults: a PKRU-misuse attempt,
+		// confined by interposition but evidence of compromise. The reply
+		// is already queued (callers observe the EFAULT, not the reboot);
+		// the message thread reboots the offender into a re-randomized
+		// incarnation after delivering it.
+		rt.submit(mqItem{kind: mqBreach, grp: g, comp: c})
+		return false
+	}
 	return true
 }
 

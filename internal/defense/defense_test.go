@@ -1,0 +1,80 @@
+package defense
+
+import "testing"
+
+func TestPolicyFill(t *testing.T) {
+	p := Policy{Enabled: true}.Fill()
+	if p.SealEveryCalls != 8 || p.HistoryDepth != 4 {
+		t.Fatalf("defaults not applied: %+v", p)
+	}
+	off := Policy{}.Fill()
+	if off.SealEveryCalls != 0 || off.HistoryDepth != 0 {
+		t.Fatalf("disabled policy must stay zero: %+v", off)
+	}
+	custom := Policy{Enabled: true, SealEveryCalls: 3, HistoryDepth: 2}.Fill()
+	if custom.SealEveryCalls != 3 || custom.HistoryDepth != 2 {
+		t.Fatalf("explicit values overridden: %+v", custom)
+	}
+}
+
+func TestSealVerify(t *testing.T) {
+	s := &Seal{Stamps: []uint64{0, 3, 0, 7}, Seq: 41}
+	if !s.Verify([]uint64{0, 3, 0, 7}) {
+		t.Fatal("unchanged stamps read as broken")
+	}
+	if s.Verify([]uint64{0, 3, 9, 7}) {
+		t.Fatal("moved stamp read as clean")
+	}
+	if s.Verify([]uint64{0, 3, 0}) {
+		t.Fatal("length mismatch read as clean")
+	}
+	var nilSeal *Seal
+	if nilSeal.Verify(nil) {
+		t.Fatal("nil seal read as clean")
+	}
+	if got := s.Watermark(); got != 42 {
+		t.Fatalf("Watermark = %d, want 42", got)
+	}
+}
+
+func TestTaintTighten(t *testing.T) {
+	var taint Taint
+	if !taint.Tighten(Taint{Watermark: 50, Detector: "seal"}) {
+		t.Fatal("first detection did not register")
+	}
+	if taint.Watermark != 50 || taint.Detector != "seal" {
+		t.Fatalf("taint = %+v", taint)
+	}
+	// A later watermark never loosens the rollback point.
+	if taint.Tighten(Taint{Watermark: 60, Detector: "divergence"}) {
+		t.Fatal("later watermark reported as a change")
+	}
+	if taint.Watermark != 50 {
+		t.Fatalf("watermark loosened to %d", taint.Watermark)
+	}
+	// An earlier watermark tightens, and the detector trail composes.
+	if !taint.Tighten(Taint{Watermark: 30, Detector: "divergence"}) {
+		t.Fatal("earlier watermark did not tighten")
+	}
+	if taint.Watermark != 30 || taint.Detector != "seal+divergence" {
+		t.Fatalf("taint = %+v", taint)
+	}
+}
+
+func TestRebootSeed(t *testing.T) {
+	a := RebootSeed(1, "vfs", 0)
+	b := RebootSeed(1, "vfs", 1)
+	c := RebootSeed(1, "lwip", 0)
+	d := RebootSeed(2, "vfs", 0)
+	if a == b || a == c || a == d || b == c {
+		t.Fatalf("seeds collide: %x %x %x %x", a, b, c, d)
+	}
+	if a != RebootSeed(1, "vfs", 0) {
+		t.Fatal("RebootSeed not deterministic")
+	}
+	for i := uint64(0); i < 64; i++ {
+		if RebootSeed(i, "x", i) == 0 {
+			t.Fatal("RebootSeed returned 0 (would disable re-randomization)")
+		}
+	}
+}

@@ -64,10 +64,25 @@ type Host struct {
 	// runtime; nil when tracing is off.
 	tracer *trace.Recorder
 
+	// corrupt9P counts pending 9P response corruptions: the defense
+	// campaign's host-boundary attack. While armed, each response frame
+	// has its opcode byte flipped before transmission — a guaranteed
+	// wire-level ProtoError on the guest side.
+	corrupt9P int
+
 	// Stats
 	FramesSwitched uint64
 	FramesDropped  uint64
+	// ResponsesCorrupted counts 9P responses deliberately corrupted by an
+	// armed Corrupt9PResponses hook.
+	ResponsesCorrupted uint64
 }
+
+// Corrupt9PResponses arms corruption of the next n 9P responses before
+// they cross to the guest: the attack-shaped fault of the defense
+// campaign. Call from a simulated thread (the cooperative scheduler makes
+// the counter race-free).
+func (h *Host) Corrupt9PResponses(n int) { h.corrupt9P += n }
 
 // SetTracer attaches a flight recorder to the host services. Host-side
 // events (9P requests served, frames dropped) appear as instants.
@@ -178,6 +193,17 @@ func (h *Host) p9Loop(t *sched.Thread) {
 		out, err := ninep.Encode(resp)
 		if err != nil {
 			panic(fmt.Sprintf("host: encode own response: %v", err))
+		}
+		if h.corrupt9P > 0 {
+			// Flip the high bit of the opcode: every R type lands on an
+			// opcode the guest decoder does not know, so the corruption is
+			// detected at the boundary rather than mis-executed.
+			h.corrupt9P--
+			out[4] ^= 0x80
+			h.ResponsesCorrupted++
+			if tr := h.tracer; tr != nil {
+				tr.Instant(0, trace.KindHostIO, "host/9p", "corrupt-response", "opcode bit flipped")
+			}
 		}
 		if err := h.p9Dev.HostSend(out); err != nil {
 			// Desynced device: drop, as real hardware would.

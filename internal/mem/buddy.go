@@ -22,6 +22,12 @@ type Buddy struct {
 	free    [][]Addr     // free block offsets per order
 	alloced map[Addr]int // live allocation -> order
 	stats   BuddyStats
+	// seed/rng drive layout re-randomization: when seed is nonzero, Alloc
+	// makes its split-half and free-list-pick choices from the rng stream
+	// so the arena layout differs per reboot. Zero keeps the historical
+	// deterministic layout (keep-low split, pop-last) byte for byte.
+	seed uint64
+	rng  uint64
 }
 
 // BuddyStats describes allocator health; the aging experiments read it.
@@ -116,8 +122,15 @@ func (b *Buddy) Alloc(n int64) (Addr, error) {
 	off := b.popFree(ord)
 	for ord > want {
 		ord--
-		// Keep the low half, return the high buddy to its free list.
-		b.pushFree(ord, off+Addr(blockSize(ord)))
+		// Keep the low half, return the high buddy to its free list —
+		// unless re-randomization is on, in which case the rng picks
+		// which half survives the split.
+		if b.seed != 0 && b.next()&1 == 1 {
+			b.pushFree(ord, off)
+			off += Addr(blockSize(ord))
+		} else {
+			b.pushFree(ord, off+Addr(blockSize(ord)))
+		}
 	}
 	b.alloced[off] = want
 	b.stats.AllocatedBytes += blockSize(want)
@@ -191,6 +204,8 @@ func (b *Buddy) Clone() *Buddy {
 		free:    make([][]Addr, len(b.free)),
 		alloced: make(map[Addr]int, len(b.alloced)),
 		stats:   b.stats,
+		seed:    b.seed,
+		rng:     b.rng,
 	}
 	for ord, list := range b.free {
 		c.free[ord] = append([]Addr(nil), list...)
@@ -214,13 +229,73 @@ func (b *Buddy) LiveAllocations() []Addr {
 
 func (b *Buddy) popFree(ord int) Addr {
 	list := b.free[ord]
-	off := list[len(list)-1]
+	i := len(list) - 1
+	if b.seed != 0 && len(list) > 1 {
+		i = int(b.next() % uint64(len(list)))
+	}
+	off := list[i]
+	list[i] = list[len(list)-1]
 	b.free[ord] = list[:len(list)-1]
 	return off
 }
 
 func (b *Buddy) pushFree(ord int, off Addr) {
 	b.free[ord] = append(b.free[ord], off)
+}
+
+// Reseed arms layout re-randomization with a per-reboot seed. Every
+// subsequent Alloc draws its split-half and free-block choices from a
+// deterministic stream over the seed, so two reboots with different
+// seeds produce different arena layouts while the same seed reproduces
+// the same layout exactly (campaign matrices stay byte-identical).
+// Reseeding with 0 restores the historical deterministic layout.
+func (b *Buddy) Reseed(seed uint64) {
+	b.seed = seed
+	b.rng = seed
+}
+
+// Seed returns the current re-randomization seed (0 = legacy layout).
+func (b *Buddy) Seed() uint64 { return b.seed }
+
+// next advances the splitmix64 stream.
+func (b *Buddy) next() uint64 {
+	b.rng += 0x9e3779b97f4a7c15
+	z := b.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Fingerprint hashes the arena's layout-determining state: the seed, the
+// geometry, and every free-list entry in order. Folding the seed in
+// guarantees two reboots with different seeds fingerprint differently
+// even when the free lists happen to coincide (a freshly split arena has
+// exactly one free block per order, so list contents alone cannot tell
+// reboots apart); the free lists make the fingerprint track the actual
+// allocation layout as it evolves.
+func (b *Buddy) Fingerprint() uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= fnvPrime
+		}
+	}
+	mix(b.seed)
+	mix(uint64(b.base))
+	mix(uint64(b.size))
+	for ord, list := range b.free {
+		mix(uint64(ord))
+		mix(uint64(len(list)))
+		for _, off := range list {
+			mix(uint64(off))
+		}
+	}
+	return h
 }
 
 // removeFree removes off from the order's free list if present.

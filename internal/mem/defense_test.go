@@ -1,0 +1,189 @@
+package mem
+
+import "testing"
+
+// A zero seed must reproduce the historical deterministic layout exactly:
+// every allocation lands where the legacy keep-low/pop-last scheme put it.
+func TestBuddyZeroSeedIsLegacyLayout(t *testing.T) {
+	a, _ := NewBuddy(0, 4096)
+	b, _ := NewBuddy(0, 4096)
+	b.Reseed(7)
+	b.Reseed(0) // back to legacy
+	for i := 0; i < 20; i++ {
+		n := int64(32 << uint(i%4))
+		addrA, errA := a.Alloc(n)
+		addrB, errB := b.Alloc(n)
+		if (errA == nil) != (errB == nil) || addrA != addrB {
+			t.Fatalf("alloc %d diverged: %v/%v vs %v/%v", i, addrA, errA, addrB, errB)
+		}
+		if i%3 == 0 && errA == nil {
+			a.Free(addrA)
+			b.Free(addrB)
+		}
+	}
+}
+
+// The same nonzero seed reproduces the same layout; different seeds give
+// different fingerprints even on a freshly initialised arena (where every
+// order's free list is a singleton, so list contents alone cannot differ).
+func TestBuddyReseedDeterministicAndDistinct(t *testing.T) {
+	build := func(seed uint64) (*Buddy, []Addr) {
+		b, _ := NewBuddy(0, 1<<16)
+		b.Reseed(seed)
+		var addrs []Addr
+		for i := 0; i < 12; i++ {
+			a, err := b.Alloc(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			addrs = append(addrs, a)
+		}
+		return b, addrs
+	}
+	b1, a1 := build(42)
+	b2, a2 := build(42)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("same seed, alloc %d: %#x vs %#x", i, a1[i], a2[i])
+		}
+	}
+	if b1.Fingerprint() != b2.Fingerprint() {
+		t.Fatal("same seed produced different fingerprints")
+	}
+	b3, a3 := build(43)
+	if b1.Fingerprint() == b3.Fingerprint() {
+		t.Fatal("different seeds produced equal fingerprints")
+	}
+	same := true
+	for i := range a1 {
+		if a1[i] != a3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical allocation sequences")
+	}
+
+	// Fresh arenas, no allocations: fingerprints must still differ across
+	// seeds (the seed is folded into the hash).
+	f1, _ := NewBuddy(0, 4096)
+	f2, _ := NewBuddy(0, 4096)
+	f1.Reseed(1)
+	f2.Reseed(2)
+	if f1.Fingerprint() == f2.Fingerprint() {
+		t.Fatal("fresh arenas with different seeds fingerprint equal")
+	}
+}
+
+func TestBuddyCloneCopiesSeed(t *testing.T) {
+	b, _ := NewBuddy(0, 4096)
+	b.Reseed(99)
+	b.Alloc(64)
+	c := b.Clone()
+	if c.Seed() != 99 {
+		t.Fatalf("clone seed = %d, want 99", c.Seed())
+	}
+	a1, _ := b.Alloc(64)
+	a2, _ := c.Alloc(64)
+	if a1 != a2 {
+		t.Fatalf("clone rng diverged: %#x vs %#x", a1, a2)
+	}
+}
+
+// Seeded allocator must stay correct: every block is in-range, aligned,
+// non-overlapping, and free/coalesce round-trips restore the arena.
+func TestBuddySeededInvariants(t *testing.T) {
+	b, _ := NewBuddy(0x1000, 1<<14)
+	b.Reseed(0xdecafbad)
+	live := map[Addr]int64{}
+	for i := 0; i < 200; i++ {
+		n := int64(32 * (1 + i%7))
+		a, err := b.Alloc(n)
+		if err != nil {
+			// Free everything and continue.
+			for addr := range live {
+				if err := b.Free(addr); err != nil {
+					t.Fatal(err)
+				}
+				delete(live, addr)
+			}
+			continue
+		}
+		sz, ok := b.BlockSize(a)
+		if !ok || sz < n {
+			t.Fatalf("block at %#x: size %d < %d", a, sz, n)
+		}
+		if a < 0x1000 || uint64(a)+uint64(sz) > 0x1000+(1<<14) {
+			t.Fatalf("block [%#x,+%d) escapes arena", a, sz)
+		}
+		for other, osz := range live {
+			if a < other+Addr(osz) && other < a+Addr(sz) {
+				t.Fatalf("overlap: [%#x,+%d) vs [%#x,+%d)", a, sz, other, osz)
+			}
+		}
+		live[a] = sz
+		if i%2 == 1 {
+			if err := b.Free(a); err != nil {
+				t.Fatal(err)
+			}
+			delete(live, a)
+		}
+	}
+	for addr := range live {
+		if err := b.Free(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := b.Stats()
+	if s.AllocatedBytes != 0 || s.LiveAllocs != 0 || s.LargestFreeBlock != 1<<14 {
+		t.Fatalf("arena did not coalesce back: %+v", s)
+	}
+}
+
+func TestHostVersionsTrackOnlyHostWrites(t *testing.T) {
+	m := New(8 * PageSize)
+	base, err := m.AllocPages(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := m.HostVersions(base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Guest writes (any PKRU classification) must not move host stamps.
+	acc := NewAccessor(m, AllowAll)
+	if err := acc.Write(base, []byte("guest data")); err != nil {
+		t.Fatal(err)
+	}
+	mid, _ := m.HostVersions(base, 4)
+	for i := range before {
+		if mid[i] != before[i] {
+			t.Fatalf("guest write moved host stamp on page %d", i)
+		}
+	}
+	// A host write moves exactly the touched pages' stamps.
+	if err := m.HostWrite(base+PageSize, []byte{0xff}); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := m.HostVersions(base, 4)
+	if after[1] == mid[1] {
+		t.Fatal("host write did not move the touched page's stamp")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if after[i] != mid[i] {
+			t.Fatalf("host write moved untouched page %d's stamp", i)
+		}
+	}
+	// Host reads never move stamps.
+	buf := make([]byte, PageSize)
+	if err := m.HostRead(base, buf); err != nil {
+		t.Fatal(err)
+	}
+	last, _ := m.HostVersions(base, 4)
+	for i := range after {
+		if last[i] != after[i] {
+			t.Fatalf("host read moved page %d's stamp", i)
+		}
+	}
+}

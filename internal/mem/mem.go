@@ -142,6 +142,14 @@ type Memory struct {
 	// a page written and then restored back reads clean again.
 	vers   []uint64
 	verClk uint64
+	// hostVers stamps pages on host-side writes only (HostWrite, DMA-style
+	// device copies). A guest component never legitimately receives a host
+	// write into its private arena mid-run, so the defense seal compares
+	// these stamps across quiescent points: a moved stamp is evidence of
+	// out-of-band tampering regardless of how many legitimate guest writes
+	// also landed.
+	hostVers []uint64
+	hostClk  uint64
 }
 
 // New creates an address space of the given size, rounded up to whole
@@ -152,11 +160,12 @@ func New(size int64) *Memory {
 	}
 	n := int((size + PageSize - 1) / PageSize)
 	return &Memory{
-		npages: n,
-		keys:   make([]Key, n),
-		frames: make([][]byte, n),
-		owned:  make([]bool, n),
-		vers:   make([]uint64, n),
+		npages:   n,
+		keys:     make([]Key, n),
+		frames:   make([][]byte, n),
+		owned:    make([]bool, n),
+		vers:     make([]uint64, n),
+		hostVers: make([]uint64, n),
 	}
 }
 
@@ -352,6 +361,10 @@ func (m *Memory) access(addr Addr, p []byte, pkru PKRU, write, host bool) error 
 		if write {
 			m.verClk++
 			m.vers[pg] = m.verClk
+			if host {
+				m.hostClk++
+				m.hostVers[pg] = m.hostClk
+			}
 			copy(f[inPage:inPage+chunk], p[off:off+chunk])
 		} else {
 			copy(p[off:off+chunk], f[inPage:inPage+chunk])
@@ -565,6 +578,23 @@ func (m *Memory) Restore(s *Snapshot) error {
 		}
 	}
 	return nil
+}
+
+// HostVersions returns a copy of the host-write version stamps for n
+// pages starting at base. The defense seal captures these at a quiescent
+// point and compares at the next one: any stamp movement means the host
+// boundary wrote into the range in between — tampering, as far as a
+// component's private arena is concerned.
+func (m *Memory) HostVersions(base Addr, n int) ([]uint64, error) {
+	start, err := m.pageIndex(base, n)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]uint64, n)
+	copy(out, m.hostVers[start:start+n])
+	return out, nil
 }
 
 // Zero clears length bytes at addr without protection checks. The reboot

@@ -499,6 +499,32 @@ func (l *Log) TruncateBefore(seq uint64) (dropped, folded int) {
 	return dropped, folded
 }
 
+// DropFrom removes every completed record with sequence number at or
+// above seq, returning how many it removed. Taint-aware rollback uses it
+// to discard the suspect log tail: calls at or past the taint watermark
+// must not be replayed onto the pre-taint image. Open records are
+// untouched (they belong to a call still in flight, necessarily with a
+// fresh seq). Sequence numbers are globally monotonic and never reused,
+// so a dropped seq cannot reappear.
+func (l *Log) DropFrom(seq uint64) int {
+	before := l.stats.Removed
+	l.removeWhere(func(e *Record) bool { return !e.open && e.Seq >= seq })
+	n := int(l.stats.Removed - before)
+	l.note("drop", "", n)
+	return n
+}
+
+// RewindEpoch lowers the epoch seq to seq (a no-op when already at or
+// below it). Taint-aware rollback calls it after restoring an image
+// older than the latest truncation: the epoch seq must track what the
+// *installed* image covers, or the next truncation would label the
+// fresh capture with coverage it does not have.
+func (l *Log) RewindEpoch(seq uint64) {
+	if seq < l.epochSeq {
+		l.epochSeq = seq
+	}
+}
+
 // MarkReplayed counts n replayed records in the statistics.
 func (l *Log) MarkReplayed(n int) {
 	l.stats.Replayed += uint64(n)

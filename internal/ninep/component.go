@@ -147,7 +147,16 @@ func (c *Comp) rpc(ctx *core.Ctx, t *Fcall) (*Fcall, error) {
 	}
 	resp, err := Decode(respBytes)
 	if err != nil {
-		return nil, core.Errno("EIO: " + err.Error())
+		// The reply crossed the host boundary, so a malformed frame means
+		// the transport or the host side is compromised or corrupted.
+		// Under active defense that is attack-shaped: crash here so the
+		// runtime reboots 9PFS and the caller's retried RPC sees a clean
+		// fid table. Without defense, surface a typed protocol errno — not
+		// EIO — so callers can tell corruption from a failed disk op.
+		if ctx.Runtime().DefenseEnabled() {
+			panic("9pfs: corrupted host frame: " + err.Error())
+		}
+		return nil, core.Errno("EBADMSG: " + err.Error())
 	}
 	c.RPCs++
 	if resp.Type == Rerror {

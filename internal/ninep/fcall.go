@@ -116,6 +116,30 @@ const QTDir uint8 = 0x80
 // NoFid is the fid wildcard.
 const NoFid uint32 = ^uint32(0)
 
+// Wire-format sanity bounds. A frame from the host boundary is attacker
+// turf: every count and length is checked against these before any
+// allocation or loop, so a corrupted frame costs a typed error, never
+// memory or time proportional to a forged field.
+const (
+	// MaxWalkElem caps walk path elements per message (9P2000 MAXWELEM).
+	MaxWalkElem = 16
+	// MaxDataLen caps read/write payloads and read counts per message.
+	MaxDataLen = 1 << 20
+)
+
+// ProtoError is a malformed-frame rejection: truncated body, forged
+// count, oversized length, unknown opcode or trailing garbage. The 9PFS
+// component maps it to a defensive reaction instead of treating it as an
+// ordinary file system error.
+type ProtoError struct {
+	Type MsgType // frame type, best-effort (may be an unknown opcode)
+	What string  // which check failed
+}
+
+func (e *ProtoError) Error() string {
+	return fmt.Sprintf("ninep: malformed %v frame: %s", e.Type, e.What)
+}
+
 // Qid identifies a file system object.
 type Qid struct {
 	Type    uint8
@@ -241,6 +265,10 @@ func (d *dec) str() string {
 
 func (d *dec) bytes() []byte {
 	n := int(d.u32())
+	if d.err == nil && n > MaxDataLen {
+		d.err = fmt.Errorf("payload length %d > max %d", n, MaxDataLen)
+		return nil
+	}
 	if d.err != nil || len(d.p) < n {
 		d.fail("bytes")
 		return nil
@@ -325,14 +353,17 @@ func Encode(f *Fcall) ([]byte, error) {
 	return e.p, nil
 }
 
-// Decode parses a message produced by Encode.
+// Decode parses a message produced by Encode. Every failure — truncated
+// header or body, size-field mismatch, forged element count, oversized
+// payload, unknown opcode, trailing garbage — is a *ProtoError, so the
+// transport can tell a hostile frame from a file system error.
 func Decode(p []byte) (*Fcall, error) {
 	if len(p) < 7 {
-		return nil, fmt.Errorf("ninep: message shorter than header: %d bytes", len(p))
+		return nil, &ProtoError{What: fmt.Sprintf("shorter than header: %d bytes", len(p))}
 	}
 	size := binary.LittleEndian.Uint32(p)
 	if int(size) != len(p) {
-		return nil, fmt.Errorf("ninep: size field %d != buffer %d", size, len(p))
+		return nil, &ProtoError{Type: MsgType(p[4]), What: fmt.Sprintf("size field %d != buffer %d", size, len(p))}
 	}
 	f := &Fcall{Type: MsgType(p[4]), Tag: binary.LittleEndian.Uint16(p[5:])}
 	d := &dec{p: p[7:]}
@@ -353,11 +384,17 @@ func Decode(p []byte) (*Fcall, error) {
 		f.Fid = d.u32()
 		f.NewFid = d.u32()
 		n := int(d.u16())
+		if d.err == nil && n > MaxWalkElem {
+			return nil, &ProtoError{Type: f.Type, What: fmt.Sprintf("walk elements %d > max %d", n, MaxWalkElem)}
+		}
 		for i := 0; i < n && d.err == nil; i++ {
 			f.Names = append(f.Names, d.str())
 		}
 	case Rwalk:
 		n := int(d.u16())
+		if d.err == nil && n > MaxWalkElem {
+			return nil, &ProtoError{Type: f.Type, What: fmt.Sprintf("walk qids %d > max %d", n, MaxWalkElem)}
+		}
 		for i := 0; i < n && d.err == nil; i++ {
 			f.Qids = append(f.Qids, d.qid())
 		}
@@ -376,6 +413,9 @@ func Decode(p []byte) (*Fcall, error) {
 		f.Fid = d.u32()
 		f.Offset = d.u64()
 		f.Count = d.u32()
+		if d.err == nil && f.Count > MaxDataLen {
+			return nil, &ProtoError{Type: f.Type, What: fmt.Sprintf("read count %d > max %d", f.Count, MaxDataLen)}
+		}
 	case Rread:
 		f.Data = d.bytes()
 	case Twrite:
@@ -393,10 +433,13 @@ func Decode(p []byte) (*Fcall, error) {
 		f.Stat.Length = d.u64()
 		f.Stat.Mode = d.u32()
 	default:
-		return nil, fmt.Errorf("ninep: decode: unknown type %d", uint8(f.Type))
+		return nil, &ProtoError{Type: f.Type, What: fmt.Sprintf("unknown opcode %d", uint8(f.Type))}
 	}
 	if d.err != nil {
-		return nil, fmt.Errorf("ninep: decode %v: %w", f.Type, d.err)
+		return nil, &ProtoError{Type: f.Type, What: d.err.Error()}
+	}
+	if len(d.p) != 0 {
+		return nil, &ProtoError{Type: f.Type, What: fmt.Sprintf("%d trailing bytes after body", len(d.p))}
 	}
 	return f, nil
 }

@@ -1,0 +1,141 @@
+package ninep
+
+import (
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// frame hand-assembles a wire message with a correct size field, so each
+// test tampers with exactly one thing.
+func frame(typ MsgType, tag uint16, body []byte) []byte {
+	p := make([]byte, 0, 7+len(body))
+	p = binary.LittleEndian.AppendUint32(p, uint32(7+len(body)))
+	p = append(p, uint8(typ))
+	p = binary.LittleEndian.AppendUint16(p, tag)
+	return append(p, body...)
+}
+
+func mustProtoError(t *testing.T, p []byte, wantSub string) *ProtoError {
+	t.Helper()
+	_, err := Decode(p)
+	if err == nil {
+		t.Fatalf("decoded malformed frame %v", p)
+	}
+	var pe *ProtoError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is %T (%v), want *ProtoError", err, err)
+	}
+	if !strings.Contains(pe.Error(), wantSub) {
+		t.Fatalf("error %q does not mention %q", pe.Error(), wantSub)
+	}
+	return pe
+}
+
+// Each malformed shape the decoder must reject gets its own regression:
+// these are the attack-shaped frames the defense campaign injects at the
+// host boundary, and every rejection must be a typed *ProtoError so the
+// 9PFS component can tell hostile frames from file system errors.
+
+func TestDecodeRejectsShortHeader(t *testing.T) {
+	mustProtoError(t, nil, "shorter than header")
+	mustProtoError(t, []byte{7, 0, 0, 0, 120, 0}, "shorter than header")
+}
+
+func TestDecodeRejectsSizeMismatch(t *testing.T) {
+	p, err := Encode(&Fcall{Type: Tclunk, Tag: 1, Fid: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p[0]++ // size field no longer matches the buffer
+	pe := mustProtoError(t, p, "size field")
+	if pe.Type != Tclunk {
+		t.Fatalf("ProtoError.Type = %v, want Tclunk", pe.Type)
+	}
+}
+
+func TestDecodeRejectsTruncatedBody(t *testing.T) {
+	// Tread body is fid[4] offset[8] count[4]; supply only the fid.
+	body := binary.LittleEndian.AppendUint32(nil, 1)
+	mustProtoError(t, frame(Tread, 1, body), "truncated")
+}
+
+func TestDecodeRejectsForgedWalkCount(t *testing.T) {
+	// Twalk claiming 65535 names with an empty element list: without the
+	// MAXWELEM cap the decoder would loop (and allocate) against the
+	// forged count before the truncation check fires per element.
+	var body []byte
+	body = binary.LittleEndian.AppendUint32(body, 0)     // fid
+	body = binary.LittleEndian.AppendUint32(body, 1)     // newfid
+	body = binary.LittleEndian.AppendUint16(body, 65535) // nwname
+	pe := mustProtoError(t, frame(Twalk, 1, body), "walk elements")
+	if pe.Type != Twalk {
+		t.Fatalf("ProtoError.Type = %v, want Twalk", pe.Type)
+	}
+
+	// Same cap on the R side's qid list.
+	body = binary.LittleEndian.AppendUint16(nil, MaxWalkElem+1)
+	mustProtoError(t, frame(Rwalk, 1, body), "walk qids")
+}
+
+func TestDecodeAcceptsMaxWalkElem(t *testing.T) {
+	names := make([]string, MaxWalkElem)
+	for i := range names {
+		names[i] = "d"
+	}
+	p, err := Encode(&Fcall{Type: Twalk, Tag: 1, Names: names})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Decode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Names) != MaxWalkElem {
+		t.Fatalf("names = %d, want %d", len(f.Names), MaxWalkElem)
+	}
+}
+
+func TestDecodeRejectsOversizedPayloadLength(t *testing.T) {
+	// Rread whose length prefix claims far more than MaxDataLen. The cap
+	// must fire on the claimed length, before any allocation sized by it.
+	body := binary.LittleEndian.AppendUint32(nil, MaxDataLen+1)
+	pe := mustProtoError(t, frame(Rread, 1, body), "payload length")
+	if pe.Type != Rread {
+		t.Fatalf("ProtoError.Type = %v, want Rread", pe.Type)
+	}
+
+	// Twrite shares the bytes decoder and the cap.
+	body = binary.LittleEndian.AppendUint32(nil, 1)             // fid
+	body = binary.LittleEndian.AppendUint64(body, 0)            // offset
+	body = binary.LittleEndian.AppendUint32(body, MaxDataLen+1) // len
+	mustProtoError(t, frame(Twrite, 1, body), "payload length")
+}
+
+func TestDecodeRejectsOversizedReadCount(t *testing.T) {
+	// A forged Tread count would make the server allocate the response
+	// buffer; the decoder rejects it before the server ever sees it.
+	var body []byte
+	body = binary.LittleEndian.AppendUint32(body, 1)            // fid
+	body = binary.LittleEndian.AppendUint64(body, 0)            // offset
+	body = binary.LittleEndian.AppendUint32(body, MaxDataLen+1) // count
+	mustProtoError(t, frame(Tread, 1, body), "read count")
+}
+
+func TestDecodeRejectsUnknownOpcode(t *testing.T) {
+	pe := mustProtoError(t, frame(MsgType(200), 1, nil), "unknown opcode")
+	if pe.Type != MsgType(200) {
+		t.Fatalf("ProtoError.Type = %v, want 200", pe.Type)
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	p, err := Encode(&Fcall{Type: Rclunk, Tag: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = append(p, 0xCC)
+	binary.LittleEndian.PutUint32(p[0:], uint32(len(p))) // keep size honest
+	mustProtoError(t, p, "trailing bytes")
+}

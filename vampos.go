@@ -46,6 +46,7 @@ import (
 	"vampos/internal/ckpt"
 	"vampos/internal/cluster"
 	"vampos/internal/core"
+	"vampos/internal/defense"
 	"vampos/internal/faults"
 	"vampos/internal/microreboot"
 	"vampos/internal/trace"
@@ -243,6 +244,29 @@ const (
 // with the redis workload and expects rung-1 recovery with untouched
 // sessions observing zero errors.
 const FaultSessionCrash = campaign.FaultSessionCrash
+
+// Active defense (internal/defense): reboot-based recovery doubling as a
+// security response. With CoreConfig.Defense enabled, arena seals detect
+// host-boundary tampering at quiescent points, detections stamp a taint
+// watermark, recovery restores the newest checkpoint image strictly
+// predating the watermark (quarantining every image at or after it), and
+// each reboot re-randomizes the component's arena layout
+// (Runtime.LayoutFingerprint exposes the current permutation).
+type (
+	// DefensePolicy configures the pipeline detect -> watermark ->
+	// taint-aware rollback -> re-randomize (CoreConfig.Defense).
+	DefensePolicy = defense.Policy
+)
+
+// Attack-shaped campaign fault kinds (cmd/vampos-campaign -defense):
+// host-side arena tampering, a corrupted 9P response frame, and a PKRU
+// misuse attempt from a saboteur component. Their trials always run with
+// the defense pipeline armed.
+const (
+	FaultTamper    = campaign.FaultTamper
+	FaultBadFrame  = campaign.FaultBadFrame
+	FaultXDomTouch = campaign.FaultXDomTouch
+)
 
 // Instance-level fault kinds understood by the campaign engine's
 // cluster workload ("-workloads cluster"): the victim member is killed
