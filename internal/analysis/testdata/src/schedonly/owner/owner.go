@@ -1,0 +1,13 @@
+// Package owner is a golden fixture posing as internal/core, the one
+// package allowed to assign group→shard ownership: it pins a group's
+// worker thread to the group's ordinal, as spawnWorker and goShard do.
+package owner
+
+import "vampos/internal/sched"
+
+// assign gives a freshly spawned worker its class and its group's
+// ordinal. No diagnostics: the kernel owns the shard map.
+func assign(t *sched.Thread, shard int) {
+	t.SetClass(sched.ClassDomain)
+	t.SetShard(shard)
+}

@@ -1,0 +1,28 @@
+// Package shard is a golden fixture for the shard-ownership rule: it
+// poses as an ordinary component package and touches shard batons
+// directly instead of receiving ownership through Ctx.Go / Sys.GoShard.
+package shard
+
+import "vampos/internal/sched"
+
+// hijack reassigns batons from outside the kernel. Moving a thread to
+// another runner bucket changes which slices co-locate, which is
+// exactly the freedom the determinism contract removes.
+func hijack(s *sched.Scheduler, t *sched.Thread) {
+	s.SetShards(4)             // want `shard-baton assignment SetShards`
+	t.SetShard(2)              // want `shard-baton assignment SetShard`
+	t.SetClass(sched.ClassApp) // want `shard-baton assignment SetClass`
+}
+
+// observe reads are fine: a thread may look at its own ordinal (that is
+// how Ctx.Go pins children to the spawner's baton).
+func observe(t *sched.Thread) int {
+	return t.ShardOrdinal()
+}
+
+// pinned is the justified shape: a test harness pinning one thread,
+// with the reason the directive requires.
+func pinned(t *sched.Thread) {
+	//vampos:allow schedonly -- fixture: harness thread pinned to the conductor shard for a determinism A/B test
+	t.SetShard(0)
+}

@@ -6,6 +6,7 @@ import (
 
 	"vampos/internal/ckpt"
 	"vampos/internal/msg"
+	"vampos/internal/sched"
 	"vampos/internal/trace"
 )
 
@@ -67,7 +68,7 @@ func (rt *Runtime) maybeCheckpoint(g *group) {
 		if !c.tracker.Due(c.domain.Log().Len()) {
 			continue
 		}
-		if err := rt.checkpointComponent(c); err != nil {
+		if err := rt.checkpointComponent(g.worker.t, c); err != nil {
 			// A failed capture leaves the previous image and the untruncated
 			// log in place — recovery is still correct, just not cheaper.
 			rt.stats.checkpointErrors.Add(1)
@@ -80,7 +81,10 @@ func (rt *Runtime) maybeCheckpoint(g *group) {
 // truncation of the log prefix the new image covers. The caller must
 // guarantee quiescence. On error the component's previous checkpoint and
 // log are left untouched.
-func (rt *Runtime) checkpointComponent(c *component) error {
+// th is the simulated thread doing the capture (the group worker, or the
+// caller of Ctx.Checkpoint); the capture cost is charged to it so the
+// charge lands in the right shard's journal during buffered rounds.
+func (rt *Runtime) checkpointComponent(th *sched.Thread, c *component) error {
 	tr := rt.tracer
 	var sp trace.SpanID
 	if tr != nil {
@@ -148,8 +152,8 @@ func (rt *Runtime) checkpointComponent(c *component) error {
 	}
 	// Charge what the mechanism actually moved: dirty pages copied into
 	// the image (the whole point of the delta) plus the log rewrite.
-	rt.charge(time.Duration(dirtyPages) * rt.costs.SnapshotPerPage)
-	rt.charge(time.Duration(dropped+folded) * rt.costs.LogAppend)
+	rt.chargeOn(th, time.Duration(dirtyPages)*rt.costs.SnapshotPerPage)
+	rt.chargeOn(th, time.Duration(dropped+folded)*rt.costs.LogAppend)
 	c.tracker.NoteCheckpoint(dirtyPages, dropped, folded)
 	rt.stats.checkpoints.Add(1)
 	if tr != nil {
@@ -189,7 +193,7 @@ func (c *Ctx) Checkpoint(name string) error {
 	if g.failedTwice {
 		return fmt.Errorf("%w: %s", ErrComponentFailed, name)
 	}
-	return rt.checkpointComponent(tc)
+	return rt.checkpointComponent(c.th, tc)
 }
 
 // CheckpointStats returns the named component's checkpoint accounting.

@@ -101,6 +101,8 @@ func (rt *Runtime) ArmFaultSpec(component, fn string, spec FaultSpec) error {
 	if spec.Errno == "" {
 		spec.Errno = EIO
 	}
+	rt.armedMu.Lock()
+	defer rt.armedMu.Unlock()
 	if rt.armed == nil {
 		rt.armed = make(map[string]*armedFault)
 	}
@@ -112,6 +114,8 @@ func (rt *Runtime) ArmFaultSpec(component, fn string, spec FaultSpec) error {
 // "component.fn" keys in sorted order. Campaigns use it to tell a
 // survived fault from one that never triggered.
 func (rt *Runtime) PendingFaults() []string {
+	rt.armedMu.Lock()
+	defer rt.armedMu.Unlock()
 	out := make([]string, 0, len(rt.armed))
 	for k := range rt.armed {
 		out = append(out, k)
@@ -124,7 +128,15 @@ func (rt *Runtime) PendingFaults() []string {
 // error means the invocation must not execute and must return that error
 // instead (the FaultErrno transient-error path).
 func (rt *Runtime) checkFault(ctx *Ctx, component, fn string) error {
-	if rt.armed == nil || ctx.InReplay() {
+	if ctx.InReplay() {
+		return nil
+	}
+	// Resolve under the lock, then act outside it: a crash fault panics and
+	// a hang fault never returns, and neither may hold armedMu while other
+	// shards' handlers consult their own armed entries.
+	rt.armedMu.Lock()
+	if rt.armed == nil {
+		rt.armedMu.Unlock()
 		return nil
 	}
 	key := component + "." + fn
@@ -132,14 +144,17 @@ func (rt *Runtime) checkFault(ctx *Ctx, component, fn string) error {
 	if !ok {
 		key = component + "." + AnyFunction
 		if f, ok = rt.armed[key]; !ok {
+			rt.armedMu.Unlock()
 			return nil
 		}
 	}
 	f.count--
 	if f.count > 0 {
+		rt.armedMu.Unlock()
 		return nil
 	}
 	delete(rt.armed, key)
+	rt.armedMu.Unlock()
 	if tr := rt.tracer; tr != nil {
 		tr.Instant(ctx.span, trace.KindFault, component, fn, f.kind.String())
 	}

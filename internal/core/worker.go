@@ -35,6 +35,11 @@ func (rt *Runtime) spawnWorker(g *group, restore bool) {
 	w.t = rt.sch.Spawn("comp/"+g.name, pkru, func(t *sched.Thread) {
 		rt.workerMain(t, g, w)
 	})
+	// Workers are domain threads: under the sharded-baton engine their
+	// timeslices may run inside buffered parallel rounds, on the runner
+	// that owns the group's shard ordinal.
+	w.t.SetClass(sched.ClassDomain)
+	w.t.SetShard(g.shard)
 }
 
 func (rt *Runtime) workerMain(t *sched.Thread, g *group, w *workerThread) {
@@ -68,19 +73,29 @@ func (rt *Runtime) workerMain(t *sched.Thread, g *group, w *workerThread) {
 				}
 				// Restoration itself failed: treat as a deterministic fault
 				// and fail-stop the group (§II-B).
-				g.failedTwice = true
-				g.rebooting = false
-				if tr := rt.tracer; tr != nil {
-					tr.EndErr(g.rebootSpan, "restore failed: "+err.Error())
-					g.rebootSpan, g.quiesceSpan = 0, 0
-				}
-				rt.failAllPending(g, false)
+				msg := "restore failed: " + err.Error()
 				rt.stats.failedRestores.Add(1)
-				rt.notifyFailStop(g)
+				// The flag flips are polled by blocked callers on other
+				// shards, and failing the pending calls wakes them and
+				// mutates the conductor-owned pending map; from a round
+				// slice all of it must land at commit, in merge order.
+				t.Do(func() {
+					g.failedTwice = true
+					g.rebooting = false
+					if tr := rt.tracer; tr != nil {
+						tr.EndErr(g.rebootSpan, msg)
+						g.rebootSpan, g.quiesceSpan = 0, 0
+					}
+					rt.failAllPending(g, false)
+					rt.notifyFailStop(g)
+				})
 				return
 			}
 		}
-		g.rebooting = false
+		// Callers blocked on the reboot poll g.rebooting from their own
+		// slices: the clear must commit in merge order, not leak mid-round
+		// to whichever threads happen to share this worker's runner.
+		t.Do(func() { g.rebooting = false })
 	}
 	pollMode := rt.cfg.Policy == PolicyRoundRobin
 	for !rt.stopped {
@@ -92,7 +107,8 @@ func (rt *Runtime) workerMain(t *sched.Thread, g *group, w *workerThread) {
 			w.initDone[c] = true
 			w.initErr[c] = err
 			if rt.bootThread != nil {
-				rt.bootThread.Wake()
+				boot := rt.bootThread
+				t.Do(func() { boot.Wake() })
 			}
 			continue
 		}
@@ -105,7 +121,7 @@ func (rt *Runtime) workerMain(t *sched.Thread, g *group, w *workerThread) {
 			}
 			continue
 		}
-		rt.charge(rt.costs.MessagePull)
+		t.Charge(rt.costs.MessagePull)
 		if !rt.execMessage(t, g, m) {
 			return // component crashed; the message thread takes over
 		}
@@ -113,7 +129,7 @@ func (rt *Runtime) workerMain(t *sched.Thread, g *group, w *workerThread) {
 		// quiescent. Verify arena seals first — tampering detected now
 		// must not be baked into a fresh checkpoint image at this same
 		// quiescent point.
-		if rt.maybeDefense(g) {
+		if rt.maybeDefense(t, g) {
 			return // tamper detected; the message thread takes over
 		}
 		rt.maybeCheckpoint(g)
@@ -132,11 +148,11 @@ func (rt *Runtime) execMessage(t *sched.Thread, g *group, m *msg.Message) bool {
 	pc := rt.pending[m.Seq]
 	h, ok := c.exports[m.Fn]
 	if !ok {
-		rt.submit(mqItem{kind: mqReply, pc: pc, errStr: errnoString(&UnknownFunctionError{Component: m.To, Fn: m.Fn})})
+		rt.submitFrom(t, mqItem{kind: mqReply, pc: pc, errStr: errnoString(&UnknownFunctionError{Component: m.To, Fn: m.Fn})})
 		return true
 	}
 	g.currentSeq = m.Seq
-	g.busySinceV = rt.clk.Elapsed()
+	g.busySinceV = t.Elapsed()
 	if pc != nil && pc.rec != nil {
 		g.curRec = pc.rec
 		g.curLog = c.domain.Log()
@@ -153,7 +169,10 @@ func (rt *Runtime) execMessage(t *sched.Thread, g *group, m *msg.Message) bool {
 	var faultsBefore uint64
 	watchFaults := rt.cfg.Defense.Enabled && rt.cfg.Defense.RebootOnFault
 	if watchFaults {
-		faultsBefore = rt.memry.Faults()
+		// Per-accessor counting: under parallel rounds the global fault
+		// counter can move on another shard mid-handler, which would
+		// attribute a neighbour's PKRU misuse to this component.
+		faultsBefore = t.Accessor().Faults()
 	}
 	rets, err, pv, panicked := rt.invokeChecked(h, ctx, c.desc.Name, m.Fn, m.Args)
 	g.currentSeq = 0
@@ -167,7 +186,7 @@ func (rt *Runtime) execMessage(t *sched.Thread, g *group, m *msg.Message) bool {
 			// it unfinished.
 			tr.Instant(ctx.span, trace.KindCrash, c.desc.Name, m.Fn, reason)
 		}
-		rt.submit(mqItem{kind: mqFailure, grp: g, seq: m.Seq, reason: reason})
+		rt.submitFrom(t, mqItem{kind: mqFailure, grp: g, seq: m.Seq, reason: reason})
 		return false
 	}
 	if tr := rt.tracer; tr != nil {
@@ -181,15 +200,15 @@ func (rt *Runtime) execMessage(t *sched.Thread, g *group, m *msg.Message) bool {
 	if err != nil {
 		c.errs.Add(1)
 	}
-	c.busyV.Add(int64(rt.clk.Elapsed() - g.busySinceV))
-	rt.submit(mqItem{kind: mqReply, pc: pc, rets: rets, errStr: errnoString(err)})
-	if watchFaults && rt.memry.Faults() > faultsBefore {
+	c.busyV.Add(int64(t.Elapsed() - g.busySinceV))
+	rt.submitFrom(t, mqItem{kind: mqReply, pc: pc, rets: rets, errStr: errnoString(err)})
+	if watchFaults && t.Accessor().Faults() > faultsBefore {
 		// The handler raised protection faults: a PKRU-misuse attempt,
 		// confined by interposition but evidence of compromise. The reply
 		// is already queued (callers observe the EFAULT, not the reboot);
 		// the message thread reboots the offender into a re-randomized
 		// incarnation after delivering it.
-		rt.submit(mqItem{kind: mqBreach, grp: g, comp: c})
+		rt.submitFrom(t, mqItem{kind: mqBreach, grp: g, comp: c})
 		return false
 	}
 	return true

@@ -391,6 +391,12 @@ func (m *Memory) HostWrite(addr Addr, p []byte) error {
 type Accessor struct {
 	mem  *Memory
 	pkru PKRU
+	// faults counts protection faults raised through this accessor. Each
+	// accessor belongs to one simulated thread, so the count attributes
+	// faults to their raiser even when shard runners execute handlers of
+	// different components concurrently (the global Memory counter can
+	// move on a neighbouring shard mid-handler).
+	faults uint64
 }
 
 // NewAccessor binds an accessor to m with the given PKRU.
@@ -409,13 +415,25 @@ func (a *Accessor) Memory() *Memory { return a.mem }
 
 // Read copies len(p) bytes at addr into p, checking protections.
 func (a *Accessor) Read(addr Addr, p []byte) error {
-	return a.mem.access(addr, p, a.pkru, false, false)
+	err := a.mem.access(addr, p, a.pkru, false, false)
+	if err != nil {
+		a.faults++
+	}
+	return err
 }
 
 // Write copies p into memory at addr, checking protections.
 func (a *Accessor) Write(addr Addr, p []byte) error {
-	return a.mem.access(addr, p, a.pkru, true, false)
+	err := a.mem.access(addr, p, a.pkru, true, false)
+	if err != nil {
+		a.faults++
+	}
+	return err
 }
+
+// Faults returns the number of protection faults raised through this
+// accessor.
+func (a *Accessor) Faults() uint64 { return a.faults }
 
 // ReadBytes reads and returns n bytes at addr.
 func (a *Accessor) ReadBytes(addr Addr, n int) ([]byte, error) {

@@ -18,6 +18,8 @@ package microreboot
 import (
 	"fmt"
 	"sort"
+	//vampos:allow schedonly -- Registry.mu: lifecycle transitions arrive from parallel shard slices (worker Resolve/Escalate) while the message thread observes openers and campaign oracles snapshot
+	"sync"
 	"time"
 )
 
@@ -140,6 +142,10 @@ type Stats struct {
 // terminal entries would grow without bound under sustained open/close
 // load — the same pressure the log's closed-mark purge relieves.
 type Registry struct {
+	// mu guards m and stats. Transitions commute per key (each touches its
+	// own Status plus counters), so locking preserves determinism of the
+	// final state while making concurrent shard slices safe.
+	mu    sync.Mutex
 	now   func() time.Duration // virtual clock, injected for determinism
 	m     map[Key]*Status
 	stats Stats
@@ -170,6 +176,8 @@ func (r *Registry) Observe(component, session string) {
 	if r == nil || session == "" {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	k := Key{Component: component, Session: session}
 	s, ok := r.m[k]
 	if !ok {
@@ -188,6 +196,8 @@ func (r *Registry) Dissolve(component, session string) {
 	if r == nil || session == "" {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	k := Key{Component: component, Session: session}
 	if _, ok := r.m[k]; !ok {
 		return
@@ -206,6 +216,8 @@ func (r *Registry) BeginRecovery(component, session, reason string) error {
 	if r == nil {
 		return fmt.Errorf("microreboot: no registry")
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	k := Key{Component: component, Session: session}
 	s, ok := r.m[k]
 	if !ok {
@@ -228,6 +240,8 @@ func (r *Registry) Resolve(component, session string) error {
 	if r == nil {
 		return fmt.Errorf("microreboot: no registry")
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	s, ok := r.m[Key{Component: component, Session: session}]
 	if !ok || s.Observed != Recovering {
 		return fmt.Errorf("microreboot: %s/%s is not recovering", component, session)
@@ -245,6 +259,8 @@ func (r *Registry) Escalate(component, session, reason string) error {
 	if r == nil {
 		return fmt.Errorf("microreboot: no registry")
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	s, ok := r.m[Key{Component: component, Session: session}]
 	if !ok || s.Observed != Recovering {
 		return fmt.Errorf("microreboot: %s/%s is not recovering", component, session)
@@ -262,6 +278,8 @@ func (r *Registry) ComponentRecovered(component string) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	//vampos:allow detrange -- per-session transitions commute: each touches only its own Status fields plus a counter, and Since reads the same registry clock for the whole sweep
 	for _, s := range r.m {
 		if s.Component != component || s.Desired != Live || s.Observed == Live {
@@ -276,6 +294,8 @@ func (r *Registry) Get(component, session string) (Status, bool) {
 	if r == nil {
 		return Status{}, false
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	s, ok := r.m[Key{Component: component, Session: session}]
 	if !ok {
 		return Status{}, false
@@ -289,6 +309,8 @@ func (r *Registry) Snapshot() []Status {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make([]Status, 0, len(r.m))
 	for _, s := range r.m {
 		out = append(out, *s)
@@ -307,6 +329,8 @@ func (r *Registry) Stats() Stats {
 	if r == nil {
 		return Stats{}
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	st := r.stats
 	st.Live = len(r.m)
 	return st

@@ -1,0 +1,218 @@
+package unikernel
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"vampos/internal/core"
+)
+
+// shardConfig is the DaS configuration with n shard batons.
+func shardConfig(n int) Config {
+	cc := core.DaSConfig()
+	cc.Shards = n
+	return fullConfig(cc)
+}
+
+// runShardOps drives three independent application domains, each pinned
+// to its own shard ordinal, interpreting an interleaved slice of the ops
+// string as file-system work. The completion counter is mutated only
+// through Thread.Do so it commits on the conductor in merge order —
+// the required pattern for any state shared across app domains.
+func runShardOps(t *testing.T, s *Sys, ops []byte, midReboot bool) {
+	t.Helper()
+	const domains = 3
+	done := 0
+	for d := 0; d < domains; d++ {
+		d := d
+		s.GoShard(fmt.Sprintf("eqdom%d", d), 10+d, func(cs *Sys) {
+			defer cs.Ctx().Thread().Do(func() { done++ })
+			var fds []int
+			seq := 0
+			for i := d; i < len(ops); i += domains {
+				b := ops[i]
+				switch b % 5 {
+				case 0:
+					fd, err := cs.Create(fmt.Sprintf("/eq%d-%03d.dat", d, seq))
+					if err != nil {
+						t.Errorf("domain %d op %d: create: %v", d, i, err)
+						return
+					}
+					seq++
+					fds = append(fds, fd)
+				case 1, 2:
+					if len(fds) > 0 {
+						fd := fds[int(b>>3)%len(fds)]
+						if _, err := cs.Write(fd, []byte{'v', b}); err != nil {
+							t.Errorf("domain %d op %d: write: %v", d, i, err)
+							return
+						}
+					}
+				case 3:
+					if len(fds) > 0 {
+						fd := fds[int(b>>3)%len(fds)]
+						if _, err := cs.Pread(fd, 2, 0); err != nil {
+							t.Errorf("domain %d op %d: pread: %v", d, i, err)
+							return
+						}
+					}
+				case 4:
+					if len(fds) > 0 {
+						fd := fds[int(b>>3)%len(fds)]
+						if err := cs.Close(fd); err != nil {
+							t.Errorf("domain %d op %d: close: %v", d, i, err)
+							return
+						}
+						keep := fds[:0]
+						for _, v := range fds {
+							if v != fd {
+								keep = append(keep, v)
+							}
+						}
+						fds = keep
+					}
+				}
+			}
+			for _, fd := range fds {
+				_ = cs.Close(fd)
+			}
+		})
+	}
+	if midReboot {
+		// Reboot a stateful component while the domains are mid-workload.
+		// The trigger is a fixed virtual-time point, so it lands at the
+		// same place in the canonical order at every shard count.
+		s.Sleep(2 * time.Millisecond)
+		if err := s.Reboot("vfs"); err != nil {
+			t.Errorf("mid-workload reboot: %v", err)
+		}
+	}
+	for done < domains {
+		s.Sleep(time.Millisecond)
+	}
+}
+
+// instanceFingerprint serializes everything the determinism contract
+// promises: every component's retained log record stream, its stats,
+// the scheduler's deterministic counters, the virtual clock, and the
+// final host export shadow. Wall-clock measurements (SliceWall,
+// RoundCritical) are deliberately excluded — they are the only fields
+// allowed to differ between byte-identical runs.
+func instanceFingerprint(t *testing.T, inst *Instance) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	rt := inst.Runtime()
+	for _, name := range rt.Components() {
+		fmt.Fprintf(&b, "component %s\n", name)
+		views, err := rt.LogRecords(name)
+		if err != nil {
+			fmt.Fprintf(&b, "  logerr %v\n", err)
+		}
+		for _, v := range views {
+			fmt.Fprintf(&b, "  rec seq=%d fn=%s session=%s class=%v err=%q synth=%v args=%v rets=%v",
+				v.Seq, v.Fn, v.Session, v.Class, v.Err, v.Synthetic, v.Args, v.Rets)
+			for _, o := range v.Outbound {
+				fmt.Fprintf(&b, " out=%s.%s/%q/%v", o.Target, o.Fn, o.Err, o.Rets)
+			}
+			b.WriteByte('\n')
+		}
+		if cs, ok := rt.ComponentStats(name); ok {
+			fmt.Fprintf(&b, "  stats %+v\n", cs)
+		}
+	}
+	fmt.Fprintf(&b, "runtime %+v\n", rt.Stats())
+	st := rt.SchedStats()
+	fmt.Fprintf(&b, "sched dispatches=%d advances=%d spawned=%d killed=%d rounds=%d slices=%d penflushes=%d penned=%d\n",
+		st.Dispatches, st.ClockAdvances, st.Spawned, st.Killed, st.Rounds, st.Slices, st.PenFlushes, st.Penned)
+	walkExport(&b, inst, "/")
+	return b.Bytes()
+}
+
+// walkExport appends the host export's full tree (paths and contents) —
+// the "final host shadow" leg of the equivalence property.
+func walkExport(b *bytes.Buffer, inst *Instance, path string) {
+	fs := inst.Host().FS()
+	names, err := fs.List(path)
+	if err != nil {
+		data, rerr := fs.ReadFile(path)
+		if rerr != nil {
+			fmt.Fprintf(b, "shadow %s unreadable: %v\n", path, rerr)
+			return
+		}
+		fmt.Fprintf(b, "shadow %s %d %x\n", path, len(data), data)
+		return
+	}
+	sort.Strings(names)
+	fmt.Fprintf(b, "shadowdir %s\n", path)
+	for _, n := range names {
+		child := path + "/" + n
+		if path == "/" {
+			child = "/" + n
+		}
+		walkExport(b, inst, child)
+	}
+}
+
+// runShardFingerprint runs the ops workload at the given shard count and
+// returns the instance fingerprint.
+func runShardFingerprint(t *testing.T, shards int, ops []byte, midReboot bool) []byte {
+	inst := runInstance(t, shardConfig(shards), func(s *Sys) {
+		runShardOps(t, s, ops, midReboot)
+	})
+	return instanceFingerprint(t, inst)
+}
+
+// TestShardCountEquivalenceProperty: for any operation sequence, the
+// retained log streams, component stats, scheduler counters, virtual
+// clock, and final host shadow are byte-identical whether the instance
+// ran with 1, 2, or 4 shard batons. This is the tentpole determinism
+// claim: shards choose which runner executes a slice, never what the
+// slice does or when its effects commit.
+func TestShardCountEquivalenceProperty(t *testing.T) {
+	prop := func(ops []byte) bool {
+		if len(ops) > 48 {
+			ops = ops[:48]
+		}
+		ref := runShardFingerprint(t, 1, ops, false)
+		for _, n := range []int{2, 4} {
+			got := runShardFingerprint(t, n, ops, false)
+			if !bytes.Equal(ref, got) {
+				t.Logf("ops %v: fingerprint diverged between 1 and %d shards:\n1 shard:\n%s\n%d shards:\n%s",
+					ops, n, ref, n, got)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 8,
+		Rand:     rand.New(rand.NewSource(11)), // fixed seed: deterministic CI
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardCountEquivalenceAcrossReboot re-checks the property with a
+// component reboot landing mid-workload: recovery (kill, log replay,
+// pending-call retry) must follow the same canonical order at every
+// shard count.
+func TestShardCountEquivalenceAcrossReboot(t *testing.T) {
+	ops := []byte{0, 5, 11, 0, 7, 23, 4, 0, 9, 14, 3, 20, 0, 1, 2, 8, 16, 31, 42, 6}
+	ref := runShardFingerprint(t, 1, ops, true)
+	if !bytes.Contains(ref, []byte("runtime ")) {
+		t.Fatal("fingerprint missing runtime stats section")
+	}
+	for _, n := range []int{2, 4} {
+		got := runShardFingerprint(t, n, ops, true)
+		if !bytes.Equal(ref, got) {
+			t.Fatalf("fingerprint diverged between 1 and %d shards after mid-workload reboot:\n1 shard:\n%s\n%d shards:\n%s",
+				n, ref, n, got)
+		}
+	}
+}
